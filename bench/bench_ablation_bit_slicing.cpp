@@ -1,0 +1,78 @@
+// Ablation: bit-sliced weight storage.
+//
+// Sweeps the (total bits, bits per slice) space on a 32 x 8 mapped
+// matrix through the full circuit model: how much fidelity does an
+// extra column group buy when the per-cell resolution is limited?
+// (ISAAC-style 2-bit slices vs the paper's single 32-level cells.)
+#include <cmath>
+#include <cstdio>
+
+#include "resipe/common/rng.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/resipe/bit_slicing.hpp"
+
+namespace {
+
+using namespace resipe;
+
+double sliced_rmse(const resipe_core::SlicingConfig& slicing,
+                   double sigma) {
+  constexpr std::size_t kIn = 32;
+  constexpr std::size_t kOut = 8;
+  constexpr std::size_t kSamples = 48;
+  Rng rng(77);
+  std::vector<double> w(kIn * kOut);
+  for (double& v : w) v = rng.normal(0.0, 0.4);
+  const std::vector<double> bias(kOut, 0.0);
+  std::vector<double> xs(kSamples * kIn);
+  for (double& v : xs) v = rng.uniform(0.0, 1.0);
+
+  resipe_core::EngineConfig cfg;
+  cfg.device.variation_sigma = sigma;
+  Rng prog(cfg.program_seed);
+  resipe_core::SlicedMatrix sm(cfg, slicing, w, bias, kIn, kOut, prog);
+  sm.set_input_scale(1.0);
+  sm.calibrate_alpha(xs, kSamples);
+
+  std::vector<double> y(kOut, 0.0);
+  double ss = 0.0, ref_max = 0.0;
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    const std::span<const double> x(xs.data() + s * kIn, kIn);
+    sm.forward(x, y);
+    for (std::size_t j = 0; j < kOut; ++j) {
+      double ref = 0.0;
+      for (std::size_t i = 0; i < kIn; ++i) ref += x[i] * w[i * kOut + j];
+      ss += (y[j] - ref) * (y[j] - ref);
+      ref_max = std::max(ref_max, std::abs(ref));
+    }
+  }
+  return std::sqrt(ss / (kSamples * kOut)) / ref_max;
+}
+
+}  // namespace
+
+int main() {
+  using namespace resipe;
+  std::puts("=== Ablation: bit-sliced weight storage ===\n");
+  TextTable t({"Logical bits", "Bits/slice", "Slices", "Column cost",
+               "RMSE (sigma=0)", "RMSE (sigma=10%)"});
+  struct Case {
+    int total, per_slice;
+  };
+  for (const Case c : {Case{4, 4}, Case{5, 5}, Case{8, 4}, Case{8, 2},
+                       Case{12, 4}}) {
+    resipe_core::SlicingConfig slicing;
+    slicing.total_bits = c.total;
+    slicing.bits_per_slice = c.per_slice;
+    t.add_row({std::to_string(c.total), std::to_string(c.per_slice),
+               std::to_string(slicing.slices()),
+               format_ratio(static_cast<double>(slicing.slices()), 0),
+               format_percent(sliced_rmse(slicing, 0.0)),
+               format_percent(sliced_rmse(slicing, 0.10))});
+  }
+  std::puts(t.str().c_str());
+  std::puts("Slicing buys resolution while each cell stays at its\n"
+            "reliable precision; under variation the benefit saturates\n"
+            "because device noise, not quantization, dominates.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: COG sampling capacitor size.
+//
+// Sec. IV-B closes with "future technology scaling that enables smaller
+// MIM capacitors in COG clusters could induce further energy
+// reduction".  This bench sweeps Ccog and reports (a) the per-MVM
+// energy, COG share and power efficiency, and (b) the computation
+// fidelity — the RMS error of a 32x8 mapped MVM through the full
+// circuit model — exposing the energy/accuracy trade.
+#include <cstdio>
+
+#include "resipe/common/table.hpp"
+#include "resipe/common/units.hpp"
+#include "resipe/eval/fidelity.hpp"
+#include "resipe/resipe/design.hpp"
+
+int main() {
+  using namespace resipe;
+  using namespace resipe::units;
+
+  std::puts("=== Ablation: COG capacitor (Ccog) sweep ===\n");
+  TextTable t({"Ccog", "Energy/MVM", "COG share", "Power eff.",
+               "MVM RMSE", "alpha"});
+
+  for (double ccog : {20.0 * fF, 50.0 * fF, 100.0 * fF, 150.0 * fF,
+                      200.0 * fF}) {
+    circuits::CircuitParams params;
+    params.c_cog = ccog;
+
+    resipe_core::ResipeDesign design(params);
+    const auto point = design.evaluate();
+    const auto report = design.mvm_report();
+
+    resipe_core::EngineConfig cfg;
+    cfg.circuit = params;
+    const auto fidelity = eval::mvm_fidelity(cfg);
+
+    t.add_row({format_si(ccog, "F"), format_si(point.energy_per_mvm, "J"),
+               format_percent(report.energy_share("COG")),
+               format_si(point.power_efficiency, "OPS/W"),
+               format_percent(fidelity.rmse),
+               format_fixed(fidelity.alpha, 3)});
+  }
+  std::puts(t.str().c_str());
+  std::puts("Smaller Ccog trims the sampling-cap charge (the comparator\n"
+            "still dominates) and deepens the charging saturation k -> 1,\n"
+            "which the per-column readout trim absorbs — the paper's\n"
+            "future-work lever is nearly free in fidelity terms.");
+  return 0;
+}

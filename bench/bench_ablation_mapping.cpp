@@ -1,0 +1,39 @@
+// Ablation: signed-weight mapping strategy.
+//
+// Compares the three ways of realizing signed weights on positive
+// conductances — differential column pairs, complementary pairs, and a
+// shared offset column — on (a) MVM reconstruction error through the
+// full circuit model and (b) physical column cost.
+#include <cstdio>
+
+#include "resipe/common/table.hpp"
+#include "resipe/eval/fidelity.hpp"
+
+int main() {
+  using namespace resipe;
+  std::puts("=== Ablation: signed-weight mapping strategy ===\n");
+  std::puts("32x8 random signed matrix through the full circuit model;\n"
+            "errors relative to the largest reference output.\n");
+  TextTable t({"Strategy", "sigma", "RMSE", "Worst error", "Phys columns"});
+  for (double sigma : {0.0, 0.10}) {
+    for (auto strategy : {crossbar::SignedMapping::kDifferentialPair,
+                          crossbar::SignedMapping::kComplementaryPair,
+                          crossbar::SignedMapping::kOffsetColumn}) {
+      resipe_core::EngineConfig cfg;
+      cfg.mapping = strategy;
+      cfg.device.variation_sigma = sigma;
+      const auto score = eval::mvm_fidelity(cfg);
+      const std::size_t phys_cols =
+          strategy == crossbar::SignedMapping::kOffsetColumn ? 9 : 16;
+      t.add_row({crossbar::to_string(strategy), format_percent(sigma),
+                 format_percent(score.rmse), format_percent(score.worst),
+                 std::to_string(phys_cols)});
+    }
+  }
+  std::puts(t.str().c_str());
+  std::puts("The differential pair parks small weights at G_min on both\n"
+            "columns, minimizing absolute variation noise — most robust.\n"
+            "The offset column halves the column overhead but couples\n"
+            "every output to one shared reference.");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: device reliability mechanisms beyond Gaussian variation.
+//
+// The paper models process variation as a normal sigma per [21, 22];
+// those same references also characterize stuck-at faults and
+// conductance retention drift.  This bench extends the Fig. 7 analysis
+// to all three mechanisms at the MVM level: fidelity of a mapped
+// 32 x 8 matrix under (a) stuck-at-fault rates, (b) power-law
+// retention drift, and (c) wire IR-drop — each isolated, plus a
+// combined worst case.
+#include <cstdio>
+
+#include "resipe/common/table.hpp"
+#include "resipe/eval/fidelity.hpp"
+
+int main() {
+  using namespace resipe;
+
+  std::puts("=== Ablation: reliability mechanisms at the MVM level "
+            "===\n");
+
+  TextTable t({"Mechanism", "Setting", "MVM RMSE", "Worst error"});
+  {
+    const auto s = eval::mvm_fidelity(resipe_core::EngineConfig{});
+    t.add_row({"baseline", "-", format_percent(s.rmse),
+               format_percent(s.worst)});
+  }
+  for (double rate : {0.001, 0.01, 0.05}) {
+    resipe_core::EngineConfig cfg;
+    cfg.device.stuck_lrs_rate = rate / 2.0;
+    cfg.device.stuck_hrs_rate = rate / 2.0;
+    const auto s = eval::mvm_fidelity(cfg);
+    t.add_row({"stuck-at faults", format_percent(rate) + " total",
+               format_percent(s.rmse), format_percent(s.worst)});
+  }
+  for (double years : {0.1, 1.0, 5.0}) {
+    resipe_core::EngineConfig cfg;
+    cfg.device.drift_nu = 0.02;
+    cfg.retention_time = years * 365.0 * 24.0 * 3600.0;
+    const auto s = eval::mvm_fidelity(cfg);
+    t.add_row({"retention drift (nu=0.02)",
+               format_fixed(years, 1) + " years",
+               format_percent(s.rmse), format_percent(s.worst)});
+  }
+  {
+    resipe_core::EngineConfig cfg;
+    cfg.model_wire_ir_drop = true;
+    cfg.wires.r_wordline_segment = 2.5;
+    cfg.wires.r_bitline_segment = 2.5;
+    const auto s = eval::mvm_fidelity(cfg);
+    t.add_row({"wire IR-drop", "2.5 ohm/segment",
+               format_percent(s.rmse), format_percent(s.worst)});
+  }
+  for (double mv : {1.0, 5.0, 10.0}) {
+    resipe_core::EngineConfig cfg;
+    cfg.circuit.comparator_offset_sigma = mv * 1e-3;
+    const auto s = eval::mvm_fidelity(cfg);
+    t.add_row({"comparator mismatch",
+               format_fixed(mv, 0) + " mV sigma",
+               format_percent(s.rmse), format_percent(s.worst)});
+  }
+  {
+    resipe_core::EngineConfig cfg;
+    cfg.device.variation_sigma = 0.10;
+    cfg.device.stuck_lrs_rate = 0.005;
+    cfg.device.stuck_hrs_rate = 0.005;
+    cfg.device.drift_nu = 0.02;
+    cfg.retention_time = 365.0 * 24.0 * 3600.0;
+    cfg.model_wire_ir_drop = true;
+    const auto s = eval::mvm_fidelity(cfg);
+    t.add_row({"combined", "sigma 10% + 1% SAF + 1y drift + wires",
+               format_percent(s.rmse), format_percent(s.worst)});
+  }
+  std::puts(t.str().c_str());
+  std::puts("Power-law drift acts as a slowly-growing global gain error\n"
+            "(a periodic recalibration of the per-layer decode scale\n"
+            "would absorb it); stuck-at faults hit hardest because a\n"
+            "stuck-LRS cell injects a full-scale spurious weight into\n"
+            "one column; wire IR-drop is negligible at 32 x 32 with\n"
+            ">= 50 k cells.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 3: the circuit simulation waveforms of one
+// single-spiking MAC — (a) the active waveform in S1, (b) the
+// computation stage and S2.
+//
+// Setup matches Sec. III-B/III-D: 100 ns slices, dt = 1 ns at the end
+// of S1 (99..100 ns), two active inputs, paper circuit parameters.
+#include <cstdio>
+#include <iostream>
+
+#include "resipe/circuits/waveform.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/common/units.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "resipe/resipe/tile.hpp"
+
+int main() {
+  using namespace resipe;
+  using namespace resipe::units;
+
+  const circuits::CircuitParams params =
+      circuits::CircuitParams::paper_defaults();
+  device::ReramSpec spec = device::ReramSpec::characterization();
+
+  // Two-input MAC (the Fig. 2 example): rows 0 and 1 active.
+  resipe_core::ResipeTile tile(params, 2, 1, spec);
+  Rng rng(3);
+  // R1 = 50 k, R2 = 200 k.
+  const std::vector<double> g = {1.0 / (50.0 * kOhm), 1.0 / (200.0 * kOhm)};
+  tile.program(g, rng);
+
+  const std::vector<circuits::Spike> inputs = {
+      circuits::Spike::at(30.0 * ns), circuits::Spike::at(60.0 * ns)};
+
+  circuits::WaveformRecorder rec;
+  tile.trace(inputs, 0, rec);
+
+  const auto out = tile.execute(inputs);
+  const auto ideal = tile.ideal_times(inputs);
+  const auto v = tile.sample_voltages(inputs);
+
+  std::puts("=== Fig. 3: single-spiking MAC circuit simulation ===\n");
+  std::printf("slice length      : %s\n",
+              format_si(params.slice_length, "s").c_str());
+  std::printf("computation stage : %s (at the end of S1)\n",
+              format_si(params.comp_stage, "s").c_str());
+  std::printf("inputs            : t_in1 = %s, t_in2 = %s\n",
+              format_si(inputs[0].arrival_time, "s").c_str(),
+              format_si(inputs[1].arrival_time, "s").c_str());
+  std::printf("V(Ccog) sampled   : %s\n", format_si(v[0], "V").c_str());
+  std::printf("output spike      : t_out = %s (ideal Eq.6: %s)\n\n",
+              format_si(out[0].arrival_time, "s").c_str(),
+              format_si(ideal[0], "s").c_str());
+
+  std::puts("---- (a) active waveforms in S1 (0 .. 100 ns) ----");
+  {
+    circuits::WaveformRecorder s1;
+    for (const auto& tr : rec.traces()) {
+      if (tr.name.rfind("S2", 0) == 0 || tr.name == "S_out") continue;
+      for (std::size_t i = 0; i < tr.time.size(); ++i)
+        s1.record(tr.name, tr.time[i], tr.value[i]);
+    }
+    std::cout << s1.render_ascii(0.0, params.slice_length);
+  }
+
+  std::puts("---- (b) computation stage + S2 (99 .. 200 ns) ----");
+  {
+    circuits::WaveformRecorder s2;
+    for (const auto& tr : rec.traces()) {
+      if (tr.name.rfind("S2", 0) != 0 && tr.name != "S_out" &&
+          tr.name != "V(Ccog)")
+        continue;
+      for (std::size_t i = 0; i < tr.time.size(); ++i)
+        s2.record(tr.name, tr.time[i], tr.value[i]);
+    }
+    std::cout << s2.render_ascii(params.slice_length - params.comp_stage,
+                                 2.0 * params.slice_length);
+  }
+  return 0;
+}

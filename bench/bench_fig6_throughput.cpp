@@ -1,0 +1,38 @@
+// Reproduces Fig. 6: the trade-off between computing latency and
+// design area — the overall throughput each design reaches when
+// replicated under a fixed area budget (Sec. IV-B.3).
+//
+// Expected shape: under the same area budget ReSiPE provides the
+// highest throughput because its engine footprint (no DAC/ADC) lets it
+// replicate more tiles per mm^2.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "resipe/common/table.hpp"
+#include "resipe/eval/throughput.hpp"
+
+int main() {
+  using namespace resipe;
+
+  std::puts("=== Fig. 6: latency / area / throughput trade-off ===\n");
+  const auto result = eval::throughput_tradeoff();
+  std::cout << result.render() << "\n";
+
+  // Iso-throughput lines (the dashed lines of Fig. 6): area each design
+  // needs to sustain a target throughput.
+  std::puts("Iso-throughput requirements (area needed per design):");
+  TextTable t({"Target throughput", "ReSiPE", "Level-based", "Rate-coding",
+               "PWM-based"});
+  for (double target : {0.1e12, 0.5e12, 1.0e12}) {  // ops/s
+    std::vector<std::string> row{format_si(target, "OPS")};
+    for (const auto& s : result.series) {
+      const double engines = std::ceil(target / s.engine_throughput);
+      row.push_back(format_fixed(engines * s.engine_area * 1e6, 4) +
+                    " mm2");
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t;
+  return 0;
+}

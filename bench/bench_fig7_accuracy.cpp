@@ -1,0 +1,46 @@
+// Reproduces Fig. 7: classification accuracy of the six benchmark
+// networks (MLP-1/2 on the digit task; CNN-1..4 on the object task)
+// mapped through the ReSiPE circuit model, sweeping ReRAM process
+// variation sigma over {0, 5, 10, 15, 20}% (Sec. IV-C).
+//
+// Expected shape: the sigma = 0 column isolates the circuit
+// non-linearity penalty (< ~2.5%); accuracy degrades as sigma grows,
+// and the deeper networks degrade more (1..15% at sigma = 20%).
+//
+// Usage: bench_fig7_accuracy [--quick] [--full]
+//   --quick : MLPs + LeNet only, 1 Monte-Carlo seed (CI-friendly)
+//   --full  : all six networks, 2 Monte-Carlo seeds (default)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "resipe/eval/accuracy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace resipe;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  eval::AccuracyConfig cfg;
+  cfg.weight_cache_dir = ".";
+  cfg.verbose = true;
+  if (quick) cfg.mc_seeds = 1;
+
+  std::puts("=== Fig. 7: accuracy under circuit non-linearity and "
+            "process variation ===\n");
+
+  std::vector<eval::NetworkAccuracy> rows;
+  const auto nets = nn::all_benchmarks();
+  const std::size_t count = quick ? 3 : nets.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    std::printf("-- %s --\n", nn::benchmark_name(nets[i]).c_str());
+    rows.push_back(eval::evaluate_network_accuracy(nets[i], cfg));
+  }
+
+  std::puts("");
+  std::cout << eval::render_accuracy(rows);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces TABLE I: the taxonomy of data formats used by ReRAM PIM
+// designs (Sec. II), rendered from the design-class registry.
+#include <iostream>
+
+#include "resipe/eval/taxonomy.hpp"
+
+int main() {
+  std::cout << "=== TABLE I: data formats in ReRAM PIM designs ===\n\n";
+  std::cout << resipe::eval::taxonomy_table();
+  return 0;
+}

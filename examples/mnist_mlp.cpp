@@ -1,0 +1,68 @@
+// MNIST-style workload on ReSiPE.
+//
+// Trains the paper's MLP-2 benchmark on the synthetic digit task, then
+// lowers it onto the single-spiking circuit model and compares
+// software vs hardware accuracy — with and without ReRAM process
+// variation.  This is the paper's motivating use case: inference-only
+// PIM for perceptron workloads (Sec. IV-C).
+#include <cstdio>
+
+#include "resipe/common/table.hpp"
+#include "resipe/nn/data.hpp"
+#include "resipe/nn/train.hpp"
+#include "resipe/nn/zoo.hpp"
+#include "resipe/resipe/network.hpp"
+
+int main() {
+  using namespace resipe;
+
+  std::puts("=== MLP-2 on synthetic digits, lowered onto ReSiPE ===\n");
+
+  Rng data_rng(42);
+  const nn::Dataset train = nn::synthetic_digits(2500, data_rng);
+  const nn::Dataset test = nn::synthetic_digits(300, data_rng);
+
+  Rng model_rng(1);
+  nn::Sequential model =
+      nn::build_benchmark(nn::BenchmarkNet::kMlp2, model_rng);
+  std::puts(model.summary().c_str());
+
+  nn::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.lr = 1e-3;
+  cfg.verbose = true;
+  std::puts("training...");
+  const auto result = nn::fit(model, train, test, cfg);
+  std::printf("software accuracy: train %s, test %s\n\n",
+              format_percent(result.train_accuracy).c_str(),
+              format_percent(result.test_accuracy).c_str());
+
+  // Calibration batch for the hardware mapping.
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < 32; ++i) idx.push_back(i);
+  auto [calib, labels] = train.gather(idx);
+  (void)labels;
+
+  TextTable table({"Engine", "sigma", "Accuracy", "Tiles"});
+  for (double sigma : {0.0, 0.05, 0.10, 0.20}) {
+    resipe_core::EngineConfig ec;
+    ec.device.variation_sigma = sigma;
+    const resipe_core::ResipeNetwork hw(model, ec, calib);
+    const double acc = nn::evaluate_with(
+        test, [&hw](const nn::Tensor& b) { return hw.forward(b); });
+    table.add_row({"ReSiPE (exact circuit)", format_percent(sigma),
+                   format_percent(acc), std::to_string(hw.tile_count())});
+  }
+  {
+    const resipe_core::ResipeNetwork ideal(
+        model, resipe_core::EngineConfig::ideal(), calib);
+    const double acc = nn::evaluate_with(
+        test, [&ideal](const nn::Tensor& b) { return ideal.forward(b); });
+    table.add_row({"ReSiPE (ideal reference)", "-", format_percent(acc),
+                   std::to_string(ideal.tile_count())});
+  }
+  std::puts(table.str().c_str());
+  std::puts("The sigma = 0 row isolates the circuit non-linearity +\n"
+            "quantization penalty; rising sigma shows the Fig. 7 trend.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Layer pipelining and replication study.
+//
+// Shows how the single-spiking format turns a deep network into a
+// systolic pipeline (Fig. 1) and how tile replication under an area
+// budget buys throughput (the Fig. 6 trade-off) for the six benchmark
+// networks.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "resipe/common/table.hpp"
+#include "resipe/common/units.hpp"
+#include "resipe/eval/throughput.hpp"
+#include "resipe/nn/zoo.hpp"
+#include "resipe/resipe/design.hpp"
+#include "resipe/resipe/pipeline.hpp"
+
+int main() {
+  using namespace resipe;
+  using namespace resipe::units;
+
+  std::puts("=== Two-slice pipelining across the benchmark networks "
+            "===\n");
+
+  const double slice = 100.0 * ns;
+  Rng rng(1);
+  TextTable t({"Network", "Matrix layers", "Input latency",
+               "Result rate (full pipe)", "Speedup @ 64 inputs"});
+  for (nn::BenchmarkNet net : nn::all_benchmarks()) {
+    nn::Sequential model = nn::build_benchmark(net, rng);
+    const resipe_core::TwoSlicePipeline pipe(model.matrix_layer_count(),
+                                             slice);
+    t.add_row({nn::benchmark_name(net),
+               std::to_string(model.matrix_layer_count()),
+               format_si(pipe.input_latency(), "s"),
+               format_si(1.0 / pipe.initiation_interval(), "Hz"),
+               format_fixed(pipe.pipeline_speedup(64), 2) + "x"});
+  }
+  std::puts(t.str().c_str());
+
+  std::puts("pipeline occupancy for a 4-layer network, 6 streamed "
+            "inputs:\n");
+  const resipe_core::TwoSlicePipeline demo(4, slice);
+  std::puts(demo.diagram(6).c_str());
+
+  std::puts("=== Replication under an area budget (Fig. 6 view) ===\n");
+  resipe_core::ResipeDesign design;
+  const auto point = design.evaluate();
+  TextTable r({"Area budget", "ReSiPE tiles", "Aggregate throughput"});
+  for (double budget_mm2 : {0.05, 0.1, 0.2, 0.5}) {
+    const double budget = budget_mm2 * 1e-6;
+    const double tiles = std::floor(budget / point.area);
+    r.add_row({format_fixed(budget_mm2, 2) + " mm2",
+               format_fixed(tiles, 0),
+               format_si(tiles * point.throughput, "OPS")});
+  }
+  std::puts(r.str().c_str());
+  return 0;
+}

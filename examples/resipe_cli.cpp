@@ -1,0 +1,183 @@
+// resipe_cli — command-line front end to the simulator.
+//
+// Subcommands:
+//   characterize [--rows N] [--samples N] [--csv FILE]
+//       Fig. 5-style input/output characterization.
+//   compare
+//       Table II design comparison.
+//   chip (--net mlp1|mlp2|cnn1|cnn2|cnn3|cnn4)
+//       Chip-level mapping report for one benchmark network.
+//   mvm --rows N --cols N [--sigma S] [--seed K]
+//       One random single-spiking MVM: prints inputs, spike times and
+//       decoded outputs.
+//   yield [--bound R]
+//       Monte-Carlo chip yield across the Fig. 7 sigma sweep.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "resipe/common/csv.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/eval/characterization.hpp"
+#include "resipe/eval/comparison.hpp"
+#include "resipe/eval/yield.hpp"
+#include "resipe/nn/zoo.hpp"
+#include "resipe/resipe/chip.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "resipe/resipe/tile.hpp"
+
+namespace {
+
+using namespace resipe;
+
+const char* arg_value(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_characterize(int argc, char** argv) {
+  eval::CharacterizationConfig cfg;
+  cfg.rows = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--rows", "32")));
+  cfg.samples = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--samples", "100")));
+  const auto result = eval::characterize(cfg);
+  std::printf("characterized %zu samples on a %zu-row column\n",
+              result.random_samples.size(), cfg.rows);
+  std::printf("curve1(80 ps*S) = %s, curve2 = %s, curve3 = %s\n",
+              format_si(result.curve1(80e-12), "s").c_str(),
+              format_si(result.curve2(80e-12), "s").c_str(),
+              format_si(result.curve3(80e-12), "s").c_str());
+  const char* csv_path = arg_value(argc, argv, "--csv", "");
+  if (csv_path[0] != '\0') {
+    CsvWriter csv;
+    std::vector<double> x, y;
+    for (const auto& p : result.random_samples) {
+      x.push_back(p.strength);
+      y.push_back(p.t_out);
+    }
+    csv.add_column("strength_sS", x);
+    csv.add_column("t_out_s", y);
+    csv.write_file(csv_path);
+    std::printf("wrote %s\n", csv_path);
+  }
+  return 0;
+}
+
+int cmd_compare() {
+  std::cout << eval::compare_designs().render();
+  return 0;
+}
+
+int cmd_chip(int argc, char** argv) {
+  const std::string tag = arg_value(argc, argv, "--net", "mlp2");
+  nn::BenchmarkNet net;
+  if (tag == "mlp1") net = nn::BenchmarkNet::kMlp1;
+  else if (tag == "mlp2") net = nn::BenchmarkNet::kMlp2;
+  else if (tag == "cnn1") net = nn::BenchmarkNet::kCnn1;
+  else if (tag == "cnn2") net = nn::BenchmarkNet::kCnn2;
+  else if (tag == "cnn3") net = nn::BenchmarkNet::kCnn3;
+  else if (tag == "cnn4") net = nn::BenchmarkNet::kCnn4;
+  else {
+    std::fprintf(stderr, "unknown network '%s'\n", tag.c_str());
+    return 2;
+  }
+  Rng rng(1);
+  nn::Sequential model = nn::build_benchmark(net, rng);
+  const std::vector<std::size_t> shape =
+      nn::uses_object_dataset(net) ? std::vector<std::size_t>{3, 32, 32}
+                                   : std::vector<std::size_t>{1, 28, 28};
+  std::printf("== %s ==\n", nn::benchmark_name(net).c_str());
+  std::cout << resipe_core::map_network(model, shape).render();
+  return 0;
+}
+
+int cmd_mvm(int argc, char** argv) {
+  const auto rows = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--rows", "8")));
+  const auto cols = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--cols", "4")));
+  const double sigma = std::atof(arg_value(argc, argv, "--sigma", "0"));
+  const auto seed = static_cast<std::uint64_t>(
+      std::atoll(arg_value(argc, argv, "--seed", "7")));
+  if (rows == 0 || cols == 0) {
+    std::fprintf(stderr, "--rows/--cols must be positive\n");
+    return 2;
+  }
+
+  circuits::CircuitParams params;
+  device::ReramSpec spec = device::ReramSpec::nn_mapping();
+  spec.variation_sigma = sigma;
+  resipe_core::ResipeTile tile(params, rows, cols, spec);
+  Rng rng(seed);
+  std::vector<double> g(rows * cols);
+  for (double& v : g) v = rng.uniform(spec.g_min(), spec.g_max());
+  tile.program(g, rng);
+
+  const resipe_core::SpikeCodec codec(params);
+  std::vector<circuits::Spike> in(rows);
+  TextTable t_in({"wordline", "value", "spike arrival"});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    in[i] = codec.encode(x);
+    t_in.add_row({std::to_string(i), format_fixed(x, 3),
+                  format_si(in[i].arrival_time, "s")});
+  }
+  std::puts(t_in.str().c_str());
+
+  const auto out = tile.execute(in);
+  TextTable t_out({"bitline", "spike arrival", "decoded value"});
+  for (std::size_t c = 0; c < cols; ++c) {
+    t_out.add_row({std::to_string(c),
+                   out[c].valid()
+                       ? format_si(out[c].arrival_time, "s")
+                       : "(silent)",
+                   format_fixed(codec.decode(out[c]), 4)});
+  }
+  std::puts(t_out.str().c_str());
+  return 0;
+}
+
+int cmd_yield(int argc, char** argv) {
+  eval::YieldConfig cfg;
+  cfg.rmse_bound = std::atof(arg_value(argc, argv, "--bound", "0.05"));
+  const auto points = eval::mvm_yield(resipe_core::EngineConfig{}, cfg);
+  std::cout << eval::render_yield(points, cfg.rmse_bound);
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: resipe_cli <command> [options]\n"
+      "  characterize [--rows N] [--samples N] [--csv FILE]\n"
+      "  compare\n"
+      "  chip --net mlp1|mlp2|cnn1|cnn2|cnn3|cnn4\n"
+      "  mvm --rows N --cols N [--sigma S] [--seed K]\n"
+      "  yield [--bound R]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "characterize") return cmd_characterize(argc, argv);
+    if (cmd == "compare") return cmd_compare();
+    if (cmd == "chip") return cmd_chip(argc, argv);
+    if (cmd == "mvm") return cmd_mvm(argc, argv);
+    if (cmd == "yield") return cmd_yield(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

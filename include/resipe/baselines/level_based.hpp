@@ -1,0 +1,59 @@
+// Level-based ReRAM PIM baseline ([9, 14, 17]-class).
+//
+// Inputs are converted by per-wordline DACs to analog voltage levels
+// held for the whole apply phase; bitline currents are sampled and
+// digitized by a shared high-speed ADC ([20]-class time-based
+// subranging ADC, time-multiplexed across the columns).  The apply and
+// conversion phases are pipelined, so the engine starts a new MVM
+// every apply-phase (fast), but pays DAC static power, crossbar static
+// current for the entire apply phase, and ADC conversion energy per
+// column — the energy pattern ReSiPE's single-spiking format removes.
+#pragma once
+
+#include <memory>
+
+#include "resipe/crossbar/crossbar.hpp"
+#include "resipe/energy/components.hpp"
+#include "resipe/energy/design.hpp"
+
+namespace resipe::baselines {
+
+/// Operating parameters of the level-based engine.
+struct LevelBasedParams {
+  int dac_bits = 8;
+  int adc_bits = 8;
+  double v_read = 0.55;                   ///< full-scale applied level (V)
+  double apply_time = 64.0 * units::ns;   ///< wordline drive phase
+  double convert_time = 64.0 * units::ns; ///< ADC phase (pipelined)
+  double utilization = 0.5;               ///< average normalized input
+};
+
+class LevelBasedDesign : public energy::DesignModel {
+ public:
+  explicit LevelBasedDesign(
+      LevelBasedParams params = {},
+      device::ReramSpec spec = device::ReramSpec::nn_mapping(),
+      std::size_t rows = 32, std::size_t cols = 32,
+      std::uint64_t program_seed = 7);
+
+  std::string name() const override { return "Level-based (DAC+ADC)"; }
+  energy::EnergyReport mvm_report() const override;
+  double mvm_latency() const override;
+  double initiation_interval() const override;
+  std::size_t rows() const override { return xbar_->rows(); }
+  std::size_t cols() const override { return xbar_->cols(); }
+
+  /// Functional model: quantizes inputs to DAC levels, computes bitline
+  /// currents, quantizes to ADC codes; returns the reconstructed
+  /// analog-equivalent outputs (amps).  Exposes the quantization error
+  /// this data format incurs.
+  std::vector<double> functional_mvm(std::span<const double> x) const;
+
+  const LevelBasedParams& params() const { return params_; }
+
+ private:
+  LevelBasedParams params_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+};
+
+}  // namespace resipe::baselines

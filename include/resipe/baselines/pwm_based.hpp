@@ -1,0 +1,59 @@
+// PWM-based ReRAM PIM baseline (Jiang et al. [15]).
+//
+// Each input value is encoded as the duty cycle of a full-amplitude
+// pulse: the wordline is held high for value * window seconds.  Each
+// column integrates the bitline current over the whole window and an
+// ADC digitizes the result.  The format removes the DAC but keeps the
+// ADC, and — critically — drives the crossbar with full-swing pulses
+// for durations proportional to the data, making it the least
+// energy-efficient of the compared formats (Sec. IV-B reports ~50x
+// lower power efficiency than ReSiPE).
+#pragma once
+
+#include <memory>
+
+#include "resipe/crossbar/crossbar.hpp"
+#include "resipe/energy/components.hpp"
+#include "resipe/energy/design.hpp"
+
+namespace resipe::baselines {
+
+/// Operating parameters of the PWM engine.
+struct PwmParams {
+  int bits = 8;                          ///< duty-cycle resolution
+  double time_step = 2.0 * units::ns;    ///< modulation LSB
+  double v_pulse = 1.0;                  ///< pulse amplitude (V)
+  double readout_time = 128.0 * units::ns;  ///< integrator hold + ADC
+  int adc_bits = 8;
+  double utilization = 0.5;              ///< average duty cycle
+
+  /// Modulation window: 2^bits LSBs (~512 ns at the defaults).
+  double window() const;
+};
+
+class PwmDesign : public energy::DesignModel {
+ public:
+  explicit PwmDesign(PwmParams params = {},
+                     device::ReramSpec spec = device::ReramSpec::nn_mapping(),
+                     std::size_t rows = 32, std::size_t cols = 32,
+                     std::uint64_t program_seed = 7);
+
+  std::string name() const override { return "PWM-based"; }
+  energy::EnergyReport mvm_report() const override;
+  double mvm_latency() const override;
+  std::size_t rows() const override { return xbar_->rows(); }
+  std::size_t cols() const override { return xbar_->cols(); }
+
+  /// Functional model: quantizes inputs to duty cycles, integrates
+  /// charge per column over the window, quantizes with the ADC;
+  /// returns charge-equivalent outputs (coulombs).
+  std::vector<double> functional_mvm(std::span<const double> x) const;
+
+  const PwmParams& params() const { return params_; }
+
+ private:
+  PwmParams params_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+};
+
+}  // namespace resipe::baselines

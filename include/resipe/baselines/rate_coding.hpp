@@ -1,0 +1,61 @@
+// Rate-coding spiking ReRAM PIM baseline ([11, 13]-class).
+//
+// Each input value is encoded as the number of unit spikes emitted
+// inside a fixed window; each column integrates the resulting charge on
+// an I&F neuron whose output spikes are counted.  The format needs no
+// DAC/ADC but pays per-spike energy proportional to the encoded value
+// and needs a long window (2^bits - 1 spike slots) to reach useful
+// precision — the quantization-vs-latency trade the paper describes.
+#pragma once
+
+#include <memory>
+
+#include "resipe/crossbar/crossbar.hpp"
+#include "resipe/energy/components.hpp"
+#include "resipe/energy/design.hpp"
+
+namespace resipe::baselines {
+
+/// Operating parameters of the rate-coding engine.
+struct RateCodingParams {
+  int bits = 5;                        ///< value resolution (31 slots)
+  double spike_period = 12.5 * units::ns;  ///< slot pitch in the window
+  double spike_width = 1.0 * units::ns;
+  double v_spike = 0.75;               ///< spike amplitude on the WL
+  double utilization = 0.5;            ///< average normalized input
+
+  /// Encoding window: (2^bits - 1) spike slots + margin; ~400 ns at the
+  /// defaults — twice ReSiPE's 200 ns (Sec. IV-B: 50% latency saving).
+  double window() const;
+};
+
+class RateCodingDesign : public energy::DesignModel {
+ public:
+  explicit RateCodingDesign(
+      RateCodingParams params = {},
+      device::ReramSpec spec = device::ReramSpec::nn_mapping(),
+      std::size_t rows = 32, std::size_t cols = 32,
+      std::uint64_t program_seed = 7);
+
+  std::string name() const override { return "Rate-coding spiking"; }
+  energy::EnergyReport mvm_report() const override;
+  double mvm_latency() const override;
+  std::size_t rows() const override { return xbar_->rows(); }
+  std::size_t cols() const override { return xbar_->cols(); }
+
+  /// Functional model: quantizes inputs to spike counts, accumulates
+  /// charge per column, returns the charge-equivalent outputs
+  /// (coulombs) after count quantization.
+  std::vector<double> functional_mvm(std::span<const double> x) const;
+
+  /// Spike count that encodes normalized value x.
+  int encode_spikes(double x) const;
+
+  const RateCodingParams& params() const { return params_; }
+
+ private:
+  RateCodingParams params_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+};
+
+}  // namespace resipe::baselines

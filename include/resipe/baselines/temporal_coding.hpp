@@ -1,0 +1,66 @@
+// Temporal-coding spiking ReRAM baseline ([16]-class).
+//
+// Temporal coding in the STDP sense: information lives in the relative
+// timing between pre- and post-synaptic spikes, and the peripheral
+// "neuron circuit" integrates shaped spikes over a long emulation
+// window to reproduce neural dynamics.  The paper's Table II *excludes*
+// this class ("often specially designed for training; prevailing use of
+// PIMs is inference-only"), but Table I carries it, so this model
+// quantifies the row: low-ish power (few, information-dense spikes) but
+// long latency (accurate neural emulation needs many membrane time
+// constants per decision).
+#pragma once
+
+#include <memory>
+
+#include "resipe/crossbar/crossbar.hpp"
+#include "resipe/energy/components.hpp"
+#include "resipe/energy/design.hpp"
+
+namespace resipe::baselines {
+
+/// Operating parameters of the temporal-coding engine.
+struct TemporalCodingParams {
+  /// Emulation window: the neuron dynamics need several membrane time
+  /// constants to settle — the "Slow" of Table I (~2 us default, 10x
+  /// ReSiPE's end-to-end MVM).
+  double window = 2000.0 * units::ns;
+  double membrane_tau = 200.0 * units::ns;
+  /// Shaped-spike drive: amplitude and effective on-time per spike.
+  double v_spike = 0.6;
+  double spike_on_time = 20.0 * units::ns;
+  /// Average spikes per input in the window (sparse by design).
+  double spikes_per_input = 3.0;
+  /// Neuron circuit bias (leak, comparators, shaping DACs).
+  double neuron_bias = 9.0 * units::uW;
+};
+
+class TemporalCodingDesign : public energy::DesignModel {
+ public:
+  explicit TemporalCodingDesign(
+      TemporalCodingParams params = {},
+      device::ReramSpec spec = device::ReramSpec::nn_mapping(),
+      std::size_t rows = 32, std::size_t cols = 32,
+      std::uint64_t program_seed = 7);
+
+  std::string name() const override { return "Temporal-coding spiking"; }
+  energy::EnergyReport mvm_report() const override;
+  double mvm_latency() const override;
+  std::size_t rows() const override { return xbar_->rows(); }
+  std::size_t cols() const override { return xbar_->cols(); }
+
+  /// Functional model: first-spike-latency encoding with leaky
+  /// integration — input value x maps to a spike at (1 - x) * window/2
+  /// that opens a sustained synaptic current; each column's membrane
+  /// integrates with leak and the output is the settled charge
+  /// (coulombs).  Earlier (larger) inputs integrate longer.
+  std::vector<double> functional_mvm(std::span<const double> x) const;
+
+  const TemporalCodingParams& params() const { return params_; }
+
+ private:
+  TemporalCodingParams params_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+};
+
+}  // namespace resipe::baselines

@@ -1,0 +1,60 @@
+// Column output generator (COG): column voltage -> output spike timing.
+//
+// One COG per bitline (Sec. III-C).  During the computation stage the
+// COG capacitor Ccog is charged by the column's Thevenin equivalent
+// (Eq. 2/3):
+//
+//   Veq  = sum(Vi Gi) / sum(Gi),   Req = 1 / sum(Gi)
+//   Vout = Veq * (1 - exp(-dt / (Req Ccog)))
+//
+// In S2 the held Vout is compared against the shared GD ramp; when the
+// ramp crosses Vout the comparator + inverter + AND chain emits a spike
+// whose rising edge encodes the MAC result (Eq. 4/5).
+#pragma once
+
+#include "resipe/circuits/global_decoder.hpp"
+#include "resipe/circuits/params.hpp"
+#include "resipe/circuits/spike.hpp"
+
+namespace resipe::circuits {
+
+/// Thevenin equivalent of a crossbar column during the computation
+/// stage, as seen by the COG capacitor.
+struct ColumnDrive {
+  double v_eq = 0.0;  ///< equivalent source voltage (volts)
+  double g_total = 0.0;  ///< total column conductance sum(Gi) (siemens)
+};
+
+/// Behavioral column output generator.
+class ColumnOutputGenerator {
+ public:
+  explicit ColumnOutputGenerator(const CircuitParams& params);
+
+  /// Voltage sampled on Ccog at the end of the computation stage for a
+  /// column drive (exact Eq. 3 or the linear approximation, per
+  /// params.model).  Zero total conductance leaves the cap at 0 V.
+  double sample_voltage(const ColumnDrive& drive) const;
+
+  /// S2 conversion: time at which the shared GD ramp crosses `v_out`
+  /// (plus comparator offset and delay).  A crossing outside the slice
+  /// produces Spike::none() — the output line stays silent, encoding
+  /// "beyond full scale".
+  Spike emit(double v_out, const GlobalDecoder& gd) const;
+
+  /// Convenience: sample then emit.
+  Spike convert(const ColumnDrive& drive, const GlobalDecoder& gd) const;
+
+  /// Energy drawn while charging Ccog to v_out in the computation
+  /// stage plus recharging the comparator reference path in S2; the
+  /// capacitor is discharged (energy dumped) at the end of each slice.
+  /// This is the term that makes the COG cluster dominate ReSiPE power
+  /// (Sec. IV-B reports 98.1%).
+  double conversion_energy(double v_out) const;
+
+  const CircuitParams& params() const { return params_; }
+
+ private:
+  CircuitParams params_;
+};
+
+}  // namespace resipe::circuits

@@ -1,0 +1,55 @@
+// Global decoder (GD): spike timing -> wordline voltage.
+//
+// One GD serves a whole crossbar (Sec. III-C).  The shared timing
+// capacitor Cgd charges from 0 V toward Vs through Rgd from the start
+// of slice S1; when input spike i arrives at t_in,i, an S/H captures
+// the instantaneous V(Cgd) as that wordline's drive voltage for the
+// computation stage — Eq. (1):
+//
+//   V_in = Vs * (1 - exp(-t_in / (Rgd Cgd)))  ~=  Vs * t_in / (Rgd Cgd)
+//
+// The same charging ramp is reused in S2 as the COG's timing reference,
+// which is what makes the S1 non-linearity largely cancel (Sec. III-D).
+#pragma once
+
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/circuits/sample_hold.hpp"
+#include "resipe/circuits/spike.hpp"
+
+namespace resipe::circuits {
+
+/// Behavioral global decoder.
+class GlobalDecoder {
+ public:
+  explicit GlobalDecoder(const CircuitParams& params,
+                         SampleHold sample_hold = SampleHold());
+
+  /// The ramp voltage V(Cgd) at time t within a slice (exact or linear
+  /// per params.model).  Clamped to [0, Vs].
+  double ramp_voltage(double t) const;
+
+  /// Wordline voltage produced for an input spike: samples the ramp at
+  /// the spike's arrival and holds until the computation stage at the
+  /// end of S1.  A non-firing spike yields 0 V (the wordline stays
+  /// grounded, contributing nothing to the MAC).
+  double decode(const Spike& spike) const;
+
+  /// Vectorized decode over all wordlines of a crossbar.
+  std::vector<double> decode(const std::vector<Spike>& spikes) const;
+
+  /// Inverse of the ramp: the time at which the ramp reaches voltage v.
+  /// Used by the COG in S2 (the comparator fires when the ramp crosses
+  /// the held Vout).  Returns +infinity when v is never reached within
+  /// the model (v >= Vs for the exact ramp).
+  double ramp_crossing_time(double v) const;
+
+  const CircuitParams& params() const { return params_; }
+
+ private:
+  CircuitParams params_;
+  SampleHold sample_hold_;
+};
+
+}  // namespace resipe::circuits

@@ -1,0 +1,46 @@
+// First-order RC stage: the single analog primitive every ReSiPE node
+// reduces to.
+//
+// Both the global decoder (GD) and the column output generator (COG)
+// are, electrically, a capacitor charged through a resistance from a
+// constant source.  For that topology the node voltage has the exact
+// closed-form solution
+//
+//   V(t) = V_inf + (V_0 - V_inf) * exp(-t / (R C))
+//
+// so a behavioral simulator that applies this formula piecewise (one
+// piece per interval during which the driving network is constant) is
+// *exact* — it reproduces what SPICE computes for the same netlist,
+// which is why closed-form evaluation is a faithful substitute for the
+// paper's Cadence Virtuoso runs.
+#pragma once
+
+namespace resipe::circuits {
+
+/// Exact voltage of an RC node after charging for `t` seconds from
+/// `v0` toward asymptote `v_inf` with time constant `tau = R*C`.
+/// tau == 0 means an ideal (instant) settle to v_inf.
+double rc_voltage(double v0, double v_inf, double tau, double t);
+
+/// Exact time for an RC node charging from `v0` toward `v_inf` with
+/// time constant `tau` to reach `v_target`.  Returns +infinity when the
+/// target is not reachable (outside (v0, v_inf) in the direction of
+/// charge).  v_target == v0 returns 0.
+double rc_time_to_reach(double v0, double v_inf, double tau, double v_target);
+
+/// Energy drawn from an ideal source V_s while charging a capacitor C
+/// from 0 V up to `v_final` through a resistor: E_source = C*V_s*v_final
+/// (half stored on the cap, the rest burned in the resistor when
+/// v_final == V_s).  This is the dominant COG power term in ReSiPE.
+double rc_source_energy(double capacitance, double v_source, double v_final);
+
+/// Energy stored on a capacitor at voltage v: C v^2 / 2.  Dumped to
+/// ground by the discharge switch at the end of each slice.
+double capacitor_energy(double capacitance, double v);
+
+/// First-order linearization of rc_voltage around t = 0 starting from
+/// 0 V: V ~= v_inf * t / tau.  Used by the "ideal linear" engine mode
+/// that implements the paper's Eq. (1)/(3)/(4) approximations.
+double rc_voltage_linear(double v_inf, double tau, double t);
+
+}  // namespace resipe::circuits

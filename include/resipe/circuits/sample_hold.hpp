@@ -1,0 +1,30 @@
+// Sample-and-hold behavioral model.
+//
+// In S1 the GD feeds V(Cgd) through an S/H that is triggered by each
+// input spike's rising edge (Fig. 2): the held value becomes the
+// wordline voltage for the computation stage.  Non-idealities modeled:
+// a pedestal/acquisition error proportional to the sampled value and a
+// droop rate during the hold interval.
+#pragma once
+
+namespace resipe::circuits {
+
+/// Behavioral sample-and-hold stage.
+class SampleHold {
+ public:
+  /// `gain_error`: relative error of the held value (e.g. 0.001 = 0.1%
+  /// switch pedestal).  `droop_rate`: volts/second lost while holding.
+  SampleHold(double gain_error = 0.0, double droop_rate = 0.0);
+
+  /// Samples `v` and returns the value held after `hold_time` seconds.
+  double sample(double v, double hold_time) const;
+
+  double gain_error() const { return gain_error_; }
+  double droop_rate() const { return droop_rate_; }
+
+ private:
+  double gain_error_;
+  double droop_rate_;
+};
+
+}  // namespace resipe::circuits

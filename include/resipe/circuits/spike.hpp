@@ -1,0 +1,42 @@
+// Single-spiking signal representation.
+//
+// In the single-spiking data format (Sec. III-A) a datum is carried by
+// exactly one spike per time slice; the datum's value is the duration
+// from the beginning of the slice to the spike's rising edge.  A
+// missing spike (the line stays silent for the whole slice) encodes
+// "beyond full scale" and is represented here by an invalid Spike.
+#pragma once
+
+#include <limits>
+
+#include "resipe/common/units.hpp"
+
+namespace resipe::circuits {
+
+/// One spike inside one time slice.
+struct Spike {
+  /// Rising-edge time measured from the beginning of the slice
+  /// (seconds).  +infinity encodes "no spike in this slice".
+  double arrival_time = std::numeric_limits<double>::infinity();
+
+  /// Pulse width (seconds); value-irrelevant by design (Sec. III-A:
+  /// "independent of spike width and shape") but tracked because the
+  /// driver energy depends on it.
+  double width = 1.0 * units::ns;
+
+  /// True when the spike actually fires inside its slice.
+  bool valid() const {
+    return arrival_time >= 0.0 &&
+           arrival_time != std::numeric_limits<double>::infinity();
+  }
+
+  /// A never-firing spike.
+  static Spike none() { return Spike{}; }
+
+  /// A spike at time t with the given width.
+  static Spike at(double t, double w = 1.0 * units::ns) {
+    return Spike{t, w};
+  }
+};
+
+}  // namespace resipe::circuits

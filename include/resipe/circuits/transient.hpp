@@ -1,0 +1,47 @@
+// Numerical transient simulation — the cross-check for the closed-form
+// solver.
+//
+// The behavioral models in this library evaluate exact closed-form RC
+// solutions (DESIGN.md: "the closed-form exponential is the exact SPICE
+// solution for that topology").  That claim deserves a proof inside the
+// repo: this module integrates the same circuits numerically (classic
+// RK4 time stepping, no closed forms anywhere) and the test suite
+// asserts that both agree to integration tolerance.  It also serves as
+// the extension point for future non-first-order effects (nonlinear
+// device I-V, finite switch resistance) that have no closed form.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/circuits/spike.hpp"
+
+namespace resipe::circuits {
+
+/// Integrates dv/dt = f(t, v) from (t0, v0) to t1 with fixed-step RK4.
+/// `steps` subdivisions (>= 1).
+double integrate_ode(const std::function<double(double, double)>& f,
+                     double v0, double t0, double t1, std::size_t steps);
+
+/// Result of a numerically-simulated two-slice MAC on one column.
+struct TransientMacResult {
+  std::vector<double> v_wordline;  ///< sampled wordline voltages (S1)
+  double v_cog = 0.0;              ///< Ccog voltage after the comp stage
+  Spike output;                    ///< S2 spike from crossing detection
+};
+
+/// Simulates one column of a ReSiPE tile with pure time stepping:
+///  * S1: the GD ramp is integrated as dV/dt = (Vs - V)/(Rgd Cgd) and
+///    sampled at each input spike's arrival;
+///  * computation stage: dVc/dt = sum_i G_i (V_i - Vc) / Ccog;
+///  * S2: the ramp is re-integrated and the crossing with v_cog is
+///    located by stepping + linear interpolation.
+/// `steps_per_slice` controls accuracy (1e4 gives ~1e-6 relative).
+TransientMacResult transient_mac(const CircuitParams& params,
+                                 std::span<const double> g,
+                                 std::span<const Spike> inputs,
+                                 std::size_t steps_per_slice = 10000);
+
+}  // namespace resipe::circuits

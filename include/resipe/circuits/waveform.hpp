@@ -1,0 +1,48 @@
+// Waveform tracing for the Fig. 3 reproduction.
+//
+// Records named (time, value) series sampled from the closed-form node
+// equations — V(Cgd), V(Ccog), wordline voltages, input/output spikes —
+// so the bench binary can print the same S1 / computation-stage / S2
+// picture the paper's circuit simulation shows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace resipe::circuits {
+
+/// One named analog/digital trace.
+struct Trace {
+  std::string name;
+  std::vector<double> time;   ///< seconds
+  std::vector<double> value;  ///< volts (or 0/1 for digital lines)
+};
+
+/// A collection of traces sharing one experiment.
+class WaveformRecorder {
+ public:
+  /// Creates (or finds) the trace with the given name.
+  Trace& trace(const std::string& name);
+
+  /// Appends one sample to the named trace.
+  void record(const std::string& name, double t, double v);
+
+  const std::vector<Trace>& traces() const { return traces_; }
+
+  /// Value of the named trace at time t by linear interpolation
+  /// (clamped to the trace's end points).  Throws on unknown/empty
+  /// trace.
+  double at(const std::string& name, double t) const;
+
+  /// Renders all traces as a compact ASCII oscillogram: `height` rows
+  /// per trace, `width` columns covering [t0, t1].
+  std::string render_ascii(double t0, double t1, std::size_t width = 72,
+                           std::size_t height = 8) const;
+
+ private:
+  const Trace* find(const std::string& name) const;
+  std::vector<Trace> traces_;
+};
+
+}  // namespace resipe::circuits

@@ -1,0 +1,42 @@
+// Minimal CSV emission for experiment data series.
+//
+// Bench binaries print human-readable tables to stdout and, when asked,
+// dump the underlying series as CSV so figures can be re-plotted.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace resipe {
+
+/// Column-oriented CSV writer.  All columns must have equal length at
+/// write time.
+class CsvWriter {
+ public:
+  /// Adds a numeric column.
+  void add_column(std::string name, std::vector<double> values);
+
+  /// Adds a string column (e.g. a design label).
+  void add_text_column(std::string name, std::vector<std::string> values);
+
+  /// Writes header + rows; throws if column lengths disagree.
+  void write(std::ostream& os) const;
+
+  /// Convenience: writes to the named file; throws on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Column {
+    std::string name;
+    std::vector<std::string> cells;
+  };
+  std::vector<Column> columns_;
+};
+
+/// Escapes a CSV field (quotes when it contains comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+}  // namespace resipe

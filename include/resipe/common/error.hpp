@@ -1,0 +1,57 @@
+// Error handling primitives.
+//
+// The library reports contract violations by throwing `resipe::Error`
+// (deriving from std::runtime_error) so that example programs and the
+// test suite can observe precise failure messages.  Use:
+//
+//   RESIPE_REQUIRE(cond, "message with " << streamable << " parts");
+//
+// for precondition checks on public API boundaries, and
+// RESIPE_ASSERT for internal invariants (also throws; never compiled out,
+// simulation correctness beats the nanoseconds saved).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace resipe {
+
+/// Exception type thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace resipe
+
+#define RESIPE_REQUIRE(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream resipe_require_os_;                                \
+      resipe_require_os_ << msg; /* NOLINT */                               \
+      ::resipe::detail::throw_error("precondition", #cond, __FILE__,        \
+                                    __LINE__, resipe_require_os_.str());    \
+    }                                                                       \
+  } while (false)
+
+#define RESIPE_ASSERT(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream resipe_assert_os_;                                 \
+      resipe_assert_os_ << msg; /* NOLINT */                                \
+      ::resipe::detail::throw_error("invariant", #cond, __FILE__, __LINE__, \
+                                    resipe_assert_os_.str());               \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,65 @@
+// Descriptive statistics and least-squares curve fitting.
+//
+// The Fig.5 reproduction fits polynomial "curves" through (t_in*G, t_out)
+// samples grouped by total conductance, exactly as the paper does for
+// Curve 1 (G <= 1.6 mS), Curve 2 (2.5 mS) and Curve 3 (3.2 mS).  The
+// fitting here is ordinary least squares on a Vandermonde system solved
+// by Gaussian elimination with partial pivoting — small and dependency
+// free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace resipe {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes count/mean/stddev/min/max of `xs`. Empty input gives all zeros.
+Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length samples.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Root-mean-square error between two equal-length samples.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Result of a least-squares polynomial fit y ~ sum_k c[k] x^k.
+struct PolyFit {
+  std::vector<double> coeffs;  ///< c[0] + c[1] x + ... + c[d] x^d
+  double r2 = 0.0;             ///< coefficient of determination
+
+  /// Evaluates the fitted polynomial at x (Horner).
+  double operator()(double x) const;
+};
+
+/// Fits a degree-`degree` polynomial through (xs, ys) by ordinary least
+/// squares.  Requires xs.size() == ys.size() and at least degree+1 points.
+PolyFit polyfit(std::span<const double> xs, std::span<const double> ys,
+                int degree);
+
+/// Straight-line fit y = a + b x; returns {a, b} plus r^2 via PolyFit.
+PolyFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Solves the dense linear system A x = b in place (Gaussian elimination
+/// with partial pivoting).  `a` is row-major n x n.  Throws on a
+/// numerically singular matrix.
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b);
+
+/// Evenly spaced values: n points from lo to hi inclusive (n >= 2),
+/// or the single value lo when n == 1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Relative error |a - b| / max(|b|, eps); convenient for shape checks.
+double relative_error(double a, double b, double eps = 1e-30);
+
+}  // namespace resipe

@@ -1,0 +1,55 @@
+// ASCII table rendering for benchmark / experiment output.
+//
+// Every bench binary reproduces one of the paper's tables or figures and
+// must print the same rows/series the paper reports; `TextTable` gives
+// them a uniform, aligned, monospace rendering.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace resipe {
+
+/// Simple column-aligned ASCII table.
+///
+///   TextTable t({"Design", "Power", "Area"});
+///   t.add_row({"ReSiPE", "1.2 mW", "0.01 mm2"});
+///   std::cout << t;
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders with 2-space padding, `|` column borders and `-` rules.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Formats a physical value with an SI prefix, e.g. format_si(2.3e-3, "W")
+/// -> "2.300 mW".  Chooses among f/p/n/u/m/(none)/k/M/G/T.
+std::string format_si(double value, const std::string& unit, int precision = 3);
+
+/// Fixed-precision formatting helper ("%.*f").
+std::string format_fixed(double value, int precision = 3);
+
+/// Formats a ratio like "1.97x".
+std::string format_ratio(double value, int precision = 2);
+
+/// Formats a fraction as a percentage like "67.1%".
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace resipe

@@ -1,0 +1,63 @@
+// SI unit helpers used throughout the ReSiPE code base.
+//
+// All physical quantities in this project are stored as plain `double`
+// in base SI units (seconds, volts, amperes, ohms, siemens, farads,
+// watts, joules, square meters).  These literals and constants make the
+// call sites read like the paper: `100.0 * units::ns`, `100.0 * units::fF`.
+#pragma once
+
+namespace resipe::units {
+
+// ---- time -----------------------------------------------------------------
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// ---- electrical -----------------------------------------------------------
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+
+inline constexpr double Ohm = 1.0;
+inline constexpr double kOhm = 1e3;
+inline constexpr double MOhm = 1e6;
+
+inline constexpr double S = 1.0;  // siemens
+inline constexpr double mS = 1e-3;
+inline constexpr double uS = 1e-6;
+
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// ---- power / energy -------------------------------------------------------
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+inline constexpr double J = 1.0;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+// ---- geometry -------------------------------------------------------------
+inline constexpr double m2 = 1.0;
+inline constexpr double mm2 = 1e-6;
+inline constexpr double um2 = 1e-12;
+
+// ---- frequency ------------------------------------------------------------
+inline constexpr double Hz = 1.0;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// ---- throughput -----------------------------------------------------------
+// Operations counted as in the PIM literature: one multiply-accumulate
+// contributes two operations (one multiply + one add).
+inline constexpr double GOPS = 1e9;
+inline constexpr double TOPS = 1e12;
+
+}  // namespace resipe::units

@@ -1,0 +1,49 @@
+// Wire-resistance (IR-drop) model.
+//
+// The ideal crossbar treats wordlines and bitlines as perfect
+// conductors.  Real metal lines add a per-segment resistance, so a cell
+// far from the drivers sees a degraded effective conductance.  We use
+// the standard first-order series approximation (as in NeuroSim-class
+// estimators): cell (i, j) accumulates i wordline segments and j
+// bitline segments in series with the device,
+//
+//   G_eff(i, j) = 1 / (1/G_ij + i * r_wl + j * r_bl)
+//
+// which captures the dominant position-dependent attenuation without a
+// full nodal solve.  The full solve matters for >= 256-wide arrays;
+// ReSiPE uses 32 x 32 where this approximation is within a couple of
+// percent.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "resipe/circuits/column_output_generator.hpp"
+#include "resipe/crossbar/crossbar.hpp"
+
+namespace resipe::crossbar {
+
+/// Interconnect parasitics of one crossbar tile.
+struct WireModel {
+  /// Resistance of one wordline segment between adjacent cells (ohm).
+  /// ~2.5 ohm/segment is typical for minimum-pitch M2 at 65 nm.
+  double r_wordline_segment = 2.5;
+  /// Resistance of one bitline segment between adjacent cells (ohm).
+  double r_bitline_segment = 2.5;
+
+  /// Effective cell conductance at position (row, col) given its
+  /// nominal effective conductance `g_cell`.
+  double effective_g(double g_cell, std::size_t row, std::size_t col) const;
+};
+
+/// Column drives including wire IR-drop degradation.
+std::vector<circuits::ColumnDrive> drives_with_ir_drop(
+    const Crossbar& xbar, std::span<const double> v_wl,
+    const WireModel& wires);
+
+/// Worst-case relative conductance attenuation across the array (the
+/// far corner cell) — a quick figure of merit for sizing arrays.
+double worst_case_attenuation(const Crossbar& xbar, const WireModel& wires);
+
+}  // namespace resipe::crossbar

@@ -1,0 +1,152 @@
+// ReRAM device model.
+//
+// Behavioral model of a bipolar metal-oxide resistive switching cell in
+// the 1T1R (one-transistor-one-ReRAM) configuration used by ReSiPE
+// (Sec. III-D / IV-A).  A cell stores an analog conductance between
+// G_min = 1/HRS and G_max = 1/LRS; MVM weights are mapped onto this
+// range with a finite number of programmable levels, programmed with a
+// write-verify loop of finite tolerance, and perturbed by process
+// variation (normal-distributed relative error per [21, 22]) plus
+// per-read noise.
+#pragma once
+
+#include <cstddef>
+
+#include "resipe/common/rng.hpp"
+#include "resipe/common/units.hpp"
+
+namespace resipe::device {
+
+/// Static parameters of a ReRAM technology corner.
+struct ReramSpec {
+  /// Low / high resistance state bounds (ohm).  The usable conductance
+  /// window is [1/r_hrs, 1/r_lrs].
+  double r_lrs = 10.0 * units::kOhm;
+  double r_hrs = 1.0 * units::MOhm;
+
+  /// Number of distinct programmable conductance levels between G_min
+  /// and G_max (inclusive); 32 levels ~ 5-bit cells, typical for
+  /// multi-level metal-oxide devices [18].
+  int levels = 32;
+
+  /// Relative tolerance of the write-verify programming loop: the
+  /// programmed conductance lands within +-tolerance of the target
+  /// before process variation is applied.
+  double write_verify_tolerance = 0.01;
+
+  /// Relative sigma of static process variation on the programmed
+  /// conductance (normal distribution per [21, 22]).  The accuracy
+  /// experiment (Fig. 7) sweeps this over {0, 5, 10, 15, 20}%.
+  double variation_sigma = 0.0;
+
+  /// Relative sigma of cycle-to-cycle read noise applied per MVM.
+  double read_noise_sigma = 0.0;
+
+  /// Stuck-at-fault rates ([21, 22]-style reliability modelling): the
+  /// probability that a cell is stuck at LRS (G_max) or HRS (G_min)
+  /// regardless of the programmed target.
+  double stuck_lrs_rate = 0.0;
+  double stuck_hrs_rate = 0.0;
+
+  /// Conductance retention drift: G(t) = G0 * (t / t0)^(-drift_nu)
+  /// for t > t0 (power-law drift typical of metal-oxide ReRAM).
+  /// drift_nu = 0 disables drift.
+  double drift_nu = 0.0;
+  double drift_t0 = 1.0;  ///< reference time (s) after programming
+
+  /// On-resistance of the 1T1R access transistor in series with the
+  /// cell (ohm).
+  double transistor_r_on = 1.0 * units::kOhm;
+
+  /// Layout area of one 1T1R cell (m^2).  ~30 F^2 at 65 nm, the usual
+  /// 1T1R budget with the access transistor sized for write current.
+  double cell_area = 30.0 * 65e-9 * 65e-9;
+
+  /// Maximum conductance (siemens) = 1 / LRS.
+  double g_max() const { return 1.0 / r_lrs; }
+  /// Minimum conductance (siemens) = 1 / HRS.
+  double g_min() const { return 1.0 / r_hrs; }
+
+  /// Validates invariants (throws resipe::Error when violated).
+  void validate() const;
+
+  /// The corner used for the Fig. 5 characterization: LRS 10 k,
+  /// HRS 1 M (Sec. III-D).
+  static ReramSpec characterization();
+
+  /// The corner used for neural-network mapping: 50 k .. 1 M per
+  /// [18, 19], chosen so a 32-cell column keeps total G <= 1.6 mS
+  /// (Sec. III-D conclusion).
+  static ReramSpec nn_mapping();
+};
+
+/// A single programmed cell: target conductance, the value actually
+/// landed after quantization + write-verify + process variation, and a
+/// read accessor that adds read noise.
+class ReramCell {
+ public:
+  ReramCell() = default;
+
+  /// Programs the cell to the conductance nearest `target_g` (siemens).
+  /// `target_g` is clamped to the spec's window, snapped to the nearest
+  /// level, offset by a write-verify residue and a static process
+  /// variation draw.
+  void program(const ReramSpec& spec, double target_g, Rng& rng);
+
+  /// The conductance requested (post-clamp, pre-quantization).
+  double target_g() const { return target_g_; }
+
+  /// The static programmed conductance (no read noise).
+  double programmed_g() const { return programmed_g_; }
+
+  /// One read observation: programmed conductance plus fresh read
+  /// noise, clamped to be non-negative.
+  double read_g(const ReramSpec& spec, Rng& rng) const;
+
+  /// Conductance after `elapsed` seconds of retention (power-law
+  /// drift; identity when the spec disables drift or the cell is
+  /// stuck).
+  double drifted_g(const ReramSpec& spec, double elapsed) const;
+
+  /// True when the programming draw left this cell stuck at a rail.
+  bool is_stuck() const { return stuck_; }
+
+  /// Effective conductance seen from the bitline through the 1T1R
+  /// access transistor: series combination 1/(R_cell + R_on).
+  double effective_g(const ReramSpec& spec) const;
+
+ private:
+  double target_g_ = 0.0;
+  double programmed_g_ = 0.0;
+  bool stuck_ = false;
+};
+
+/// Maps abstract weights in [0, 1] onto the conductance window of a
+/// spec: w = 0 -> G_min, w = 1 -> G_max, linear in between, quantized
+/// to the spec's level count.
+class ConductanceQuantizer {
+ public:
+  explicit ConductanceQuantizer(const ReramSpec& spec);
+
+  /// Ideal (unquantized) conductance for weight w in [0, 1]; clamps w.
+  double weight_to_g(double w) const;
+
+  /// Nearest-level conductance for weight w in [0, 1].
+  double weight_to_g_quantized(double w) const;
+
+  /// Inverse map: conductance -> weight in [0, 1] (clamped).
+  double g_to_weight(double g) const;
+
+  /// Quantization step between adjacent levels (siemens).
+  double step() const { return step_; }
+
+  int levels() const { return levels_; }
+
+ private:
+  double g_min_;
+  double g_max_;
+  double step_;
+  int levels_;
+};
+
+}  // namespace resipe::device

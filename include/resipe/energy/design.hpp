@@ -1,0 +1,59 @@
+// Abstract PIM design model: the contract behind the Table II
+// comparison.
+//
+// Every design (ReSiPE, level-based, PWM-based, rate-coding) answers
+// the same questions for one fully-utilized crossbar of the same size:
+// how much energy does one MVM cost, how long does it take end to end,
+// how often can a new MVM start, and how much silicon does the engine
+// occupy.  DesignPoint derives the paper's comparison metrics from
+// those answers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resipe/energy/report.hpp"
+
+namespace resipe::energy {
+
+/// Derived comparison metrics for one design at one operating point.
+struct DesignPoint {
+  std::string name;
+  double energy_per_mvm = 0.0;   ///< J
+  double latency = 0.0;          ///< s, input-to-output of one MVM
+  double interval = 0.0;         ///< s, initiation interval (pipelined)
+  double area = 0.0;             ///< m^2
+  double ops_per_mvm = 0.0;      ///< 2 * rows * cols (MAC = 2 ops)
+  double power = 0.0;            ///< W at full utilization
+  double throughput = 0.0;       ///< ops/s at full utilization
+  double power_efficiency = 0.0; ///< ops/J == throughput / power
+};
+
+/// A PIM engine model built around one crossbar array.
+class DesignModel {
+ public:
+  virtual ~DesignModel() = default;
+
+  /// Human-readable design name for the comparison table.
+  virtual std::string name() const = 0;
+
+  /// Energy/area accounting of one MVM at full array utilization.
+  virtual EnergyReport mvm_report() const = 0;
+
+  /// End-to-end latency of one MVM.
+  virtual double mvm_latency() const = 0;
+
+  /// Initiation interval: time between consecutive MVM starts when the
+  /// engine pipeline is full.  Defaults to the latency (no pipelining).
+  virtual double initiation_interval() const { return mvm_latency(); }
+
+  /// Logical array dimensions (all Table II designs use 32 x 32).
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// Evaluates the derived metrics.
+  DesignPoint evaluate() const;
+};
+
+}  // namespace resipe::energy

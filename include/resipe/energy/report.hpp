@@ -1,0 +1,57 @@
+// Aggregation of per-component energy/area into design-level figures.
+//
+// A design model walks its block diagram, calling add() once per
+// physical block instance group with the events that block saw during
+// one MVM.  The report then yields total energy per MVM, average power
+// over the MVM period, silicon area, and a per-block breakdown (used to
+// check the paper's "COG cluster contributes 98.1% of power" claim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resipe/energy/components.hpp"
+
+namespace resipe::energy {
+
+/// Per-MVM energy/area accounting for one design.
+class EnergyReport {
+ public:
+  /// Records `count` instances of `component`, each performing `ops`
+  /// events and staying enabled for `enabled_time` seconds during one
+  /// MVM.
+  void add(const Component& component, double count, double ops,
+           double enabled_time);
+
+  /// Records a raw contribution (e.g. crossbar array energy computed
+  /// from currents rather than from a Component).
+  void add_raw(const std::string& name, double energy, double area);
+
+  /// Total energy of one MVM (J).
+  double total_energy() const;
+
+  /// Total silicon area (m^2).
+  double total_area() const;
+
+  /// Average power over an MVM period of `period` seconds (W).
+  double average_power(double period) const;
+
+  /// Fraction of total energy consumed by entries whose name contains
+  /// `substring` (case-sensitive).
+  double energy_share(const std::string& substring) const;
+
+  struct Entry {
+    std::string name;
+    double energy = 0.0;
+    double area = 0.0;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Renders the breakdown as an aligned ASCII table.
+  std::string breakdown() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace resipe::energy

@@ -1,0 +1,69 @@
+// Fig. 5: input-output characterization of the single-spiking MVM.
+//
+// Reproduces the paper's experiment: 100 random (t_in, G) samples on a
+// 32-row column with total conductance 0.32..3.2 mS and arrival times
+// 10..80 ns; the x-axis is the input strength t_in * G_total, the
+// y-axis the measured output time t_out.  Fitting curves are computed
+// for the samples with G_total <= 1.6 mS (Curve 1) and for fixed
+// sweeps at 2.5 mS (Curve 2) and 3.2 mS (Curve 3) — the latter two
+// fall below Curve 1 because Ccog's charging saturates (Sec. III-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/common/stats.hpp"
+
+namespace resipe::eval {
+
+/// One characterization sample.
+struct CharacterizationPoint {
+  double t_in = 0.0;      ///< mean arrival time across the rows (s)
+  double g_total = 0.0;   ///< column total conductance (S)
+  double strength = 0.0;  ///< x-axis: sum_i t_in,i * G_i (s*S)
+  double t_out = 0.0;     ///< measured output time (s)
+  double t_out_ideal = 0.0;  ///< Eq.(6) linear prediction (s)
+};
+
+/// The full Fig. 5 dataset.
+struct CharacterizationResult {
+  std::vector<CharacterizationPoint> random_samples;   // 100 points
+  std::vector<CharacterizationPoint> sweep_2_5ms;      // Curve 2 data
+  std::vector<CharacterizationPoint> sweep_3_2ms;      // Curve 3 data
+  PolyFit curve1;  ///< fit of random samples with G <= 1.6 mS
+  PolyFit curve2;  ///< fit of the 2.5 mS sweep
+  PolyFit curve3;  ///< fit of the 3.2 mS sweep
+};
+
+/// Parameters of the characterization run (paper values by default).
+struct CharacterizationConfig {
+  circuits::CircuitParams circuit;   // paper defaults
+  std::size_t rows = 32;
+  std::size_t samples = 100;
+  double g_total_min = 0.32e-3;      // S
+  double g_total_max = 3.2e-3;       // S
+  double t_in_min = 10e-9;           // s
+  double t_in_max = 80e-9;           // s
+  std::size_t sweep_points = 40;
+  int fit_degree = 2;
+  std::uint64_t seed = 2020;
+};
+
+/// Runs the characterization.
+CharacterizationResult characterize(const CharacterizationConfig& config = {});
+
+/// Output time of one column with uniform per-row arrival `t_in` and
+/// total conductance `g_total` spread evenly over the rows.  In this
+/// symmetric case the shared-ramp encode/decode cancels almost
+/// perfectly (t_out ~ t_in once Ccog saturates) — the cancellation
+/// property Sec. III-D relies on.
+double single_point_t_out(const circuits::CircuitParams& params,
+                          std::size_t rows, double t_in, double g_total);
+
+/// Output time of one column with per-row arrival times `t_in` and
+/// per-row conductances `g` — the general Fig. 5 measurement.
+double column_t_out(const circuits::CircuitParams& params,
+                    std::span<const double> t_in, std::span<const double> g);
+
+}  // namespace resipe::eval

@@ -1,0 +1,42 @@
+// Table II: power / power-efficiency / latency / area comparison of
+// ReSiPE against the level-based, PWM-based and rate-coding baselines,
+// all at the same 32 x 32 array size and full utilization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resipe/energy/design.hpp"
+
+namespace resipe::eval {
+
+/// Headline ratios the paper reports (Sec. IV-B), derived from the
+/// evaluated design points.
+struct ComparisonHeadlines {
+  double power_reduction_vs_level = 0.0;   ///< paper: 67.1%
+  double peff_gain_vs_level = 0.0;         ///< paper: 1.97x
+  double peff_gain_vs_rate = 0.0;          ///< paper: 2.41x
+  double peff_gain_vs_pwm = 0.0;           ///< paper: 49.76x
+  double latency_saving_vs_rate = 0.0;     ///< paper: 50%
+  double latency_saving_vs_pwm = 0.0;      ///< paper: 68.8%
+  double area_saving_vs_rate = 0.0;        ///< paper: 14.2%
+  double area_saving_vs_level = 0.0;       ///< paper: 85.3%
+  double cog_power_share = 0.0;            ///< paper: 98.1%
+};
+
+/// The full comparison: evaluated points (ReSiPE first) + headlines +
+/// ReSiPE's energy breakdown.
+struct ComparisonResult {
+  std::vector<energy::DesignPoint> points;
+  ComparisonHeadlines headlines;
+  std::string resipe_breakdown;
+
+  /// Renders the Table II equivalent (absolute values + ratios).
+  std::string render() const;
+};
+
+/// Builds the four default design models and evaluates them.
+ComparisonResult compare_designs(std::size_t rows = 32,
+                                 std::size_t cols = 32);
+
+}  // namespace resipe::eval

@@ -1,0 +1,28 @@
+// MVM fidelity measurement: how accurately a ProgrammedMatrix under a
+// given engine configuration reproduces the reference y = W^T x on
+// random signed matrices — the figure of merit behind the ablation
+// benches (Ccog sweep, array-size sweep, mapping strategies).
+#pragma once
+
+#include <cstdint>
+
+#include "resipe/resipe/network.hpp"
+
+namespace resipe::eval {
+
+/// Result of a fidelity run.
+struct FidelityScore {
+  double rmse = 0.0;   ///< RMS error / max |reference output|
+  double worst = 0.0;  ///< worst-case error / max |reference output|
+  double alpha = 0.0;  ///< calibrated time scale
+};
+
+/// Programs a random `in x out` signed matrix under `config`, runs
+/// `samples` random non-negative inputs through the circuit model, and
+/// scores the outputs against the exact y = W^T x.
+FidelityScore mvm_fidelity(const resipe_core::EngineConfig& config,
+                           std::size_t in = 32, std::size_t out = 8,
+                           std::size_t samples = 64,
+                           std::uint64_t seed = 99);
+
+}  // namespace resipe::eval

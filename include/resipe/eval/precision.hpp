@@ -1,0 +1,41 @@
+// Per-layer precision diagnostics for a lowered network.
+//
+// Fig. 7 gives one number per network; when that number drops, the
+// next question is *which layer* lost the signal.  This harness runs a
+// probe batch through the software model, captures every matrix
+// layer's input, pushes the same inputs through the corresponding
+// ProgrammedMatrix, and reports per-layer error and SNR — the
+// debugging view a deployment engineer needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resipe/nn/model.hpp"
+#include "resipe/resipe/network.hpp"
+
+namespace resipe::eval {
+
+/// Error statistics of one lowered matrix layer.
+struct LayerPrecision {
+  std::string description;
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  double rmse = 0.0;        ///< vs the software layer output
+  double signal_rms = 0.0;  ///< RMS of the software output
+  /// Signal-to-noise ratio in dB: 20 log10(signal_rms / rmse).
+  double snr_db = 0.0;
+  double alpha = 0.0;       ///< calibrated time scale of the layer
+};
+
+/// Measures every matrix layer of `model` under `config` using up to
+/// `probe_limit` vectors captured from `probe` (per layer; conv layers
+/// sample im2col patches).
+std::vector<LayerPrecision> layer_precision(
+    nn::Sequential& model, const resipe_core::EngineConfig& config,
+    const nn::Tensor& probe, std::size_t probe_limit = 128);
+
+/// Renders the per-layer table.
+std::string render_precision(const std::vector<LayerPrecision>& rows);
+
+}  // namespace resipe::eval

@@ -1,0 +1,31 @@
+// Table I: taxonomy of data formats in ReRAM PIM designs.
+//
+// A small registry of the five design classes the paper compares, with
+// the qualitative attributes of Table I, rendered as the same table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resipe/common/table.hpp"
+
+namespace resipe::eval {
+
+/// One row of the taxonomy.
+struct DataFormatClass {
+  std::string format;          ///< Level / PWM / Rate / Temporal / This work
+  std::string shape;           ///< signal shape sketch
+  std::string interface;      ///< peripheral circuit class
+  std::string drive_duration; ///< non-zero-voltage applying duration
+  std::string in_out_scale;   ///< whether input/output formats match
+  std::string latency;        ///< qualitative latency class
+  std::string representative; ///< citations
+};
+
+/// The five classes of Table I.
+std::vector<DataFormatClass> data_format_taxonomy();
+
+/// Renders Table I.
+TextTable taxonomy_table();
+
+}  // namespace resipe::eval

@@ -1,0 +1,46 @@
+// Fig. 6: latency / area / throughput trade-off.
+//
+// Under a fixed area budget a design can be replicated to raise
+// parallel throughput: n = floor(budget / engine_area) engines, each
+// starting an MVM every initiation interval.  ReSiPE's small engine
+// footprint buys more replicas per mm^2, which is how it wins the
+// throughput race despite a slower per-MVM latency than level-based
+// designs (Sec. IV-B.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resipe/energy/design.hpp"
+
+namespace resipe::eval {
+
+/// Throughput of one design across a sweep of area budgets.
+struct ThroughputSeries {
+  std::string name;
+  double engine_area = 0.0;        ///< m^2 per engine
+  double engine_latency = 0.0;     ///< s
+  double engine_throughput = 0.0;  ///< ops/s of one engine
+  std::vector<double> area_budget;  ///< m^2
+  std::vector<double> throughput;   ///< ops/s
+};
+
+/// The full Fig. 6 dataset: one series per design over a common budget
+/// axis, plus the iso-throughput reference lines.
+struct ThroughputResult {
+  std::vector<ThroughputSeries> series;
+  std::vector<double> area_axis;   ///< m^2
+  std::string render() const;
+};
+
+/// Sweeps area budgets from `min_budget` to `max_budget` (m^2) over
+/// `steps` points for the four Table II designs.
+ThroughputResult throughput_tradeoff(double min_budget = 0.01e-6,
+                                     double max_budget = 0.5e-6,
+                                     std::size_t steps = 12);
+
+/// Replicated throughput of one evaluated design point under a budget.
+double replicated_throughput(const energy::DesignPoint& p,
+                             double area_budget);
+
+}  // namespace resipe::eval

@@ -1,0 +1,45 @@
+// Monte-Carlo yield analysis.
+//
+// Fig. 7 reports the *mean* accuracy across device instantiations; a
+// manufacturer asks the sharper question: what fraction of fabricated
+// chips meets a quality bound?  This harness programs many independent
+// virtual chips per variation sigma and reports the distribution of
+// MVM fidelity plus the yield against an error bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resipe/resipe/network.hpp"
+
+namespace resipe::eval {
+
+/// Yield statistics at one variation sigma.
+struct YieldPoint {
+  double sigma = 0.0;
+  double mean_rmse = 0.0;
+  double worst_rmse = 0.0;   ///< worst chip in the sample
+  double yield = 0.0;        ///< fraction of chips with rmse <= bound
+};
+
+/// Configuration of the yield sweep.
+struct YieldConfig {
+  std::vector<double> sigmas = {0.0, 0.05, 0.10, 0.15, 0.20};
+  std::size_t chips_per_sigma = 24;  ///< independent device draws
+  double rmse_bound = 0.05;          ///< pass/fail criterion
+  std::size_t matrix_rows = 32;
+  std::size_t matrix_cols = 8;
+  std::size_t samples_per_chip = 32;
+  std::uint64_t seed = 4242;
+};
+
+/// Runs the sweep on top of `base` (its sigma field is overridden).
+std::vector<YieldPoint> mvm_yield(const resipe_core::EngineConfig& base,
+                                  const YieldConfig& config = {});
+
+/// Renders the yield table.
+std::string render_yield(const std::vector<YieldPoint>& points,
+                         double rmse_bound);
+
+}  // namespace resipe::eval

@@ -1,0 +1,36 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on MNIST and CIFAR-10 with pretrained networks.
+// Neither dataset ships with this environment, so we substitute
+// procedurally-generated equivalents that exercise the same code paths
+// (DESIGN.md Sec. 3):
+//
+//  * synthetic_digits  — 28 x 28 x 1, 10 classes: rendered digit glyphs
+//    with random placement, stroke intensity and pixel noise (an
+//    MNIST-shaped problem).
+//  * synthetic_objects — 32 x 32 x 3, 10 classes: colored geometric
+//    shapes (circle / square / triangle / cross / ring, two hues each)
+//    with random size, position and noise (a CIFAR-shaped problem).
+//
+// Both are deterministic given the seed, arbitrarily large, and hard
+// enough that accuracy is meaningfully below 100% for simple models —
+// which is what the Fig. 7 degradation study needs.
+#pragma once
+
+#include "resipe/common/rng.hpp"
+#include "resipe/nn/train.hpp"
+
+namespace resipe::nn {
+
+/// MNIST-shaped synthetic digit classification set.
+Dataset synthetic_digits(std::size_t n, Rng& rng);
+
+/// CIFAR-shaped synthetic colored-shape classification set.
+Dataset synthetic_objects(std::size_t n, Rng& rng);
+
+/// Renders one digit glyph into a 28 x 28 image buffer (exposed for
+/// tests and the quickstart example).
+void render_digit(int digit, double dx, double dy, double intensity,
+                  std::span<double> out28x28);
+
+}  // namespace resipe::nn

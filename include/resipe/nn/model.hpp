@@ -1,0 +1,66 @@
+// Sequential network container.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resipe/nn/layers.hpp"
+
+namespace resipe::nn {
+
+/// A feed-forward stack of layers executed in order.
+class Sequential {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  /// Full forward pass.
+  Tensor forward(const Tensor& x, bool train = false);
+
+  /// Backward pass through every layer (after a forward with
+  /// train=true).
+  void backward(const Tensor& grad_out);
+
+  /// All trainable parameters in layer order.
+  std::vector<Param> params();
+
+  /// Zeroes all parameter gradients.
+  void zero_grads();
+
+  /// Number of scalar parameters.
+  std::size_t parameter_count();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const std::string& name() const { return name_; }
+
+  /// Multi-line summary of the architecture.
+  std::string summary();
+
+  /// Count of matrix (crossbar-mapped) layers.
+  std::size_t matrix_layer_count() const;
+
+ private:
+  std::string name_ = "model";
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Folds every Conv2d -> BatchNorm2d pair for inference: the BN's
+/// effective per-channel scale/shift is absorbed into the conv's
+/// weights and bias, and the BN layer is reset to an exact identity.
+/// Standard PIM mapping step — a folded network needs no BN circuitry.
+/// Returns the number of pairs folded.  Call only on a trained model
+/// (uses the BN running statistics).
+std::size_t fold_batchnorm(Sequential& model);
+
+}  // namespace resipe::nn

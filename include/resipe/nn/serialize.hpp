@@ -1,0 +1,29 @@
+// Model weight serialization.
+//
+// Architecture-agnostic parameter dump: the file stores the flattened
+// parameter tensors in layer order.  Loading requires a model with the
+// identical architecture (sizes are checked).  Used to cache trained
+// benchmark networks between bench runs so Fig. 7 does not retrain six
+// nets every time.
+#pragma once
+
+#include <string>
+
+#include "resipe/nn/model.hpp"
+
+namespace resipe::nn {
+
+/// Writes all parameters of `model` to `path` (binary).  Throws on I/O
+/// failure.
+void save_weights(Sequential& model, const std::string& path);
+
+/// Loads parameters saved by save_weights into `model`.  Throws when
+/// the file does not exist, is corrupt, or the parameter layout does
+/// not match.
+void load_weights(Sequential& model, const std::string& path);
+
+/// True when `path` exists and matches the model's parameter layout —
+/// load_weights(model, path) would succeed.
+bool weights_compatible(Sequential& model, const std::string& path);
+
+}  // namespace resipe::nn

@@ -1,0 +1,118 @@
+// Loss, optimizers and the training loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "resipe/nn/model.hpp"
+#include "resipe/nn/tensor.hpp"
+
+namespace resipe::nn {
+
+/// Softmax over the last axis of a rank-2 tensor (numerically stable).
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of softmax(logits) against integer labels, plus
+/// the gradient w.r.t. logits (softmax - onehot) / N.
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;
+};
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, std::span<const int> labels);
+
+/// Optimizer interface.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// One update step over the given parameters (gradients already
+  /// accumulated; caller zeroes them afterwards).
+  virtual void step(std::span<const Param> params) = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9, double weight_decay = 0.0);
+  void step(std::span<const Param> params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(std::span<const Param> params) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+/// In-memory labeled dataset: images [N, C, H, W], labels in [0, classes).
+struct Dataset {
+  Tensor images;
+  std::vector<int> labels;
+  std::size_t classes = 10;
+
+  std::size_t size() const { return labels.size(); }
+
+  /// Copies the samples at `indices` into a batch tensor + label vector.
+  std::pair<Tensor, std::vector<int>> gather(
+      std::span<const std::size_t> indices) const;
+};
+
+/// Training configuration.
+struct TrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  double lr = 1e-2;
+  bool verbose = false;
+  std::uint64_t shuffle_seed = 1;
+
+  /// Variation-aware training ([22]-style): each forward/backward pass
+  /// sees weights perturbed by multiplicative N(0, sigma) noise, while
+  /// the optimizer updates the clean weights.  Networks trained this
+  /// way tolerate ReRAM process variation markedly better
+  /// (bench_ablation_noise_training).  0 disables injection.
+  double weight_noise_sigma = 0.0;
+};
+
+/// Result of fit(): per-epoch train loss and final evaluation accuracy.
+struct TrainResult {
+  std::vector<double> epoch_loss;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Trains `model` on `train` with Adam, evaluates on `test`.
+TrainResult fit(Sequential& model, const Dataset& train, const Dataset& test,
+                const TrainConfig& config);
+
+/// Evaluates classification accuracy of `model` on `data`, optionally
+/// replacing the forward pass with a custom executor (the hook the
+/// ReSiPE accuracy experiment uses to run inference through the
+/// circuit simulator).
+double evaluate(Sequential& model, const Dataset& data,
+                std::size_t batch_size = 64);
+
+/// Evaluates accuracy with an arbitrary batch-logits function.
+double evaluate_with(
+    const Dataset& data,
+    const std::function<Tensor(const Tensor&)>& batch_logits,
+    std::size_t batch_size = 64);
+
+}  // namespace resipe::nn

@@ -1,0 +1,73 @@
+// Bit-sliced weight mapping.
+//
+// A single ReRAM cell stores ~5 bits reliably (the 32-level default);
+// networks often want 8-bit weights.  The standard PIM remedy is to
+// split each weight's magnitude into base-2^b digits and map every
+// digit column to its own physical column group, recombining partial
+// results with power-of-two weights after readout (ISAAC does this
+// with 2-bit slices).  SlicedMatrix wraps ProgrammedMatrix: each slice
+// is an independent single-spiking MVM over the digit weights, and the
+// recombination happens in the recovered-value domain alongside the
+// existing per-column trim.
+//
+// Cost: slices * the column hardware.  Benefit: effective weight
+// resolution of slices * bits_per_slice with per-cell resolution of
+// only bits_per_slice.  bench_ablation_bit_slicing quantifies the
+// trade.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "resipe/resipe/network.hpp"
+
+namespace resipe::resipe_core {
+
+/// Bit-slicing configuration.
+struct SlicingConfig {
+  int total_bits = 8;      ///< logical weight resolution
+  int bits_per_slice = 4;  ///< digits stored per physical column group
+
+  int slices() const;
+  void validate() const;
+};
+
+/// A logical weight matrix realized as power-of-two-weighted slices.
+class SlicedMatrix {
+ public:
+  /// Maps `weights` ([in, out] row-major) with the given bias.  Each
+  /// slice gets its own ProgrammedMatrix under `config`; the device
+  /// level count is clamped to 2^bits_per_slice levels per cell,
+  /// making the slice self-consistent with the storage precision.
+  SlicedMatrix(const EngineConfig& config, const SlicingConfig& slicing,
+               std::span<const double> weights,
+               std::span<const double> bias, std::size_t in,
+               std::size_t out, Rng& rng);
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  std::size_t slice_count() const { return slices_.size(); }
+  std::size_t tile_count() const;
+
+  /// Sets the activation scale on every slice.
+  void set_input_scale(double scale);
+
+  /// Calibrates every slice's time scale on a representative batch.
+  void calibrate_alpha(std::span<const double> x_batch, std::size_t n);
+
+  /// Circuit-model forward with power-of-two recombination.
+  void forward(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+  double weight_scale = 1.0;  ///< max |w| of the logical matrix
+  int levels_per_slice_ = 0;
+  int total_levels_ = 0;
+  std::vector<std::unique_ptr<ProgrammedMatrix>> slices_;
+  std::vector<double> slice_weight_;  ///< 2^(b*s) recombination factors
+  std::vector<double> bias_;
+};
+
+}  // namespace resipe::resipe_core

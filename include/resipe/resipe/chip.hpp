@@ -1,0 +1,85 @@
+// Chip-level aggregation: a whole network's worth of ReSiPE tiles.
+//
+// The tile model answers "what does one 32x32 MVM cost"; this module
+// answers the deployment questions a user asks before taping out: how
+// many tiles does network X need, how much silicon is that, what are
+// the inference latency / throughput under the two-slice pipeline, and
+// what is the chip power at full rate.  Layers map spatially (every
+// layer owns its tiles, as Fig. 1's layer pipeline requires); conv
+// layers reuse one tile group across output positions, which makes
+// them the temporal bottleneck the report calls out.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/device/reram.hpp"
+#include "resipe/nn/model.hpp"
+
+namespace resipe::resipe_core {
+
+/// Mapping footprint of one matrix layer.
+struct LayerMapping {
+  std::string description;      ///< layer type + shape
+  bool is_conv = false;
+  std::size_t logical_rows = 0; ///< MAC fan-in
+  std::size_t logical_cols = 0; ///< neurons / output channels
+  std::size_t tiles = 0;        ///< 32x32-class tiles allocated
+  std::size_t mvms_per_input = 0;  ///< tile MVM starts per inference
+  /// Slices this layer needs per input once its pipeline is full: 1
+  /// for dense layers, one per output position for conv layers (the
+  /// tile group is time-multiplexed across positions).
+  std::size_t slices_per_input = 0;
+};
+
+/// Whole-chip roll-up.
+struct ChipReport {
+  std::vector<LayerMapping> layers;
+  std::size_t total_tiles = 0;
+  double tile_area = 0.0;       ///< m^2 per tile (incl. periphery)
+  double total_area = 0.0;      ///< m^2
+  double slice_length = 0.0;    ///< s
+  /// Latency of one input through the layer pipeline (s).
+  double input_latency = 0.0;
+  /// Initiation interval of the full chip: the slowest layer's
+  /// slices_per_input times the slice length (s).
+  double initiation_interval = 0.0;
+  /// Inferences per second once the pipeline is full.
+  double throughput = 0.0;
+  /// MAC operations per inference (2 ops per MAC).
+  double ops_per_inference = 0.0;
+  /// Chip power at full utilization (W), from the per-tile MVM energy.
+  double power = 0.0;
+  /// ops/s/W.
+  double power_efficiency = 0.0;
+
+  /// Renders the per-layer table + the roll-up.
+  std::string render() const;
+};
+
+/// Chip-level configuration.
+struct ChipConfig {
+  circuits::CircuitParams circuit;
+  device::ReramSpec device = device::ReramSpec::nn_mapping();
+  std::size_t tile_rows = 32;
+  std::size_t tile_cols = 32;
+  /// Physical columns per logical column (2 for differential pairs).
+  std::size_t cols_per_logical = 2;
+  /// Conv position parallelism: each conv layer's tile group is
+  /// replicated this many times so it processes `conv_replication`
+  /// output positions per slice — the paper's future-work lever
+  /// ("better layer-wise computing latency", Sec. V) traded against
+  /// area.  1 = the baseline time-multiplexed mapping.
+  std::size_t conv_replication = 1;
+};
+
+/// Maps `model` (its Dense/Conv2d layers) onto tiles and rolls up the
+/// chip-level numbers.  `input_shape` is one sample's shape, e.g.
+/// {1, 28, 28} — needed to size conv layers.
+ChipReport map_network(nn::Sequential& model,
+                       const std::vector<std::size_t>& input_shape,
+                       const ChipConfig& config = {});
+
+}  // namespace resipe::resipe_core

@@ -1,0 +1,81 @@
+// Flattened single-spiking MVM executor for network-scale inference.
+//
+// ResipeTile is the faithful object-per-cell model; running a VGG-class
+// network through it would spend most of its time chasing ReramCell
+// objects.  FastMvm snapshots a programmed crossbar into flat arrays
+// and precomputes everything input-independent:
+//
+//   * the effective conductance matrix (post variation, post 1T1R),
+//   * per-column total conductance g_tot_j,
+//   * per-column saturation factor k_j = 1 - exp(-dt * g_tot_j / Ccog),
+//
+// so one MVM costs one dot product per column plus one log for the S2
+// inversion.  Bit-identical to ResipeTile::execute for the same
+// programmed array (asserted by the property tests).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/crossbar/crossbar.hpp"
+
+namespace resipe::resipe_core {
+
+/// Immutable snapshot of a programmed tile, optimized for repeated MVMs.
+class FastMvm {
+ public:
+  /// Snapshots the effective conductances of `xbar` under `params`.
+  FastMvm(const circuits::CircuitParams& params,
+          const crossbar::Crossbar& xbar);
+
+  /// Direct construction from a flat row-major effective-conductance
+  /// matrix (used by the layer executor, which programs virtual tiles
+  /// without instantiating Crossbar objects per block).
+  FastMvm(const circuits::CircuitParams& params, std::size_t rows,
+          std::size_t cols, std::vector<double> g_effective);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const circuits::CircuitParams& params() const { return params_; }
+  double g_total(std::size_t col) const { return g_total_[col]; }
+
+  /// Per-column saturation factor k_j = 1 - exp(-dt * g_total_j / Ccog)
+  /// (or its dt/tau linearization in linear mode).  Together with
+  /// g_total this is the per-column calibration trim that converts a
+  /// sampled COG voltage back into the raw current-sum:
+  ///   sum_i(V_i G_ij) = V_cog,j * g_total_j / k_j.
+  double k(std::size_t col) const { return k_[col]; }
+
+  /// Installs per-column comparator input offsets (volts, one per
+  /// column) — the COG cluster's device mismatch.  They add to the
+  /// global params.comparator_offset.
+  void set_column_offsets(std::vector<double> offsets);
+
+  /// Converts input spike times (seconds, one per row; use
+  /// `kNoSpike` = infinity for silent lines) into output spike times.
+  /// Outputs that would fall outside the slice are reported as
+  /// `kNoSpike`.
+  void mvm_times(std::span<const double> t_in, std::span<double> t_out) const;
+
+  /// The ideal Eq.(6) linear-model times for the same inputs.
+  void ideal_times(std::span<const double> t_in,
+                   std::span<double> t_out) const;
+
+  static constexpr double kNoSpike =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  void precompute();
+
+  circuits::CircuitParams params_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> g_;        // row-major effective conductances
+  std::vector<double> g_total_;  // per column
+  std::vector<double> k_;        // per-column saturation factor
+  std::vector<double> offsets_;  // per-column comparator mismatch
+};
+
+}  // namespace resipe::resipe_core

@@ -1,0 +1,205 @@
+// Network-level inference through the ReSiPE circuit model.
+//
+// Maps every matrix layer (Dense / Conv2d) of a trained network onto
+// virtual ReSiPE tiles and replaces its forward pass with the
+// single-spiking circuit simulation; pooling, ReLU and flatten run
+// functionally (they live in the spike/peripheral domain in hardware).
+//
+// Mapping pipeline per matrix layer (see DESIGN.md):
+//   1. the logical weight matrix [in, out] is mapped to conductances
+//      (differential column pairs by default) with the layer's max |w|
+//      as the normalization scale;
+//   2. rows are partitioned into tile_rows-sized blocks, columns into
+//      tile_cols-sized blocks; each block is programmed cell-by-cell
+//      (level quantization + write-verify + process variation);
+//   3. at inference, activations are scaled to [0, 1] by a calibrated
+//      per-layer input scale, encoded as ramp-coherent spike times
+//      (scaled by a calibrated alpha), run through each block's
+//      FastMvm, and read back per physical column as the raw
+//      current-sum via the per-column trim
+//        sum_i(V_i G_ij) = V_cog,j * g_total_j / k_j
+//      (g_total and k are programming-time constants — a per-column
+//      digital gain calibration, standard practice in PIM macros);
+//   4. differential pairs and row-block partial sums combine in the
+//      recovered-sum domain; the layer bias is added last.
+//
+// Partial-sum combination across row blocks happens in the recovered
+// domain — the paper does not describe a multi-tile accumulation
+// circuit, so the substitution is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/crossbar/ir_drop.hpp"
+#include "resipe/crossbar/mapping.hpp"
+#include "resipe/device/reram.hpp"
+#include "resipe/nn/model.hpp"
+#include "resipe/resipe/fast_mvm.hpp"
+#include "resipe/resipe/spike_code.hpp"
+
+namespace resipe::resipe_core {
+
+/// Configuration of the network-level engine.
+struct EngineConfig {
+  /// Circuit operating point — defaults to the clock-calibrated GD
+  /// time constant (see CircuitParams::nn_calibrated); the Fig. 3/5
+  /// characterization benches use paper_defaults() explicitly.
+  circuits::CircuitParams circuit = circuits::CircuitParams::nn_calibrated();
+  device::ReramSpec device = device::ReramSpec::nn_mapping();
+  std::size_t tile_rows = 32;
+  std::size_t tile_cols = 32;
+  crossbar::SignedMapping mapping =
+      crossbar::SignedMapping::kDifferentialPair;
+  /// Quantize spike arrival times to the clock grid (true = hardware).
+  bool quantize_spikes = true;
+  /// Fraction of the slice the calibrated worst-case output may use.
+  double calibration_headroom = 0.9;
+  /// Safety margin on the per-layer activation scale: the calibration
+  /// batch underestimates the true activation maxima, and hard
+  /// clamping of over-range activations is the more damaging error.
+  double input_scale_margin = 1.25;
+  /// Seed for programming randomness (write-verify + variation).
+  std::uint64_t program_seed = 42;
+
+  /// When true, each tile's effective conductances include the
+  /// position-dependent wordline/bitline wire resistance (first-order
+  /// IR-drop model, see crossbar/ir_drop.hpp).
+  bool model_wire_ir_drop = false;
+  crossbar::WireModel wires;
+
+  /// Retention time applied to every programmed cell before inference
+  /// (power-law drift per the device spec); 0 = fresh arrays.
+  double retention_time = 0.0;
+
+  /// "Ideal" configuration: linearized transfers, continuous timing,
+  /// noiseless devices — the reference accuracy in Fig. 7.
+  static EngineConfig ideal();
+};
+
+/// One logical weight matrix programmed onto a grid of virtual tiles.
+class ProgrammedMatrix {
+ public:
+  /// Maps and programs `weights` ([in, out] row-major) with the given
+  /// bias (length out).
+  ProgrammedMatrix(const EngineConfig& config,
+                   std::span<const double> weights,
+                   std::span<const double> bias, std::size_t in,
+                   std::size_t out, Rng& rng);
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  std::size_t tile_count() const { return blocks_.size(); }
+  std::size_t mvms_per_forward() const { return row_blocks_; }
+
+  /// Sets the activation normalization scale (max activation expected
+  /// at this layer's input; inputs are clamped to [0, scale]).
+  void set_input_scale(double scale);
+  double input_scale() const { return input_scale_; }
+
+  /// Sets the spike-time scale alpha in (0, 1]: inputs are encoded at
+  /// alpha * x * t_full to keep worst-case outputs inside the slice.
+  void set_time_scale(double alpha);
+  double time_scale() const { return alpha_; }
+
+  /// Circuit-model forward: y = W^T x + b for one input vector.
+  /// x must be non-negative (spike times cannot encode sign).
+  void forward(std::span<const double> x, std::span<double> y) const;
+
+  /// Analytic voltage-domain forward (no time quantization, no slice
+  /// clamping) — the noise-free reference used by calibration; also
+  /// returns the largest COG voltage observed.
+  double forward_analytic(std::span<const double> x,
+                          std::span<double> y) const;
+
+  /// Calibrates alpha from a batch of representative inputs (row-major
+  /// [n, in]) so the worst-case COG voltage stays on the ramp within
+  /// the headroom fraction of the slice.
+  void calibrate_alpha(std::span<const double> x_batch, std::size_t n);
+
+ private:
+  struct Block {
+    std::size_t row0 = 0;
+    std::size_t rows = 0;
+    std::size_t col0 = 0;  // physical column offset
+    std::size_t cols = 0;  // physical columns in this block
+    std::unique_ptr<FastMvm> mvm;
+  };
+
+  void encode_input(std::span<const double> x,
+                    std::vector<double>& t) const;
+  /// Runs every block and accumulates recovered current-sums
+  /// (sum_i V_i G_ij) per physical column.
+  void accumulate(std::span<const double> t_in,
+                  std::span<double> recovered) const;
+  /// Converts accumulated recovered sums + bias into outputs.
+  void decode(std::span<const double> recovered, std::span<double> y) const;
+
+  EngineConfig config_;
+  SpikeCodec codec_;
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+  std::size_t row_blocks_ = 0;
+  crossbar::MappedWeights mapping_;
+  std::vector<Block> blocks_;
+  std::vector<double> bias_;
+  double input_scale_ = 1.0;
+  double alpha_ = 1.0;
+};
+
+/// Extracts one im2col patch (layout matching conv_weight_matrix) for
+/// conv lowering.  Exposed for the eval diagnostics.
+void gather_conv_patch(const nn::Tensor& x, std::size_t img,
+                       std::size_t cin, std::size_t k, std::size_t stride,
+                       std::size_t pad, std::size_t r, std::size_t c,
+                       std::span<double> patch);
+
+/// Flattens conv weights [Cout, Cin, K, K] to the [Cin*K*K, Cout]
+/// matrix the lowering maps onto tiles.
+std::vector<double> conv_weight_matrix(const nn::Conv2d& conv);
+
+/// A whole trained network lowered onto ReSiPE hardware.
+class ResipeNetwork {
+ public:
+  /// Lowers `model` (trained, borrowed for the lifetime of this
+  /// object) onto virtual tiles.  `calibration` is a representative
+  /// input batch used to set per-layer scales; it is run through the
+  /// software model once.
+  ResipeNetwork(nn::Sequential& model, const EngineConfig& config,
+                const nn::Tensor& calibration);
+
+  /// Circuit-model logits for an input batch.
+  nn::Tensor forward(const nn::Tensor& batch) const;
+
+  /// Total virtual 32x32-class tiles used by the mapping.
+  std::size_t tile_count() const;
+
+  /// Total tile MVM executions for one input image.
+  std::size_t mvms_per_image() const;
+
+  /// Matrix layers lowered.
+  std::size_t programmed_layers() const { return matrices_.size(); }
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Step {
+    nn::Layer* layer = nullptr;            // functional layers
+    ProgrammedMatrix* matrix = nullptr;    // circuit layers
+    // Conv geometry when the matrix implements a Conv2d.
+    bool is_conv = false;
+    std::size_t cin = 0, cout = 0, k = 0, stride = 0, pad = 0;
+  };
+
+  nn::Tensor run_dense(const Step& step, const nn::Tensor& x) const;
+  nn::Tensor run_conv(const Step& step, const nn::Tensor& x) const;
+
+  nn::Sequential& model_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<ProgrammedMatrix>> matrices_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace resipe::resipe_core

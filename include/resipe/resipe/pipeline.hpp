@@ -1,0 +1,54 @@
+// Two-slice layer pipeline (Fig. 1).
+//
+// In the single-spiking format each layer's MVM occupies two
+// consecutive full-scale slices: the input arrives during S1 and the
+// output spike — which *is* the next layer's input — fires during S2.
+// Layer n+1 therefore starts while layer n's engine is already free,
+// and the whole network forms a systolic pipeline with one slice of
+// skew per layer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "resipe/common/units.hpp"
+
+namespace resipe::resipe_core {
+
+/// Timing model of an L-layer single-spiking pipeline.
+class TwoSlicePipeline {
+ public:
+  TwoSlicePipeline(std::size_t layers, double slice_length);
+
+  std::size_t layers() const { return layers_; }
+  double slice_length() const { return slice_; }
+
+  /// End-to-end latency of one input: the input presentation slice
+  /// plus one slice per layer.
+  double input_latency() const;
+
+  /// A new input can be presented every slice once the pipe is full.
+  double initiation_interval() const { return slice_; }
+
+  /// Slice index in which layer `l` (0-based) emits its output for the
+  /// input presented in slice `input_slice`.
+  std::size_t output_slice(std::size_t layer, std::size_t input_slice) const;
+
+  /// Total time to stream `n` inputs through the full pipeline.
+  double stream_latency(std::size_t n) const;
+
+  /// Speed-up of the pipelined schedule over running layers
+  /// back-to-back without overlap, for `n` streamed inputs.
+  double pipeline_speedup(std::size_t n) const;
+
+  /// ASCII occupancy chart: rows = layers, columns = slices, showing
+  /// which input each layer processes in each slice.
+  std::string diagram(std::size_t inputs, std::size_t max_slices = 24) const;
+
+ private:
+  std::size_t layers_;
+  double slice_;
+};
+
+}  // namespace resipe::resipe_core

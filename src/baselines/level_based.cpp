@@ -1,0 +1,84 @@
+#include "resipe/baselines/level_based.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::baselines {
+
+using namespace resipe::units;
+
+LevelBasedDesign::LevelBasedDesign(LevelBasedParams params,
+                                   device::ReramSpec spec, std::size_t rows,
+                                   std::size_t cols,
+                                   std::uint64_t program_seed)
+    : params_(params) {
+  RESIPE_REQUIRE(params_.apply_time > 0.0 && params_.convert_time > 0.0,
+                 "phase times must be positive");
+  RESIPE_REQUIRE(params_.utilization >= 0.0 && params_.utilization <= 1.0,
+                 "utilization out of [0, 1]");
+  xbar_ = std::make_unique<crossbar::Crossbar>(
+      crossbar::make_representative(rows, cols, spec, program_seed));
+}
+
+energy::EnergyReport LevelBasedDesign::mvm_report() const {
+  const energy::ComponentLibrary lib;
+  energy::EnergyReport report;
+  const auto n_rows = static_cast<double>(rows());
+  const auto n_cols = static_cast<double>(cols());
+
+  // Per-wordline DACs: one conversion each, bias current for the whole
+  // apply phase ("inputs fully occupy the entire computation period").
+  report.add(lib.dac(params_.dac_bits), n_rows, 1.0, params_.apply_time);
+
+  // Crossbar static current: bitlines at virtual ground, wordlines at
+  // the applied level for the entire apply phase.
+  const std::vector<double> v_wl(rows(),
+                                 params_.v_read * params_.utilization * 2.0);
+  report.add_raw("ReRAM crossbar (static read)",
+                 xbar_->static_read_energy(v_wl, params_.apply_time),
+                 xbar_->area());
+
+  // Column sample-and-holds + the shared time-multiplexed ADC: one
+  // conversion per column per MVM.
+  report.add(lib.sample_hold(), n_cols, 1.0, params_.convert_time);
+  report.add(lib.adc(params_.adc_bits), 1.0, n_cols,
+             params_.convert_time);
+
+  // Input/output registers and sequencing.
+  report.add(lib.digital_logic(400), 1.0, 2.0, 0.0);
+  return report;
+}
+
+double LevelBasedDesign::mvm_latency() const {
+  return params_.apply_time + params_.convert_time;
+}
+
+double LevelBasedDesign::initiation_interval() const {
+  // Apply and convert phases are pipelined (double-buffered S/H).
+  return std::max(params_.apply_time, params_.convert_time);
+}
+
+std::vector<double> LevelBasedDesign::functional_mvm(
+    std::span<const double> x) const {
+  RESIPE_REQUIRE(x.size() == rows(), "input size mismatch");
+  const double dac_levels = std::pow(2.0, params_.dac_bits) - 1.0;
+  std::vector<double> v(rows(), 0.0);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    const double xn = std::clamp(x[i], 0.0, 1.0);
+    v[i] = std::round(xn * dac_levels) / dac_levels * params_.v_read;
+  }
+  std::vector<double> currents = xbar_->ideal_mvm(v);
+  // ADC full scale: all cells at G_max driven at v_read.
+  const double full_scale = params_.v_read * xbar_->spec().g_max() *
+                            static_cast<double>(rows());
+  const double adc_levels = std::pow(2.0, params_.adc_bits) - 1.0;
+  for (double& y : currents) {
+    const double yn = std::clamp(y / full_scale, 0.0, 1.0);
+    y = std::round(yn * adc_levels) / adc_levels * full_scale;
+  }
+  return currents;
+}
+
+}  // namespace resipe::baselines

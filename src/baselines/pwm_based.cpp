@@ -1,0 +1,85 @@
+#include "resipe/baselines/pwm_based.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::baselines {
+
+using namespace resipe::units;
+
+double PwmParams::window() const {
+  return std::pow(2.0, bits) * time_step;
+}
+
+PwmDesign::PwmDesign(PwmParams params, device::ReramSpec spec,
+                     std::size_t rows, std::size_t cols,
+                     std::uint64_t program_seed)
+    : params_(params) {
+  RESIPE_REQUIRE(params_.bits >= 1 && params_.bits <= 12,
+                 "PWM bits out of range");
+  RESIPE_REQUIRE(params_.time_step > 0.0, "PWM LSB must be positive");
+  xbar_ = std::make_unique<crossbar::Crossbar>(
+      crossbar::make_representative(rows, cols, spec, program_seed));
+}
+
+energy::EnergyReport PwmDesign::mvm_report() const {
+  const energy::ComponentLibrary lib;
+  energy::EnergyReport report;
+  const auto n_rows = static_cast<double>(rows());
+  const auto n_cols = static_cast<double>(cols());
+  const double window = params_.window();
+
+  // Per-row pulse modulators: ramp + comparator live for the whole
+  // window, strong driver holds the line for duty * window.
+  report.add(lib.pulse_modulator(), n_rows, 1.0, window);
+
+  // Crossbar: each wordline high for duty * window at full amplitude.
+  const std::vector<double> v_wl(rows(), params_.v_pulse);
+  report.add_raw(
+      "ReRAM crossbar (PWM drive)",
+      xbar_->static_read_energy(v_wl, params_.utilization * window),
+      xbar_->area());
+
+  // Per-column integrators track the bitline for the full window, then
+  // the shared ADC digitizes each column.
+  report.add(lib.integrator(), n_cols, 1.0, window);
+  report.add(lib.sample_hold(), n_cols, 1.0, params_.readout_time);
+  report.add(lib.adc(params_.adc_bits), 1.0, n_cols, params_.readout_time);
+  report.add(lib.digital_logic(400), 1.0, 2.0, 0.0);
+  return report;
+}
+
+double PwmDesign::mvm_latency() const {
+  return params_.window() + params_.readout_time;
+}
+
+std::vector<double> PwmDesign::functional_mvm(
+    std::span<const double> x) const {
+  RESIPE_REQUIRE(x.size() == rows(), "input size mismatch");
+  const double levels = std::pow(2.0, params_.bits) - 1.0;
+  std::vector<double> on_time(rows(), 0.0);
+  for (std::size_t i = 0; i < rows(); ++i) {
+    const double duty =
+        std::round(std::clamp(x[i], 0.0, 1.0) * levels) / levels;
+    on_time[i] = duty * params_.window();
+  }
+  std::vector<double> charge(cols(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const double q_unit = params_.v_pulse * on_time[r];
+    if (q_unit == 0.0) continue;
+    for (std::size_t c = 0; c < cols(); ++c)
+      charge[c] += q_unit * xbar_->effective_g(r, c);
+  }
+  const double q_full = params_.v_pulse * params_.window() *
+                        xbar_->spec().g_max() * static_cast<double>(rows());
+  const double adc_levels = std::pow(2.0, params_.adc_bits) - 1.0;
+  for (double& q : charge) {
+    const double qn = std::clamp(q / q_full, 0.0, 1.0);
+    q = std::round(qn * adc_levels) / adc_levels * q_full;
+  }
+  return charge;
+}
+
+}  // namespace resipe::baselines

@@ -1,0 +1,97 @@
+#include "resipe/baselines/rate_coding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::baselines {
+
+using namespace resipe::units;
+
+double RateCodingParams::window() const {
+  return (std::pow(2.0, bits) - 1.0) * spike_period + spike_period;
+}
+
+RateCodingDesign::RateCodingDesign(RateCodingParams params,
+                                   device::ReramSpec spec, std::size_t rows,
+                                   std::size_t cols,
+                                   std::uint64_t program_seed)
+    : params_(params) {
+  RESIPE_REQUIRE(params_.bits >= 1 && params_.bits <= 12,
+                 "rate-coding bits out of range");
+  RESIPE_REQUIRE(params_.spike_width <= params_.spike_period,
+                 "spike width exceeds slot pitch");
+  xbar_ = std::make_unique<crossbar::Crossbar>(
+      crossbar::make_representative(rows, cols, spec, program_seed));
+}
+
+int RateCodingDesign::encode_spikes(double x) const {
+  const double levels = std::pow(2.0, params_.bits) - 1.0;
+  return static_cast<int>(std::round(std::clamp(x, 0.0, 1.0) * levels));
+}
+
+energy::EnergyReport RateCodingDesign::mvm_report() const {
+  const energy::ComponentLibrary lib;
+  energy::EnergyReport report;
+  const auto n_rows = static_cast<double>(rows());
+  const auto n_cols = static_cast<double>(cols());
+  const double window = params_.window();
+  const double spikes_per_input =
+      static_cast<double>(encode_spikes(params_.utilization));
+
+  // Per-row spike modulators: one event per emitted spike, clocked for
+  // the whole window.
+  report.add(lib.spike_modulator(params_.bits), n_rows, spikes_per_input,
+             window);
+  report.add(lib.spike_driver(), n_rows, spikes_per_input, 0.0);
+
+  // Crossbar: every wordline is driven for (spikes * width) seconds.
+  const std::vector<double> v_wl(rows(), params_.v_spike);
+  report.add_raw(
+      "ReRAM crossbar (spiking)",
+      xbar_->static_read_energy(v_wl,
+                                spikes_per_input * params_.spike_width),
+      xbar_->area());
+
+  // Per-column I&F neurons: fire/reset events proportional to the
+  // output spike count (~input rate at a balanced array), biased for
+  // the whole window; output counters tick per fire.
+  const double fires_per_neuron = spikes_per_input;
+  report.add(lib.integrate_fire_neuron(params_.bits), n_cols,
+             fires_per_neuron, window);
+  report.add(lib.digital_logic(300), 1.0, 2.0, 0.0);
+  return report;
+}
+
+double RateCodingDesign::mvm_latency() const { return params_.window(); }
+
+std::vector<double> RateCodingDesign::functional_mvm(
+    std::span<const double> x) const {
+  RESIPE_REQUIRE(x.size() == rows(), "input size mismatch");
+  // Charge injected per spike per cell: G * V * width.
+  std::vector<double> counts(rows(), 0.0);
+  for (std::size_t i = 0; i < rows(); ++i)
+    counts[i] = static_cast<double>(encode_spikes(x[i]));
+  std::vector<double> charge(cols(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const double q_unit =
+        params_.v_spike * params_.spike_width * counts[r];
+    if (q_unit == 0.0) continue;
+    for (std::size_t c = 0; c < cols(); ++c)
+      charge[c] += q_unit * xbar_->effective_g(r, c);
+  }
+  // Output quantization: the neuron fires once per threshold charge;
+  // full scale = all rows at max count into an all-G_max column.
+  const double q_full = params_.v_spike * params_.spike_width *
+                        (std::pow(2.0, params_.bits) - 1.0) *
+                        xbar_->spec().g_max() * static_cast<double>(rows());
+  const double levels = std::pow(2.0, params_.bits) - 1.0;
+  for (double& q : charge) {
+    const double qn = std::clamp(q / q_full, 0.0, 1.0);
+    q = std::round(qn * levels) / levels * q_full;
+  }
+  return charge;
+}
+
+}  // namespace resipe::baselines

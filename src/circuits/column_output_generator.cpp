@@ -1,0 +1,64 @@
+#include "resipe/circuits/column_output_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/circuits/rc_stage.hpp"
+#include "resipe/common/error.hpp"
+
+namespace resipe::circuits {
+
+ColumnOutputGenerator::ColumnOutputGenerator(const CircuitParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+double ColumnOutputGenerator::sample_voltage(const ColumnDrive& drive) const {
+  RESIPE_REQUIRE(drive.g_total >= 0.0, "negative column conductance");
+  if (drive.g_total <= 0.0) return 0.0;
+  const double tau = params_.c_cog / drive.g_total;  // Req * Ccog
+  if (params_.model == TransferModel::kLinear) {
+    // Eq. (3) approximation: Vout = Veq * dt / (Req Ccog); in this mode
+    // the value may exceed Veq — that is exactly the linearization error
+    // the exact model avoids.
+    return rc_voltage_linear(drive.v_eq, tau, params_.comp_stage);
+  }
+  return rc_voltage(0.0, drive.v_eq, tau, params_.comp_stage);
+}
+
+Spike ColumnOutputGenerator::emit(double v_out,
+                                  const GlobalDecoder& gd) const {
+  const double threshold = v_out + params_.comparator_offset;
+  if (threshold <= 0.0) {
+    // The ramp starts above the held value: the comparator fires
+    // immediately at the beginning of S2.
+    return Spike::at(params_.comparator_delay, params_.spike_width);
+  }
+  const double crossing = gd.ramp_crossing_time(threshold);
+  const double t_out = crossing + params_.comparator_delay;
+  if (!(t_out <= params_.slice_length)) {
+    return Spike::none();
+  }
+  return Spike::at(t_out, params_.spike_width);
+}
+
+Spike ColumnOutputGenerator::convert(const ColumnDrive& drive,
+                                     const GlobalDecoder& gd) const {
+  return emit(sample_voltage(drive), gd);
+}
+
+double ColumnOutputGenerator::conversion_energy(double v_out) const {
+  // Computation stage: the energy *stored* on Ccog when it reaches
+  // v_out (the resistive loss of that charge event is booked against
+  // the crossbar by the tile's accounting).  S2: the comparator's
+  // reference branch mirrors the GD ramp across the full slice — a
+  // full-swing charge of a matched capacitance every slice.  Both caps
+  // are discharged to ground at the slice boundary, so each slice pays
+  // the full charge energy again — hence COG dominance (Sec. IV-B).
+  const double comp_stage_energy = capacitor_energy(params_.c_cog, v_out);
+  const double s2_reference_energy =
+      rc_source_energy(params_.c_cog, params_.v_s, params_.v_s);
+  return comp_stage_energy + s2_reference_energy;
+}
+
+}  // namespace resipe::circuits

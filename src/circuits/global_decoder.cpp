@@ -1,0 +1,45 @@
+#include "resipe/circuits/global_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "resipe/circuits/rc_stage.hpp"
+#include "resipe/common/error.hpp"
+
+namespace resipe::circuits {
+
+GlobalDecoder::GlobalDecoder(const CircuitParams& params,
+                             SampleHold sample_hold)
+    : params_(params), sample_hold_(sample_hold) {
+  params_.validate();
+}
+
+double GlobalDecoder::ramp_voltage(double t) const {
+  return params_.ramp_voltage(t);
+}
+
+double GlobalDecoder::decode(const Spike& spike) const {
+  if (!spike.valid() || spike.arrival_time > params_.slice_length) {
+    return 0.0;
+  }
+  const double v = ramp_voltage(spike.arrival_time);
+  // Held from the spike's arrival until the computation stage at the
+  // end of S1.
+  const double hold_time =
+      std::max(params_.slice_length - spike.arrival_time, 0.0);
+  return sample_hold_.sample(v, hold_time);
+}
+
+std::vector<double> GlobalDecoder::decode(
+    const std::vector<Spike>& spikes) const {
+  std::vector<double> v(spikes.size(), 0.0);
+  for (std::size_t i = 0; i < spikes.size(); ++i) v[i] = decode(spikes[i]);
+  return v;
+}
+
+double GlobalDecoder::ramp_crossing_time(double v) const {
+  return params_.ramp_crossing(v);
+}
+
+}  // namespace resipe::circuits

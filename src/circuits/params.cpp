@@ -1,0 +1,62 @@
+#include "resipe/circuits/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::circuits {
+
+void CircuitParams::validate() const {
+  RESIPE_REQUIRE(v_s > 0.0, "source voltage must be positive");
+  RESIPE_REQUIRE(r_gd > 0.0, "GD resistance must be positive");
+  RESIPE_REQUIRE(c_gd > 0.0, "GD capacitance must be positive");
+  RESIPE_REQUIRE(c_cog > 0.0, "COG capacitance must be positive");
+  RESIPE_REQUIRE(slice_length > 0.0, "slice length must be positive");
+  RESIPE_REQUIRE(comp_stage > 0.0, "computation stage must be positive");
+  RESIPE_REQUIRE(comp_stage < slice_length,
+                 "computation stage must fit inside a slice");
+  RESIPE_REQUIRE(spike_width > 0.0 && spike_width <= slice_length,
+                 "spike width must fit inside a slice");
+  RESIPE_REQUIRE(comparator_delay >= 0.0, "negative comparator delay");
+  RESIPE_REQUIRE(comparator_offset_sigma >= 0.0,
+                 "negative comparator offset sigma");
+  RESIPE_REQUIRE(clock_period > 0.0, "clock period must be positive");
+}
+
+double CircuitParams::ramp_voltage(double t) const {
+  RESIPE_REQUIRE(t >= 0.0, "ramp time must be non-negative");
+  double v;
+  if (model == TransferModel::kLinear) {
+    v = v_s * t / tau_gd();
+  } else {
+    v = v_s * (1.0 - std::exp(-t / tau_gd()));
+  }
+  return std::clamp(v, 0.0, v_s);
+}
+
+double CircuitParams::ramp_crossing(double v) const {
+  if (v <= 0.0) return 0.0;
+  if (model == TransferModel::kLinear) {
+    return v * tau_gd() / v_s;
+  }
+  if (v >= v_s) return std::numeric_limits<double>::infinity();
+  return -tau_gd() * std::log(1.0 - v / v_s);
+}
+
+CircuitParams CircuitParams::paper_defaults() { return CircuitParams{}; }
+
+CircuitParams CircuitParams::nn_calibrated() {
+  CircuitParams p;
+  p.r_gd = 1.0 * units::MOhm;  // tau_gd = slice = 100 ns
+  return p;
+}
+
+CircuitParams CircuitParams::linear_regime() {
+  CircuitParams p;
+  p.r_gd = 10.0 * units::MOhm;  // tau_gd = 1 us >> 100 ns slice
+  return p;
+}
+
+}  // namespace resipe::circuits

@@ -1,0 +1,52 @@
+#include "resipe/circuits/rc_stage.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::circuits {
+
+double rc_voltage(double v0, double v_inf, double tau, double t) {
+  RESIPE_REQUIRE(tau >= 0.0, "negative time constant " << tau);
+  RESIPE_REQUIRE(t >= 0.0, "negative time " << t);
+  if (tau == 0.0) return v_inf;
+  return v_inf + (v0 - v_inf) * std::exp(-t / tau);
+}
+
+double rc_time_to_reach(double v0, double v_inf, double tau,
+                        double v_target) {
+  RESIPE_REQUIRE(tau >= 0.0, "negative time constant " << tau);
+  if (v_target == v0) return 0.0;
+  if (tau == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Charging moves monotonically from v0 toward v_inf; the target must
+  // lie strictly between them (exclusive of v_inf, reached only at t=inf).
+  const double num = v_inf - v0;
+  const double den = v_inf - v_target;
+  if (num == 0.0) return std::numeric_limits<double>::infinity();
+  const double ratio = den / num;
+  if (ratio <= 0.0 || ratio >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return -tau * std::log(ratio);
+}
+
+double rc_source_energy(double capacitance, double v_source, double v_final) {
+  RESIPE_REQUIRE(capacitance >= 0.0, "negative capacitance");
+  // Charge delivered by the source: Q = C * v_final; energy = Q * V_s.
+  return capacitance * v_final * v_source;
+}
+
+double capacitor_energy(double capacitance, double v) {
+  RESIPE_REQUIRE(capacitance >= 0.0, "negative capacitance");
+  return 0.5 * capacitance * v * v;
+}
+
+double rc_voltage_linear(double v_inf, double tau, double t) {
+  RESIPE_REQUIRE(tau > 0.0, "linearized RC needs positive tau");
+  return v_inf * t / tau;
+}
+
+}  // namespace resipe::circuits

@@ -1,0 +1,21 @@
+#include "resipe/circuits/sample_hold.hpp"
+
+#include <algorithm>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::circuits {
+
+SampleHold::SampleHold(double gain_error, double droop_rate)
+    : gain_error_(gain_error), droop_rate_(droop_rate) {
+  RESIPE_REQUIRE(droop_rate >= 0.0, "negative droop rate");
+}
+
+double SampleHold::sample(double v, double hold_time) const {
+  RESIPE_REQUIRE(hold_time >= 0.0, "negative hold time");
+  const double held = v * (1.0 + gain_error_) - droop_rate_ * hold_time;
+  // Droop cannot take the node below ground in this single-supply design.
+  return std::max(held, 0.0);
+}
+
+}  // namespace resipe::circuits

@@ -1,0 +1,85 @@
+#include "resipe/circuits/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
+
+namespace resipe::circuits {
+
+Trace& WaveformRecorder::trace(const std::string& name) {
+  for (auto& t : traces_) {
+    if (t.name == name) return t;
+  }
+  traces_.push_back(Trace{name, {}, {}});
+  return traces_.back();
+}
+
+void WaveformRecorder::record(const std::string& name, double t, double v) {
+  Trace& tr = trace(name);
+  RESIPE_REQUIRE(tr.time.empty() || t >= tr.time.back(),
+                 "samples must be appended in time order (trace '"
+                     << name << "')");
+  tr.time.push_back(t);
+  tr.value.push_back(v);
+}
+
+const Trace* WaveformRecorder::find(const std::string& name) const {
+  for (const auto& t : traces_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+double WaveformRecorder::at(const std::string& name, double t) const {
+  const Trace* tr = find(name);
+  RESIPE_REQUIRE(tr != nullptr && !tr->time.empty(),
+                 "unknown or empty trace '" << name << "'");
+  if (t <= tr->time.front()) return tr->value.front();
+  if (t >= tr->time.back()) return tr->value.back();
+  const auto it = std::lower_bound(tr->time.begin(), tr->time.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - tr->time.begin());
+  const std::size_t lo = hi - 1;
+  const double span = tr->time[hi] - tr->time[lo];
+  if (span <= 0.0) return tr->value[hi];
+  const double f = (t - tr->time[lo]) / span;
+  return tr->value[lo] + f * (tr->value[hi] - tr->value[lo]);
+}
+
+std::string WaveformRecorder::render_ascii(double t0, double t1,
+                                           std::size_t width,
+                                           std::size_t height) const {
+  RESIPE_REQUIRE(t1 > t0, "empty time window");
+  RESIPE_REQUIRE(width >= 2 && height >= 2, "window too small");
+  std::ostringstream os;
+  for (const auto& tr : traces_) {
+    if (tr.time.empty()) continue;
+    double vmin = tr.value.front();
+    double vmax = vmin;
+    for (double v : tr.value) {
+      vmin = std::min(vmin, v);
+      vmax = std::max(vmax, v);
+    }
+    if (vmax - vmin < 1e-15) vmax = vmin + 1.0;
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (std::size_t col = 0; col < width; ++col) {
+      const double t = t0 + (t1 - t0) * static_cast<double>(col) /
+                                static_cast<double>(width - 1);
+      const double v = at(tr.name, t);
+      const double frac = (v - vmin) / (vmax - vmin);
+      const auto row = static_cast<std::size_t>(std::lround(
+          (1.0 - frac) * static_cast<double>(height - 1)));
+      grid[std::min(row, height - 1)][col] = '*';
+    }
+    os << tr.name << "  [" << format_si(vmin, "V") << " .. "
+       << format_si(vmax, "V") << "]  t = [" << format_si(t0, "s") << " .. "
+       << format_si(t1, "s") << "]\n";
+    for (const auto& row : grid) os << "  |" << row << "\n";
+    os << "  +" << std::string(width, '-') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace resipe::circuits

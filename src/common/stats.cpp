@@ -1,0 +1,146 @@
+#include "resipe/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  RESIPE_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+                 "pearson needs two equal-length samples of >= 2 points");
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  cov /= static_cast<double>(xs.size() - 1);
+  const double denom = sx.stddev * sy.stddev;
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  RESIPE_REQUIRE(a.size() == b.size() && !a.empty(),
+                 "rmse needs equal-length non-empty samples");
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ss += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(ss / static_cast<double>(a.size()));
+}
+
+double PolyFit::operator()(double x) const {
+  double y = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) y = y * x + coeffs[k];
+  return y;
+}
+
+std::vector<double> solve_linear_system(std::vector<double> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  RESIPE_REQUIRE(a.size() == n * n, "matrix/vector size mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    RESIPE_REQUIRE(std::abs(diag) > 1e-300, "singular system in solve");
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / diag;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) acc -= a[row * n + c] * x[c];
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+PolyFit polyfit(std::span<const double> xs, std::span<const double> ys,
+                int degree) {
+  RESIPE_REQUIRE(degree >= 0, "negative polynomial degree");
+  const auto d = static_cast<std::size_t>(degree);
+  RESIPE_REQUIRE(xs.size() == ys.size() && xs.size() >= d + 1,
+                 "polyfit needs >= degree+1 equal-length points");
+  const std::size_t n = d + 1;
+  // Normal equations: (V^T V) c = V^T y with V the Vandermonde matrix.
+  std::vector<double> ata(n * n, 0.0);
+  std::vector<double> aty(n, 0.0);
+  std::vector<double> powers(2 * n - 1, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < 2 * n - 1; ++k) {
+      powers[k] = p;
+      p *= xs[i];
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) ata[r * n + c] += powers[r + c];
+      aty[r] += powers[r] * ys[i];
+    }
+  }
+  PolyFit fit;
+  fit.coeffs = solve_linear_system(std::move(ata), std::move(aty));
+  // r^2 against the mean model.
+  const Summary sy = summarize(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - fit(xs[i]);
+    ss_res += e * e;
+    ss_tot += (ys[i] - sy.mean) * (ys[i] - sy.mean);
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PolyFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  return polyfit(xs, ys, 1);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  RESIPE_REQUIRE(n >= 1, "linspace needs at least one point");
+  std::vector<double> v(n, lo);
+  if (n == 1) return v;
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;  // exact endpoint despite rounding
+  return v;
+}
+
+double relative_error(double a, double b, double eps) {
+  return std::abs(a - b) / std::max(std::abs(b), eps);
+}
+
+}  // namespace resipe

@@ -1,0 +1,97 @@
+#include "resipe/common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RESIPE_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  RESIPE_REQUIRE(cells.size() == header_.size(),
+                 "row arity " << cells.size() << " != header arity "
+                              << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.str();
+}
+
+std::string format_si(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e-15, "f"}, {1e-12, "p"}, {1e-9, "n"}, {1e-6, "u"}, {1e-3, "m"},
+      {1.0, ""},    {1e3, "k"},   {1e6, "M"},  {1e9, "G"},  {1e12, "T"},
+  };
+  const double mag = std::abs(value);
+  const Prefix* chosen = &kPrefixes[5];
+  if (mag > 0.0) {
+    for (const auto& p : kPrefixes) {
+      if (mag >= p.scale * 0.9999) chosen = &p;
+    }
+  }
+  std::ostringstream os;
+  os << format_fixed(value / chosen->scale, precision) << " " << chosen->name
+     << unit;
+  return os.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_ratio(double value, int precision) {
+  return format_fixed(value, precision) + "x";
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_fixed(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace resipe

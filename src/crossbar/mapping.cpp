@@ -1,0 +1,124 @@
+#include "resipe/crossbar/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::crossbar {
+
+const char* to_string(SignedMapping strategy) {
+  switch (strategy) {
+    case SignedMapping::kDifferentialPair: return "differential pair";
+    case SignedMapping::kComplementaryPair: return "complementary pair";
+    case SignedMapping::kOffsetColumn: return "offset column";
+  }
+  return "?";
+}
+
+namespace {
+bool is_pair(SignedMapping s) {
+  return s == SignedMapping::kDifferentialPair ||
+         s == SignedMapping::kComplementaryPair;
+}
+}  // namespace
+
+std::size_t MappedWeights::plus_col(std::size_t logical_j) const {
+  RESIPE_REQUIRE(logical_j < logical_cols, "logical column out of range");
+  return is_pair(strategy) ? 2 * logical_j : logical_j;
+}
+
+std::size_t MappedWeights::minus_col(std::size_t logical_j) const {
+  RESIPE_REQUIRE(logical_j < logical_cols, "logical column out of range");
+  return is_pair(strategy) ? 2 * logical_j + 1 : reference_col;
+}
+
+MappedWeights map_weights(std::span<const double> weights, std::size_t rows,
+                          std::size_t logical_cols,
+                          const device::ReramSpec& spec,
+                          SignedMapping strategy, double w_clip) {
+  RESIPE_REQUIRE(rows > 0 && logical_cols > 0, "empty weight matrix");
+  RESIPE_REQUIRE(weights.size() == rows * logical_cols,
+                 "weight matrix size mismatch");
+  spec.validate();
+
+  double scale = w_clip;
+  if (scale <= 0.0) {
+    for (double w : weights) scale = std::max(scale, std::abs(w));
+    if (scale <= 0.0) scale = 1.0;  // all-zero matrix
+  }
+
+  const double g_min = spec.g_min();
+  const double g_span = spec.g_max() - spec.g_min();
+
+  MappedWeights out;
+  out.rows = rows;
+  out.strategy = strategy;
+  out.logical_cols = logical_cols;
+
+  if (strategy == SignedMapping::kDifferentialPair) {
+    out.cols = 2 * logical_cols;
+    out.g_targets.assign(rows * out.cols, 0.0);
+    out.weight_per_siemens = scale / g_span;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < logical_cols; ++j) {
+        const double w =
+            std::clamp(weights[r * logical_cols + j], -scale, scale);
+        const double f = std::abs(w) / scale;
+        const double g_on = g_min + f * g_span;
+        out.g_targets[r * out.cols + 2 * j] = w > 0.0 ? g_on : g_min;
+        out.g_targets[r * out.cols + 2 * j + 1] = w < 0.0 ? g_on : g_min;
+      }
+    }
+  } else if (strategy == SignedMapping::kComplementaryPair) {
+    out.cols = 2 * logical_cols;
+    out.g_targets.assign(rows * out.cols, 0.0);
+    out.weight_per_siemens = scale / g_span;
+    const double g_mid = g_min + 0.5 * g_span;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < logical_cols; ++j) {
+        const double w =
+            std::clamp(weights[r * logical_cols + j], -scale, scale);
+        const double half = 0.5 * (w / scale) * g_span;
+        out.g_targets[r * out.cols + 2 * j] = g_mid + half;
+        out.g_targets[r * out.cols + 2 * j + 1] = g_mid - half;
+      }
+    }
+  } else {
+    out.cols = logical_cols + 1;
+    out.reference_col = logical_cols;
+    out.g_targets.assign(rows * out.cols, 0.0);
+    out.weight_per_siemens = 2.0 * scale / g_span;
+    const double g_mid = g_min + 0.5 * g_span;
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < logical_cols; ++j) {
+        const double w =
+            std::clamp(weights[r * logical_cols + j], -scale, scale);
+        const double shifted = (w + scale) / (2.0 * scale);  // [0, 1]
+        out.g_targets[r * out.cols + j] = g_min + shifted * g_span;
+      }
+      out.g_targets[r * out.cols + out.reference_col] = g_mid;
+    }
+  }
+  return out;
+}
+
+std::vector<double> unmap_weights(const MappedWeights& mapping,
+                                  std::span<const double> g_programmed) {
+  RESIPE_REQUIRE(g_programmed.size() == mapping.rows * mapping.cols,
+                 "programmed matrix size mismatch");
+  std::vector<double> w(mapping.rows * mapping.logical_cols, 0.0);
+  for (std::size_t r = 0; r < mapping.rows; ++r) {
+    for (std::size_t j = 0; j < mapping.logical_cols; ++j) {
+      const double g_plus =
+          g_programmed[r * mapping.cols + mapping.plus_col(j)];
+      const double g_minus =
+          g_programmed[r * mapping.cols + mapping.minus_col(j)];
+      w[r * mapping.logical_cols + j] =
+          (g_plus - g_minus) * mapping.weight_per_siemens;
+    }
+  }
+  return w;
+}
+
+}  // namespace resipe::crossbar

@@ -1,0 +1,119 @@
+#include "resipe/device/reram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::device {
+
+void ReramSpec::validate() const {
+  RESIPE_REQUIRE(r_lrs > 0.0, "LRS must be positive");
+  RESIPE_REQUIRE(r_hrs > r_lrs, "HRS must exceed LRS");
+  RESIPE_REQUIRE(levels >= 2, "need at least 2 conductance levels");
+  RESIPE_REQUIRE(write_verify_tolerance >= 0.0, "negative write tolerance");
+  RESIPE_REQUIRE(variation_sigma >= 0.0, "negative variation sigma");
+  RESIPE_REQUIRE(read_noise_sigma >= 0.0, "negative read noise sigma");
+  RESIPE_REQUIRE(transistor_r_on >= 0.0, "negative transistor resistance");
+  RESIPE_REQUIRE(cell_area > 0.0, "non-positive cell area");
+  RESIPE_REQUIRE(stuck_lrs_rate >= 0.0 && stuck_hrs_rate >= 0.0 &&
+                     stuck_lrs_rate + stuck_hrs_rate <= 1.0,
+                 "stuck-at-fault rates must be probabilities");
+  RESIPE_REQUIRE(drift_nu >= 0.0, "negative drift exponent");
+  RESIPE_REQUIRE(drift_t0 > 0.0, "drift reference time must be positive");
+}
+
+ReramSpec ReramSpec::characterization() {
+  ReramSpec spec;
+  spec.r_lrs = 10.0 * units::kOhm;
+  spec.r_hrs = 1.0 * units::MOhm;
+  return spec;
+}
+
+ReramSpec ReramSpec::nn_mapping() {
+  ReramSpec spec;
+  spec.r_lrs = 50.0 * units::kOhm;
+  spec.r_hrs = 1.0 * units::MOhm;
+  return spec;
+}
+
+void ReramCell::program(const ReramSpec& spec, double target_g, Rng& rng) {
+  spec.validate();
+  const ConductanceQuantizer quant(spec);
+  target_g_ = std::clamp(target_g, spec.g_min(), spec.g_max());
+  // Stuck-at faults win over everything: the write-verify loop cannot
+  // move a stuck cell.
+  stuck_ = false;
+  if (spec.stuck_lrs_rate > 0.0 && rng.bernoulli(spec.stuck_lrs_rate)) {
+    programmed_g_ = spec.g_max();
+    stuck_ = true;
+    return;
+  }
+  if (spec.stuck_hrs_rate > 0.0 && rng.bernoulli(spec.stuck_hrs_rate)) {
+    programmed_g_ = spec.g_min();
+    stuck_ = true;
+    return;
+  }
+  // Snap to the nearest programmable level.
+  const double w = quant.g_to_weight(target_g_);
+  double g = quant.weight_to_g_quantized(w);
+  // Write-verify residue: uniform within the verify window.
+  if (spec.write_verify_tolerance > 0.0) {
+    g *= 1.0 + rng.uniform(-spec.write_verify_tolerance,
+                           spec.write_verify_tolerance);
+  }
+  // Static process variation: multiplicative normal per [21, 22].
+  if (spec.variation_sigma > 0.0) {
+    g *= 1.0 + rng.normal(0.0, spec.variation_sigma);
+  }
+  // A cell cannot be programmed outside its physical window by much;
+  // keep it non-negative and bounded by 2x G_max as a sanity envelope
+  // (strongly-varied devices can overshoot the nominal window [21]).
+  programmed_g_ = std::clamp(g, 0.0, 2.0 * spec.g_max());
+}
+
+double ReramCell::read_g(const ReramSpec& spec, Rng& rng) const {
+  double g = programmed_g_;
+  if (spec.read_noise_sigma > 0.0) {
+    g *= 1.0 + rng.normal(0.0, spec.read_noise_sigma);
+  }
+  return std::max(g, 0.0);
+}
+
+double ReramCell::drifted_g(const ReramSpec& spec, double elapsed) const {
+  RESIPE_REQUIRE(elapsed >= 0.0, "negative retention time");
+  if (spec.drift_nu <= 0.0 || stuck_ || elapsed <= spec.drift_t0) {
+    return programmed_g_;
+  }
+  return programmed_g_ * std::pow(elapsed / spec.drift_t0, -spec.drift_nu);
+}
+
+double ReramCell::effective_g(const ReramSpec& spec) const {
+  if (programmed_g_ <= 0.0) return 0.0;
+  const double r_cell = 1.0 / programmed_g_;
+  return 1.0 / (r_cell + spec.transistor_r_on);
+}
+
+ConductanceQuantizer::ConductanceQuantizer(const ReramSpec& spec)
+    : g_min_(spec.g_min()),
+      g_max_(spec.g_max()),
+      step_((spec.g_max() - spec.g_min()) / (spec.levels - 1)),
+      levels_(spec.levels) {}
+
+double ConductanceQuantizer::weight_to_g(double w) const {
+  w = std::clamp(w, 0.0, 1.0);
+  return g_min_ + w * (g_max_ - g_min_);
+}
+
+double ConductanceQuantizer::weight_to_g_quantized(double w) const {
+  const double g = weight_to_g(w);
+  const double level = std::round((g - g_min_) / step_);
+  return g_min_ + level * step_;
+}
+
+double ConductanceQuantizer::g_to_weight(double g) const {
+  const double w = (g - g_min_) / (g_max_ - g_min_);
+  return std::clamp(w, 0.0, 1.0);
+}
+
+}  // namespace resipe::device

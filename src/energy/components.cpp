@@ -1,0 +1,160 @@
+#include "resipe/energy/components.hpp"
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::energy {
+
+using namespace resipe::units;
+
+ComponentLibrary::ComponentLibrary(Technology tech) : tech_(tech) {
+  RESIPE_REQUIRE(tech_.feature_size > 0.0, "bad feature size");
+  RESIPE_REQUIRE(tech_.vdd > 0.0, "bad supply voltage");
+}
+
+Component ComponentLibrary::dac(int bits) const {
+  RESIPE_REQUIRE(bits >= 1 && bits <= 16, "DAC resolution out of range");
+  Component c;
+  c.name = std::to_string(bits) + "b DAC";
+  // Current-steering DAC: area and conversion energy scale with the
+  // number of unary elements; 8-bit reference point ~ 600 um^2,
+  // 0.5 pJ/conv at 65 nm (ISAAC-class estimates).
+  const double scale = std::pow(2.0, bits - 8);
+  c.area = 1200.0 * um2 * scale;
+  c.energy_per_op = 0.5 * pJ * scale;
+  c.static_power = 30.0 * uW * scale;  // bias ladder while enabled
+  return c;
+}
+
+Component ComponentLibrary::adc(int bits) const {
+  RESIPE_REQUIRE(bits >= 1 && bits <= 16, "ADC resolution out of range");
+  Component c;
+  c.name = std::to_string(bits) + "b ADC";
+  // [20]: 2.3 mW @ 950 MS/s, 8 bit -> 2.42 pJ/conversion; area includes
+  // the sub-ranging TDC ladder and its calibration logic.
+  const double scale = std::pow(2.0, bits - 8);
+  c.area = 0.035 * mm2 * scale;
+  c.energy_per_op = 2.42 * pJ * scale;
+  c.static_power = 250.0 * uW;  // references + clocking while enabled
+  return c;
+}
+
+Component ComponentLibrary::sample_hold() const {
+  Component c;
+  c.name = "S/H";
+  c.area = 80.0 * um2;                      // switch + 30 fF hold cap
+  c.energy_per_op = 30.0 * fF * tech_.vdd * tech_.vdd;  // one cap charge
+  c.static_power = 0.0;
+  return c;
+}
+
+Component ComponentLibrary::comparator(double bias) const {
+  RESIPE_REQUIRE(bias >= 0.0, "negative comparator bias");
+  Component c;
+  c.name = "comparator";
+  c.area = 150.0 * um2;
+  c.static_power = bias;        // continuous-time bias while enabled
+  c.energy_per_op = 20.0 * fJ;  // decision / output toggle
+  return c;
+}
+
+Component ComponentLibrary::spike_driver() const {
+  Component c;
+  c.name = "spike driver";
+  c.area = 12.0 * um2;
+  // One line charge per spike edge pair: ~20 fF of local wire at vdd.
+  c.energy_per_op = 20.0 * fF * tech_.vdd * tech_.vdd;
+  return c;
+}
+
+Component ComponentLibrary::spike_modulator(int bits, double bias) const {
+  RESIPE_REQUIRE(bits >= 1 && bits <= 12, "spike modulator bits");
+  RESIPE_REQUIRE(bias >= 0.0, "negative modulator bias");
+  Component c;
+  c.name = std::to_string(bits) + "b spike modulator";
+  // Counter + comparator digital block emitting up to 2^bits - 1
+  // spikes per window [11, 13].
+  c.area = 150.0 * um2;
+  c.energy_per_op = 60.0 * fJ;  // per emitted spike
+  c.static_power = bias;        // clock tree share while converting
+  return c;
+}
+
+Component ComponentLibrary::integrate_fire_neuron(int counter_bits,
+                                                  double bias) const {
+  RESIPE_REQUIRE(counter_bits >= 1 && counter_bits <= 16, "counter bits");
+  RESIPE_REQUIRE(bias >= 0.0, "negative neuron bias");
+  Component c;
+  c.name = "I&F neuron + " + std::to_string(counter_bits) + "b counter";
+  // Membrane cap (~50 fF MIM), threshold comparator, reset switch and
+  // an output spike counter.
+  c.area = (60.0 + 130.0 + 10.0 +
+            20.0 * static_cast<double>(counter_bits)) *
+           um2;
+  c.energy_per_op = 120.0 * fJ;  // fire + reset + count per output spike
+  c.static_power = bias;         // comparator bias while the window runs
+  return c;
+}
+
+Component ComponentLibrary::pulse_modulator(double bias) const {
+  RESIPE_REQUIRE(bias >= 0.0, "negative modulator bias");
+  Component c;
+  c.name = "PWM pulse modulator";
+  // [15]: per-row ramp + comparator + strong line driver that must hold
+  // the wordline for up to a full modulation window.
+  c.area = 380.0 * um2;
+  c.energy_per_op = 0.9 * pJ;  // per modulated pulse
+  c.static_power = bias;       // ramp + comparator + driver bias
+  return c;
+}
+
+Component ComponentLibrary::integrator(double bias) const {
+  RESIPE_REQUIRE(bias >= 0.0, "negative integrator bias");
+  Component c;
+  c.name = "column integrator";
+  c.area = 300.0 * um2;  // wide-band op-amp + 200 fF integration cap
+  c.static_power = bias;
+  c.energy_per_op = 50.0 * fJ;  // reset per window
+  return c;
+}
+
+Component ComponentLibrary::ramp_generator(double c_timing) const {
+  RESIPE_REQUIRE(c_timing >= 0.0, "negative timing capacitance");
+  Component c;
+  c.name = "GD ramp generator";
+  c.area = 400.0 * um2 + c_timing / (2.0 * fF / um2);
+  // One full charge of the timing cap per slice (discharged at the
+  // slice boundary through Mgd).
+  c.energy_per_op = c_timing * tech_.vdd * tech_.vdd;
+  c.static_power = 2.0 * uW;  // source follower bias
+  return c;
+}
+
+Component ComponentLibrary::mim_capacitor(double capacitance) const {
+  RESIPE_REQUIRE(capacitance >= 0.0, "negative capacitance");
+  Component c;
+  c.name = "MIM cap";
+  c.area = capacitance / (2.0 * fF / um2);  // ~2 fF/um^2 MIM density
+  return c;
+}
+
+Component ComponentLibrary::digital_logic(std::size_t gate_count) const {
+  Component c;
+  c.name = "digital logic (" + std::to_string(gate_count) + " gates)";
+  c.area = static_cast<double>(gate_count) * 2.0 * um2;  // NAND2 ~ 2 um^2
+  // 0.1 activity, ~1 fF switched per gate per active edge.
+  c.energy_per_op = static_cast<double>(gate_count) * 0.1 * 1.0 * fF *
+                    tech_.vdd * tech_.vdd;
+  return c;
+}
+
+Component ComponentLibrary::pulse_shaper() const {
+  Component c;
+  c.name = "pulse shaper";
+  c.area = 20.0 * um2;
+  c.energy_per_op = 15.0 * fJ;  // inverter + AND toggle per spike
+  return c;
+}
+
+}  // namespace resipe::energy

@@ -1,0 +1,25 @@
+#include "resipe/energy/design.hpp"
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::energy {
+
+DesignPoint DesignModel::evaluate() const {
+  DesignPoint p;
+  p.name = name();
+  const EnergyReport report = mvm_report();
+  p.energy_per_mvm = report.total_energy();
+  p.latency = mvm_latency();
+  p.interval = initiation_interval();
+  p.area = report.total_area();
+  p.ops_per_mvm = 2.0 * static_cast<double>(rows() * cols());
+  RESIPE_ASSERT(p.interval > 0.0 && p.latency > 0.0,
+                "design timing must be positive");
+  p.power = p.energy_per_mvm / p.interval;
+  p.throughput = p.ops_per_mvm / p.interval;
+  p.power_efficiency =
+      p.energy_per_mvm > 0.0 ? p.ops_per_mvm / p.energy_per_mvm : 0.0;
+  return p;
+}
+
+}  // namespace resipe::energy

@@ -1,0 +1,71 @@
+#include "resipe/energy/report.hpp"
+
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
+
+namespace resipe::energy {
+
+void EnergyReport::add(const Component& component, double count, double ops,
+                       double enabled_time) {
+  RESIPE_REQUIRE(count >= 0.0 && ops >= 0.0 && enabled_time >= 0.0,
+                 "negative accounting input for " << component.name);
+  Entry e;
+  e.name = component.name;
+  e.energy = count * component.energy(ops, enabled_time);
+  e.area = count * component.area;
+  entries_.push_back(std::move(e));
+}
+
+void EnergyReport::add_raw(const std::string& name, double energy,
+                           double area) {
+  RESIPE_REQUIRE(energy >= 0.0 && area >= 0.0,
+                 "negative raw contribution for " << name);
+  entries_.push_back(Entry{name, energy, area});
+}
+
+double EnergyReport::total_energy() const {
+  double e = 0.0;
+  for (const auto& entry : entries_) e += entry.energy;
+  return e;
+}
+
+double EnergyReport::total_area() const {
+  double a = 0.0;
+  for (const auto& entry : entries_) a += entry.area;
+  return a;
+}
+
+double EnergyReport::average_power(double period) const {
+  RESIPE_REQUIRE(period > 0.0, "period must be positive");
+  return total_energy() / period;
+}
+
+double EnergyReport::energy_share(const std::string& substring) const {
+  const double total = total_energy();
+  if (total <= 0.0) return 0.0;
+  double matched = 0.0;
+  for (const auto& entry : entries_) {
+    if (entry.name.find(substring) != std::string::npos) {
+      matched += entry.energy;
+    }
+  }
+  return matched / total;
+}
+
+std::string EnergyReport::breakdown() const {
+  TextTable t({"Block", "Energy/MVM", "Share", "Area"});
+  const double total = total_energy();
+  for (const auto& e : entries_) {
+    t.add_row({e.name, format_si(e.energy, "J"),
+               total > 0.0 ? format_percent(e.energy / total) : "-",
+               format_fixed(e.area * 1e12, 1) + " um2"});
+  }
+  t.add_separator();
+  t.add_row({"TOTAL", format_si(total, "J"), "100.0%",
+             format_fixed(total_area() * 1e12, 1) + " um2"});
+  return t.str();
+}
+
+}  // namespace resipe::energy

@@ -1,0 +1,123 @@
+#include "resipe/eval/characterization.hpp"
+
+#include <algorithm>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/rng.hpp"
+#include "resipe/resipe/fast_mvm.hpp"
+
+namespace resipe::eval {
+
+double column_t_out(const circuits::CircuitParams& params,
+                    std::span<const double> t_in,
+                    std::span<const double> g) {
+  RESIPE_REQUIRE(t_in.size() == g.size() && !t_in.empty(),
+                 "characterization vectors must match");
+  resipe_core::FastMvm mvm(params, t_in.size(), 1,
+                           std::vector<double>(g.begin(), g.end()));
+  std::vector<double> t_out(1, 0.0);
+  mvm.mvm_times(t_in, t_out);
+  // A silent line means the output exceeded the slice — report the
+  // saturation boundary, which is what an oscilloscope would show.
+  if (t_out[0] == resipe_core::FastMvm::kNoSpike) {
+    return params.slice_length;
+  }
+  return t_out[0];
+}
+
+double single_point_t_out(const circuits::CircuitParams& params,
+                          std::size_t rows, double t_in, double g_total) {
+  RESIPE_REQUIRE(rows > 0 && g_total > 0.0 && t_in >= 0.0,
+                 "invalid characterization point");
+  const double g_cell = g_total / static_cast<double>(rows);
+  const std::vector<double> t(rows, t_in);
+  const std::vector<double> g(rows, g_cell);
+  return column_t_out(params, t, g);
+}
+
+namespace {
+
+/// Measures one sample: per-row arrival times `t`, uniform per-cell
+/// conductance summing to `g_total`.
+CharacterizationPoint measure(const CharacterizationConfig& cfg,
+                              std::span<const double> t, double g_total) {
+  const double g_cell = g_total / static_cast<double>(cfg.rows);
+  const std::vector<double> g(cfg.rows, g_cell);
+  CharacterizationPoint p;
+  p.g_total = g_total;
+  double mean = 0.0;
+  double strength = 0.0;
+  for (double ti : t) {
+    mean += ti;
+    strength += ti * g_cell;
+  }
+  p.t_in = mean / static_cast<double>(t.size());
+  p.strength = strength;
+  p.t_out = column_t_out(cfg.circuit, t, g);
+  p.t_out_ideal = cfg.circuit.linear_gain() * strength;
+  return p;
+}
+
+PolyFit fit_points(const std::vector<CharacterizationPoint>& pts,
+                   int degree) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& p : pts) {
+    xs.push_back(p.strength);
+    ys.push_back(p.t_out);
+  }
+  return polyfit(xs, ys, degree);
+}
+
+}  // namespace
+
+CharacterizationResult characterize(const CharacterizationConfig& cfg) {
+  RESIPE_REQUIRE(cfg.samples >= 4 && cfg.sweep_points >= 4,
+                 "too few characterization points");
+  Rng rng(cfg.seed);
+  CharacterizationResult result;
+
+  // 100 random samples ("with different t_in and G", Sec. III-D):
+  // each sample draws a mean arrival time and a column conductance;
+  // the rows jitter around the mean as they would for one MVM of a
+  // real workload.
+  std::vector<double> t(cfg.rows, 0.0);
+  for (std::size_t i = 0; i < cfg.samples; ++i) {
+    const double t_bar = rng.uniform(cfg.t_in_min, cfg.t_in_max);
+    for (double& ti : t) {
+      ti = std::clamp(t_bar * (1.0 + rng.normal(0.0, 0.2)), cfg.t_in_min,
+                      cfg.t_in_max);
+    }
+    const double g_total = rng.uniform(cfg.g_total_min, cfg.g_total_max);
+    result.random_samples.push_back(measure(cfg, t, g_total));
+  }
+
+  // Fixed-G sweeps for Curves 2 and 3: a frozen per-row jitter pattern
+  // scaled so the mean arrival sweeps the full input range.
+  std::vector<double> jitter(cfg.rows, 0.0);
+  for (double& z : jitter) z = rng.normal(0.0, 0.25);
+  const auto t_sweep = linspace(cfg.t_in_min, cfg.t_in_max,
+                                cfg.sweep_points);
+  for (double t_bar : t_sweep) {
+    for (std::size_t r = 0; r < cfg.rows; ++r) {
+      t[r] = std::clamp(t_bar * (1.0 + jitter[r]), cfg.t_in_min,
+                        cfg.t_in_max);
+    }
+    result.sweep_2_5ms.push_back(measure(cfg, t, 2.5e-3));
+    result.sweep_3_2ms.push_back(measure(cfg, t, 3.2e-3));
+  }
+
+  std::vector<CharacterizationPoint> curve1_pts;
+  for (const auto& p : result.random_samples) {
+    if (p.g_total <= 1.6e-3) curve1_pts.push_back(p);
+  }
+  RESIPE_ASSERT(curve1_pts.size() >= static_cast<std::size_t>(
+                                         cfg.fit_degree + 1),
+                "not enough samples below 1.6 mS for Curve 1");
+  result.curve1 = fit_points(curve1_pts, cfg.fit_degree);
+  result.curve2 = fit_points(result.sweep_2_5ms, cfg.fit_degree);
+  result.curve3 = fit_points(result.sweep_3_2ms, cfg.fit_degree);
+  return result;
+}
+
+}  // namespace resipe::eval

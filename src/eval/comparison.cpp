@@ -1,0 +1,87 @@
+#include "resipe/eval/comparison.hpp"
+
+#include <sstream>
+
+#include "resipe/baselines/level_based.hpp"
+#include "resipe/baselines/pwm_based.hpp"
+#include "resipe/baselines/rate_coding.hpp"
+#include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/resipe/design.hpp"
+
+namespace resipe::eval {
+
+ComparisonResult compare_designs(std::size_t rows, std::size_t cols) {
+  const device::ReramSpec spec = device::ReramSpec::nn_mapping();
+
+  resipe_core::ResipeDesign resipe({}, spec, rows, cols);
+  baselines::LevelBasedDesign level({}, spec, rows, cols);
+  baselines::RateCodingDesign rate({}, spec, rows, cols);
+  baselines::PwmDesign pwm({}, spec, rows, cols);
+
+  ComparisonResult result;
+  result.points = {resipe.evaluate(), level.evaluate(), rate.evaluate(),
+                   pwm.evaluate()};
+
+  const auto& pr = result.points[0];
+  const auto& pl = result.points[1];
+  const auto& pt = result.points[2];
+  const auto& pw = result.points[3];
+
+  ComparisonHeadlines& h = result.headlines;
+  h.power_reduction_vs_level = 1.0 - pr.power / pl.power;
+  h.peff_gain_vs_level = pr.power_efficiency / pl.power_efficiency;
+  h.peff_gain_vs_rate = pr.power_efficiency / pt.power_efficiency;
+  h.peff_gain_vs_pwm = pr.power_efficiency / pw.power_efficiency;
+  h.latency_saving_vs_rate = 1.0 - pr.latency / pt.latency;
+  h.latency_saving_vs_pwm = 1.0 - pr.latency / pw.latency;
+  h.area_saving_vs_rate = 1.0 - pr.area / pt.area;
+  h.area_saving_vs_level = 1.0 - pr.area / pl.area;
+
+  const auto report = resipe.mvm_report();
+  h.cog_power_share = report.energy_share("COG");
+  result.resipe_breakdown = report.breakdown();
+  return result;
+}
+
+std::string ComparisonResult::render() const {
+  RESIPE_REQUIRE(points.size() == 4, "comparison expects 4 designs");
+  const auto& pr = points[0];
+
+  TextTable t({"Design", "Energy/MVM", "Power", "Power eff.", "Latency",
+               "Area", "Peff vs ReSiPE"});
+  for (const auto& p : points) {
+    t.add_row({p.name, format_si(p.energy_per_mvm, "J"),
+               format_si(p.power, "W"),
+               format_si(p.power_efficiency, "OPS/W"),
+               format_si(p.latency, "s"),
+               format_fixed(p.area * 1e6, 4) + " mm2",
+               format_ratio(pr.power_efficiency / p.power_efficiency)});
+  }
+
+  std::ostringstream os;
+  os << t.str() << "\n";
+  os << "Headline ratios (paper values in parentheses):\n";
+  os << "  power reduction vs level-based : "
+     << format_percent(headlines.power_reduction_vs_level)
+     << "  (67.1%)\n";
+  os << "  power eff. vs level-based      : "
+     << format_ratio(headlines.peff_gain_vs_level) << "  (1.97x)\n";
+  os << "  power eff. vs rate-coding      : "
+     << format_ratio(headlines.peff_gain_vs_rate) << "  (2.41x)\n";
+  os << "  power eff. vs PWM-based        : "
+     << format_ratio(headlines.peff_gain_vs_pwm) << "  (49.76x)\n";
+  os << "  latency saving vs rate-coding  : "
+     << format_percent(headlines.latency_saving_vs_rate) << "  (50.0%)\n";
+  os << "  latency saving vs PWM-based    : "
+     << format_percent(headlines.latency_saving_vs_pwm) << "  (68.8%)\n";
+  os << "  area saving vs rate-coding     : "
+     << format_percent(headlines.area_saving_vs_rate) << "  (14.2%)\n";
+  os << "  area saving vs level-based     : "
+     << format_percent(headlines.area_saving_vs_level) << "  (85.3%)\n";
+  os << "  COG share of ReSiPE power      : "
+     << format_percent(headlines.cog_power_share) << "  (98.1%)\n";
+  return os.str();
+}
+
+}  // namespace resipe::eval

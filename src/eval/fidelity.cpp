@@ -1,0 +1,53 @@
+#include "resipe/eval/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::eval {
+
+FidelityScore mvm_fidelity(const resipe_core::EngineConfig& config,
+                           std::size_t in, std::size_t out,
+                           std::size_t samples, std::uint64_t seed) {
+  RESIPE_REQUIRE(in > 0 && out > 0 && samples > 0, "empty fidelity run");
+  Rng rng(seed);
+
+  std::vector<double> w(in * out);
+  for (double& v : w) v = rng.normal(0.0, 0.4);
+  const std::vector<double> bias(out, 0.0);
+
+  Rng prog(config.program_seed);
+  resipe_core::ProgrammedMatrix pm(config, w, bias, in, out, prog);
+  pm.set_input_scale(1.0);
+
+  std::vector<double> xs(samples * in);
+  for (double& v : xs) v = rng.uniform(0.0, 1.0);
+  pm.calibrate_alpha(xs, samples);
+
+  std::vector<double> y_hw(out), y_ref(out);
+  double ss = 0.0;
+  double worst = 0.0;
+  double ref_scale = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::span<const double> x(xs.data() + s * in, in);
+    pm.forward(x, y_hw);
+    for (std::size_t j = 0; j < out; ++j) {
+      y_ref[j] = 0.0;
+      for (std::size_t i = 0; i < in; ++i) y_ref[j] += x[i] * w[i * out + j];
+      const double err = y_hw[j] - y_ref[j];
+      ss += err * err;
+      worst = std::max(worst, std::abs(err));
+      ref_scale = std::max(ref_scale, std::abs(y_ref[j]));
+    }
+  }
+  RESIPE_ASSERT(ref_scale > 0.0, "degenerate fidelity reference");
+  FidelityScore score;
+  score.rmse = std::sqrt(ss / static_cast<double>(samples * out)) /
+               ref_scale;
+  score.worst = worst / ref_scale;
+  score.alpha = pm.time_scale();
+  return score;
+}
+
+}  // namespace resipe::eval

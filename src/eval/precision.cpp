@@ -1,0 +1,131 @@
+#include "resipe/eval/precision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
+
+namespace resipe::eval {
+
+namespace {
+
+/// Runs one matrix layer in both worlds over probe vectors; returns the
+/// precision row.
+LayerPrecision measure_matrix(
+    const resipe_core::ProgrammedMatrix& pm, const std::string& description,
+    std::span<const double> xs, std::size_t n,
+    std::span<const double> weights, std::span<const double> bias) {
+  const std::size_t in = pm.in_features();
+  const std::size_t out = pm.out_features();
+  LayerPrecision row;
+  row.description = description;
+  row.in_features = in;
+  row.out_features = out;
+  row.alpha = pm.time_scale();
+
+  std::vector<double> y_hw(out, 0.0);
+  double err_ss = 0.0;
+  double sig_ss = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::span<const double> x(xs.data() + s * in, in);
+    pm.forward(x, y_hw);
+    for (std::size_t j = 0; j < out; ++j) {
+      double ref = bias[j];
+      for (std::size_t i = 0; i < in; ++i) ref += x[i] * weights[i * out + j];
+      err_ss += (y_hw[j] - ref) * (y_hw[j] - ref);
+      sig_ss += ref * ref;
+    }
+  }
+  const double count = static_cast<double>(n * out);
+  row.rmse = std::sqrt(err_ss / count);
+  row.signal_rms = std::sqrt(sig_ss / count);
+  row.snr_db = row.rmse > 0.0
+                   ? 20.0 * std::log10(std::max(row.signal_rms, 1e-30) /
+                                       row.rmse)
+                   : 200.0;
+  return row;
+}
+
+}  // namespace
+
+std::vector<LayerPrecision> layer_precision(
+    nn::Sequential& model, const resipe_core::EngineConfig& config,
+    const nn::Tensor& probe, std::size_t probe_limit) {
+  RESIPE_REQUIRE(probe_limit >= 4, "need a few probe vectors");
+  std::vector<LayerPrecision> rows;
+  Rng rng(config.program_seed);
+  nn::Tensor h = probe;
+
+  for (std::size_t li = 0; li < model.layer_count(); ++li) {
+    nn::Layer& layer = model.layer(li);
+    if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+      const std::size_t in = dense->in_features();
+      const std::size_t n = std::min<std::size_t>(h.dim(0), probe_limit);
+      resipe_core::ProgrammedMatrix pm(
+          config, dense->weights().data(), dense->bias().data(), in,
+          dense->out_features(), rng);
+      const double scale = h.abs_max() * config.input_scale_margin;
+      pm.set_input_scale(scale > 0.0 ? scale : 1.0);
+      const std::span<const double> xs(h.data().data(), n * in);
+      pm.calibrate_alpha(xs, n);
+      rows.push_back(measure_matrix(pm, dense->describe(), xs, n,
+                                    dense->weights().data(),
+                                    dense->bias().data()));
+    } else if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const std::size_t in =
+          conv->in_channels() * conv->kernel() * conv->kernel();
+      const std::vector<double> wm = resipe_core::conv_weight_matrix(*conv);
+      resipe_core::ProgrammedMatrix pm(config, wm, conv->bias().data(), in,
+                                       conv->out_channels(), rng);
+      const double scale = h.abs_max() * config.input_scale_margin;
+      pm.set_input_scale(scale > 0.0 ? scale : 1.0);
+
+      const std::size_t oh = conv->out_size(h.dim(2));
+      const std::size_t ow = conv->out_size(h.dim(3));
+      const std::size_t total = h.dim(0) * oh * ow;
+      const std::size_t take = std::min<std::size_t>(total, probe_limit);
+      std::vector<double> patches(take * in, 0.0);
+      std::vector<double> patch(in, 0.0);
+      const std::size_t stride = std::max<std::size_t>(1, total / take);
+      std::size_t written = 0;
+      for (std::size_t pos = 0; pos < total && written < take;
+           pos += stride, ++written) {
+        const std::size_t img = pos / (oh * ow);
+        const std::size_t rc = pos % (oh * ow);
+        resipe_core::gather_conv_patch(h, img, conv->in_channels(),
+                                       conv->kernel(), conv->stride(),
+                                       conv->pad(), rc / ow, rc % ow,
+                                       patch);
+        std::copy(patch.begin(), patch.end(),
+                  patches.begin() +
+                      static_cast<std::ptrdiff_t>(written * in));
+      }
+      const std::span<const double> xs(patches.data(), written * in);
+      pm.calibrate_alpha(xs, written);
+      rows.push_back(measure_matrix(pm, conv->describe(), xs, written, wm,
+                                    conv->bias().data()));
+    }
+    h = layer.forward(h, /*train=*/false);
+  }
+  return rows;
+}
+
+std::string render_precision(const std::vector<LayerPrecision>& rows) {
+  TextTable t({"Layer", "Fan-in x out", "Signal RMS", "Error RMS",
+               "SNR", "alpha"});
+  for (const auto& r : rows) {
+    t.add_row({r.description,
+               std::to_string(r.in_features) + " x " +
+                   std::to_string(r.out_features),
+               format_fixed(r.signal_rms, 4), format_fixed(r.rmse, 4),
+               format_fixed(r.snr_db, 1) + " dB",
+               format_fixed(r.alpha, 3)});
+  }
+  std::ostringstream os;
+  os << t.str();
+  return os.str();
+}
+
+}  // namespace resipe::eval

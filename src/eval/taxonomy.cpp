@@ -1,0 +1,31 @@
+#include "resipe/eval/taxonomy.hpp"
+
+namespace resipe::eval {
+
+std::vector<DataFormatClass> data_format_taxonomy() {
+  return {
+      {"Level", "analog levels (e.g. 0.43V / 0.71V)", "DAC & ADC", "Long",
+       "Same", "Fast", "[9, 14, 17]"},
+      {"PWM", "full-swing pulse, width-coded", "Pulse modulator + ADC",
+       "Medium", "Same", "Medium", "[15]"},
+      {"Rate coding", "spike train, frequency-coded", "Spike modulator",
+       "Medium", "Different", "Medium", "[11, 12, 13]"},
+      {"Temporal coding", "shaped spikes (STDP-capable)", "Neuron circuit",
+       "Medium", "Same", "Slow", "[16]"},
+      {"Single-spiking (this work)", "one spike, arrival-time-coded",
+       "ReSiPE GD + COG", "Short", "Same", "Medium", "ReSiPE"},
+  };
+}
+
+TextTable taxonomy_table() {
+  TextTable t({"Data format", "Shape", "Interface circuit",
+               "Non-zero-voltage duration", "In/out scale", "Latency",
+               "Representative"});
+  for (const auto& row : data_format_taxonomy()) {
+    t.add_row({row.format, row.shape, row.interface, row.drive_duration,
+               row.in_out_scale, row.latency, row.representative});
+  }
+  return t;
+}
+
+}  // namespace resipe::eval

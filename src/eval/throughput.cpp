@@ -1,0 +1,64 @@
+#include "resipe/eval/throughput.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/stats.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/eval/comparison.hpp"
+
+namespace resipe::eval {
+
+double replicated_throughput(const energy::DesignPoint& p,
+                             double area_budget) {
+  RESIPE_REQUIRE(p.area > 0.0, "design area must be positive");
+  const double replicas = std::floor(area_budget / p.area);
+  return replicas * p.throughput;
+}
+
+ThroughputResult throughput_tradeoff(double min_budget, double max_budget,
+                                     std::size_t steps) {
+  RESIPE_REQUIRE(min_budget > 0.0 && max_budget > min_budget && steps >= 2,
+                 "bad throughput sweep bounds");
+  const ComparisonResult cmp = compare_designs();
+  ThroughputResult result;
+  result.area_axis = linspace(min_budget, max_budget, steps);
+  for (const auto& p : cmp.points) {
+    ThroughputSeries s;
+    s.name = p.name;
+    s.engine_area = p.area;
+    s.engine_latency = p.latency;
+    s.engine_throughput = p.throughput;
+    s.area_budget = result.area_axis;
+    for (double budget : result.area_axis) {
+      s.throughput.push_back(replicated_throughput(p, budget));
+    }
+    result.series.push_back(std::move(s));
+  }
+  return result;
+}
+
+std::string ThroughputResult::render() const {
+  std::vector<std::string> header{"Area budget"};
+  for (const auto& s : series) header.push_back(s.name);
+  TextTable t(std::move(header));
+  for (std::size_t i = 0; i < area_axis.size(); ++i) {
+    std::vector<std::string> row{format_fixed(area_axis[i] * 1e6, 3) +
+                                 " mm2"};
+    for (const auto& s : series)
+      row.push_back(format_si(s.throughput[i], "OPS"));
+    t.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << t.str() << "\n";
+  os << "Per-engine footprint and latency:\n";
+  for (const auto& s : series) {
+    os << "  " << s.name << ": area "
+       << format_fixed(s.engine_area * 1e6, 4) << " mm2, latency "
+       << format_si(s.engine_latency, "s") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace resipe::eval

@@ -1,0 +1,60 @@
+#include "resipe/eval/yield.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/eval/fidelity.hpp"
+
+namespace resipe::eval {
+
+std::vector<YieldPoint> mvm_yield(const resipe_core::EngineConfig& base,
+                                  const YieldConfig& config) {
+  RESIPE_REQUIRE(!config.sigmas.empty() && config.chips_per_sigma > 0,
+                 "empty yield sweep");
+  Rng seeder(config.seed);
+  // One seed list shared across sigmas: common random numbers keep the
+  // sweep monotone instead of noisy.
+  std::vector<std::uint64_t> chip_seeds(config.chips_per_sigma);
+  for (auto& s : chip_seeds) s = seeder.next_u64();
+
+  std::vector<YieldPoint> points;
+  for (double sigma : config.sigmas) {
+    YieldPoint p;
+    p.sigma = sigma;
+    std::size_t pass = 0;
+    double sum = 0.0;
+    for (std::uint64_t chip_seed : chip_seeds) {
+      resipe_core::EngineConfig cfg = base;
+      cfg.device.variation_sigma = sigma;
+      cfg.program_seed = chip_seed;
+      const FidelityScore score =
+          mvm_fidelity(cfg, config.matrix_rows, config.matrix_cols,
+                       config.samples_per_chip, config.seed);
+      sum += score.rmse;
+      p.worst_rmse = std::max(p.worst_rmse, score.rmse);
+      if (score.rmse <= config.rmse_bound) ++pass;
+    }
+    p.mean_rmse = sum / static_cast<double>(config.chips_per_sigma);
+    p.yield = static_cast<double>(pass) /
+              static_cast<double>(config.chips_per_sigma);
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::string render_yield(const std::vector<YieldPoint>& points,
+                         double rmse_bound) {
+  TextTable t({"sigma", "mean MVM RMSE", "worst chip",
+               "yield @ RMSE <= " + format_percent(rmse_bound)});
+  for (const auto& p : points) {
+    t.add_row({format_percent(p.sigma), format_percent(p.mean_rmse),
+               format_percent(p.worst_rmse), format_percent(p.yield)});
+  }
+  std::ostringstream os;
+  os << t.str();
+  return os.str();
+}
+
+}  // namespace resipe::eval

@@ -1,0 +1,80 @@
+#include <sstream>
+#include "resipe/common/error.hpp"
+#include "resipe/nn/layers.hpp"
+
+namespace resipe::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  Tensor y = x;
+  for (double& v : y.data()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  RESIPE_REQUIRE(cached_x_.size() > 0, "backward before forward(train)");
+  RESIPE_REQUIRE(grad_out.same_shape(cached_x_), "relu grad shape mismatch");
+  Tensor gx = grad_out;
+  auto gd = gx.data();
+  auto xd = cached_x_.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    if (xd[i] <= 0.0) gd[i] = 0.0;
+  }
+  return gx;
+}
+
+std::string ReLU::describe() const { return "ReLU"; }
+
+Dropout::Dropout(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  RESIPE_REQUIRE(rate >= 0.0 && rate < 1.0, "dropout rate out of [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || rate_ == 0.0) {
+    mask_.clear();
+    return x;
+  }
+  Tensor y = x;
+  mask_.assign(x.size(), 0.0);
+  const double keep = 1.0 - rate_;
+  auto yd = y.data();
+  for (std::size_t i = 0; i < yd.size(); ++i) {
+    // Inverted dropout keeps the expected activation unchanged.
+    mask_[i] = rng_.bernoulli(keep) ? 1.0 / keep : 0.0;
+    yd[i] *= mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  RESIPE_REQUIRE(!mask_.empty(), "backward before forward(train)");
+  RESIPE_REQUIRE(grad_out.size() == mask_.size(),
+                 "dropout grad size mismatch");
+  Tensor gx = grad_out;
+  auto gd = gx.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= mask_[i];
+  return gx;
+}
+
+std::string Dropout::describe() const {
+  std::ostringstream os;
+  os << "Dropout(" << rate_ << ")";
+  return os.str();
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (train) in_shape_ = x.shape();
+  else in_shape_ = x.shape();  // needed for shape queries either way
+  const std::size_t n = x.dim(0);
+  return x.reshaped({n, x.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  RESIPE_REQUIRE(!in_shape_.empty(), "backward before forward");
+  return grad_out.reshaped(in_shape_);
+}
+
+std::string Flatten::describe() const { return "Flatten"; }
+
+}  // namespace resipe::nn

@@ -1,0 +1,149 @@
+#include <cmath>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/nn/layers.hpp"
+
+namespace resipe::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double momentum, double eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({1, channels}),
+      beta_({1, channels}),
+      g_gamma_({1, channels}),
+      g_beta_({1, channels}),
+      running_mean_({1, channels}),
+      running_var_({1, channels}) {
+  RESIPE_REQUIRE(channels > 0, "batchnorm needs at least one channel");
+  RESIPE_REQUIRE(momentum > 0.0 && momentum <= 1.0,
+                 "batchnorm momentum out of (0, 1]");
+  RESIPE_REQUIRE(eps > 0.0, "batchnorm eps must be positive");
+  gamma_.fill(1.0);
+  running_var_.fill(1.0);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  RESIPE_REQUIRE(x.rank() == 4 && x.dim(1) == channels_,
+                 "batchnorm input shape " << x.shape_str());
+  const std::size_t n = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const double count = static_cast<double>(n * h * w);
+
+  std::vector<double> mean(channels_, 0.0);
+  std::vector<double> var(channels_, 0.0);
+  if (train) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (std::size_t img = 0; img < n; ++img)
+        for (std::size_t r = 0; r < h; ++r)
+          for (std::size_t col = 0; col < w; ++col)
+            sum += x.at(img, c, r, col);
+      mean[c] = sum / count;
+      double ss = 0.0;
+      for (std::size_t img = 0; img < n; ++img)
+        for (std::size_t r = 0; r < h; ++r)
+          for (std::size_t col = 0; col < w; ++col) {
+            const double d = x.at(img, c, r, col) - mean[c];
+            ss += d * d;
+          }
+      var[c] = ss / count;
+      running_mean_.at(0, c) =
+          (1.0 - momentum_) * running_mean_.at(0, c) + momentum_ * mean[c];
+      running_var_.at(0, c) =
+          (1.0 - momentum_) * running_var_.at(0, c) + momentum_ * var[c];
+    }
+    batch_mean_ = mean;
+    batch_var_ = var;
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_.at(0, c);
+      var[c] = running_var_.at(0, c);
+    }
+  }
+
+  Tensor y(x.shape());
+  Tensor xhat(x.shape());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const double inv_std = 1.0 / std::sqrt(var[c] + eps_);
+    const double g = gamma_.at(0, c);
+    const double b = beta_.at(0, c);
+    for (std::size_t img = 0; img < n; ++img) {
+      for (std::size_t r = 0; r < h; ++r) {
+        for (std::size_t col = 0; col < w; ++col) {
+          const double xn = (x.at(img, c, r, col) - mean[c]) * inv_std;
+          xhat.at(img, c, r, col) = xn;
+          y.at(img, c, r, col) = g * xn + b;
+        }
+      }
+    }
+  }
+  if (train) cached_xhat_ = std::move(xhat);
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  RESIPE_REQUIRE(cached_xhat_.size() > 0, "backward before forward(train)");
+  RESIPE_REQUIRE(grad_out.same_shape(cached_xhat_),
+                 "batchnorm grad shape mismatch");
+  const std::size_t n = grad_out.dim(0);
+  const std::size_t h = grad_out.dim(2);
+  const std::size_t w = grad_out.dim(3);
+  const double count = static_cast<double>(n * h * w);
+
+  Tensor gx(grad_out.shape());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const double inv_std = 1.0 / std::sqrt(batch_var_[c] + eps_);
+    const double g = gamma_.at(0, c);
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t img = 0; img < n; ++img) {
+      for (std::size_t r = 0; r < h; ++r) {
+        for (std::size_t col = 0; col < w; ++col) {
+          const double dy = grad_out.at(img, c, r, col);
+          sum_dy += dy;
+          sum_dy_xhat += dy * cached_xhat_.at(img, c, r, col);
+        }
+      }
+    }
+    g_gamma_.at(0, c) += sum_dy_xhat;
+    g_beta_.at(0, c) += sum_dy;
+    // dx = gamma*inv_std/count * (count*dy - sum(dy) - xhat*sum(dy*xhat))
+    for (std::size_t img = 0; img < n; ++img) {
+      for (std::size_t r = 0; r < h; ++r) {
+        for (std::size_t col = 0; col < w; ++col) {
+          const double dy = grad_out.at(img, c, r, col);
+          const double xn = cached_xhat_.at(img, c, r, col);
+          gx.at(img, c, r, col) =
+              g * inv_std / count *
+              (count * dy - sum_dy - xn * sum_dy_xhat);
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+std::vector<Param> BatchNorm2d::params() {
+  return {Param{&gamma_, &g_gamma_}, Param{&beta_, &g_beta_}};
+}
+
+std::string BatchNorm2d::describe() const {
+  std::ostringstream os;
+  os << "BatchNorm2d(" << channels_ << ")";
+  return os.str();
+}
+
+double BatchNorm2d::effective_scale(std::size_t c) const {
+  RESIPE_REQUIRE(c < channels_, "channel out of range");
+  return gamma_.at(0, c) / std::sqrt(running_var_.at(0, c) + eps_);
+}
+
+double BatchNorm2d::effective_shift(std::size_t c) const {
+  RESIPE_REQUIRE(c < channels_, "channel out of range");
+  return beta_.at(0, c) - effective_scale(c) * running_mean_.at(0, c);
+}
+
+}  // namespace resipe::nn

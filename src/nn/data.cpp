@@ -1,0 +1,154 @@
+#include "resipe/nn/data.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::nn {
+namespace {
+
+// 5 x 7 bitmap font for digits 0..9; each row is 5 bits, MSB left.
+constexpr unsigned char kFont[10][7] = {
+    {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},  // 0
+    {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},  // 1
+    {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},  // 2
+    {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},  // 3
+    {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},  // 4
+    {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},  // 5
+    {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},  // 6
+    {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},  // 7
+    {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},  // 8
+    {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},  // 9
+};
+
+// Bilinear sample of the 5 x 7 glyph at continuous coordinates.
+double glyph_sample(int digit, double gx, double gy) {
+  auto bit = [&](int x, int y) -> double {
+    if (x < 0 || x >= 5 || y < 0 || y >= 7) return 0.0;
+    return (kFont[digit][y] >> (4 - x)) & 1 ? 1.0 : 0.0;
+  };
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const double fx = gx - x0;
+  const double fy = gy - y0;
+  return bit(x0, y0) * (1 - fx) * (1 - fy) + bit(x0 + 1, y0) * fx * (1 - fy) +
+         bit(x0, y0 + 1) * (1 - fx) * fy + bit(x0 + 1, y0 + 1) * fx * fy;
+}
+
+}  // namespace
+
+void render_digit(int digit, double dx, double dy, double intensity,
+                  std::span<double> out28x28) {
+  RESIPE_REQUIRE(digit >= 0 && digit <= 9, "digit out of range");
+  RESIPE_REQUIRE(out28x28.size() == 28 * 28, "buffer must be 28x28");
+  // The glyph body occupies ~15 x 21 pixels centered in the frame, then
+  // shifted by (dx, dy).
+  const double scale_x = 5.0 / 15.0;
+  const double scale_y = 7.0 / 21.0;
+  const double ox = (28.0 - 15.0) / 2.0 + dx;
+  const double oy = (28.0 - 21.0) / 2.0 + dy;
+  for (int y = 0; y < 28; ++y) {
+    for (int x = 0; x < 28; ++x) {
+      const double gx = (x - ox) * scale_x;
+      const double gy = (y - oy) * scale_y;
+      out28x28[static_cast<std::size_t>(y) * 28 + x] =
+          intensity * glyph_sample(digit, gx, gy);
+    }
+  }
+}
+
+Dataset synthetic_digits(std::size_t n, Rng& rng) {
+  RESIPE_REQUIRE(n > 0, "empty dataset requested");
+  Dataset ds;
+  ds.classes = 10;
+  ds.images = Tensor({n, 1, 28, 28});
+  ds.labels.resize(n);
+  std::vector<double> frame(28 * 28);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng.uniform_int(0, 9));
+    ds.labels[i] = digit;
+    const double dx = rng.uniform(-3.0, 3.0);
+    const double dy = rng.uniform(-3.0, 3.0);
+    const double intensity = rng.uniform(0.6, 1.0);
+    render_digit(digit, dx, dy, intensity, frame);
+    for (std::size_t p = 0; p < frame.size(); ++p) {
+      double v = frame[p] + rng.normal(0.0, 0.08);
+      ds.images[i * frame.size() + p] = std::clamp(v, 0.0, 1.0);
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+// Shape stencils at continuous coordinates in [-1, 1]^2; return 1.0
+// inside the shape.
+double shape_mask(int shape, double x, double y) {
+  const double r = std::sqrt(x * x + y * y);
+  switch (shape) {
+    case 0:  // disc
+      return r < 0.8 ? 1.0 : 0.0;
+    case 1:  // square
+      return (std::abs(x) < 0.7 && std::abs(y) < 0.7) ? 1.0 : 0.0;
+    case 2:  // triangle (upward)
+      return (y > -0.7 && y < 0.8 && std::abs(x) < (0.8 - y) * 0.55) ? 1.0
+                                                                     : 0.0;
+    case 3:  // cross
+      return (std::abs(x) < 0.25 || std::abs(y) < 0.25) &&
+                     (std::abs(x) < 0.85 && std::abs(y) < 0.85)
+                 ? 1.0
+                 : 0.0;
+    case 4:  // ring
+      return (r < 0.85 && r > 0.45) ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+Dataset synthetic_objects(std::size_t n, Rng& rng) {
+  RESIPE_REQUIRE(n > 0, "empty dataset requested");
+  // 10 classes = 5 shapes x 2 palettes.
+  static constexpr double kPalette[2][3] = {{0.95, 0.25, 0.2},
+                                            {0.2, 0.45, 0.95}};
+  Dataset ds;
+  ds.classes = 10;
+  ds.images = Tensor({n, 3, 32, 32});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.uniform_int(0, 9));
+    ds.labels[i] = cls;
+    const int shape = cls % 5;
+    const int palette = cls / 5;
+    const double cx = rng.uniform(10.0, 22.0);
+    const double cy = rng.uniform(10.0, 22.0);
+    const double half = rng.uniform(5.0, 10.0);
+    const double bg = rng.uniform(0.0, 0.25);
+    // Mild hue jitter keeps color an informative but imperfect cue.
+    double color[3];
+    for (int c = 0; c < 3; ++c) {
+      color[c] =
+          std::clamp(kPalette[palette][c] + rng.normal(0.0, 0.05), 0.0, 1.0);
+    }
+    for (int y = 0; y < 32; ++y) {
+      for (int x = 0; x < 32; ++x) {
+        const double u = (x - cx) / half;
+        const double v = (y - cy) / half;
+        const double m = shape_mask(shape, u, v);
+        for (int c = 0; c < 3; ++c) {
+          double val = m > 0.0 ? color[c] : bg;
+          val += rng.normal(0.0, 0.06);
+          ds.images.at(i, static_cast<std::size_t>(c),
+                       static_cast<std::size_t>(y),
+                       static_cast<std::size_t>(x)) =
+              std::clamp(val, 0.0, 1.0);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace resipe::nn

@@ -1,0 +1,236 @@
+#include "resipe/nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/rng.hpp"
+
+namespace resipe::nn {
+
+Tensor softmax(const Tensor& logits) {
+  RESIPE_REQUIRE(logits.rank() == 2, "softmax expects rank-2 logits");
+  const std::size_t n = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  Tensor p({n, k});
+  for (std::size_t i = 0; i < n; ++i) {
+    double max_v = logits.at(i, 0);
+    for (std::size_t j = 1; j < k; ++j) max_v = std::max(max_v, logits.at(i, j));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double e = std::exp(logits.at(i, j) - max_v);
+      p.at(i, j) = e;
+      sum += e;
+    }
+    for (std::size_t j = 0; j < k; ++j) p.at(i, j) /= sum;
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  RESIPE_REQUIRE(logits.rank() == 2 && logits.dim(0) == labels.size(),
+                 "loss batch mismatch");
+  const std::size_t n = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  LossResult res;
+  res.grad = softmax(logits);
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    RESIPE_REQUIRE(y >= 0 && static_cast<std::size_t>(y) < k,
+                   "label " << y << " out of range for " << k << " classes");
+    const double p = std::max(res.grad.at(i, static_cast<std::size_t>(y)),
+                              1e-12);
+    loss -= std::log(p);
+    res.grad.at(i, static_cast<std::size_t>(y)) -= 1.0;
+  }
+  scale_inplace(res.grad, inv_n);
+  res.loss = loss * inv_n;
+  return res;
+}
+
+double accuracy(const Tensor& logits, std::span<const int> labels) {
+  RESIPE_REQUIRE(logits.rank() == 2 && logits.dim(0) == labels.size(),
+                 "accuracy batch mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (logits.argmax_row(i) == static_cast<std::size_t>(labels[i]))
+      ++correct;
+  }
+  return labels.empty()
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  RESIPE_REQUIRE(lr > 0.0, "learning rate must be positive");
+}
+
+void Sgd::step(std::span<const Param> params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const Param& p : params)
+      velocity_.emplace_back(p.value->size(), 0.0);
+  }
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto w = params[pi].value->data();
+    auto g = params[pi].grad->data();
+    auto& vel = velocity_[pi];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double grad = g[i] + weight_decay_ * w[i];
+      vel[i] = momentum_ * vel[i] - lr_ * grad;
+      w[i] += vel[i];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  RESIPE_REQUIRE(lr > 0.0, "learning rate must be positive");
+}
+
+void Adam::step(std::span<const Param> params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const Param& p : params) {
+      m_.emplace_back(p.value->size(), 0.0);
+      v_.emplace_back(p.value->size(), 0.0);
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto w = params[pi].value->data();
+    auto g = params[pi].grad->data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m_[pi][i] = beta1_ * m_[pi][i] + (1.0 - beta1_) * g[i];
+      v_[pi][i] = beta2_ * v_[pi][i] + (1.0 - beta2_) * g[i] * g[i];
+      const double mh = m_[pi][i] / bc1;
+      const double vh = v_[pi][i] / bc2;
+      w[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+std::pair<Tensor, std::vector<int>> Dataset::gather(
+    std::span<const std::size_t> indices) const {
+  RESIPE_REQUIRE(images.rank() >= 2, "dataset images must be rank >= 2");
+  const std::size_t per_sample = images.size() / images.dim(0);
+  std::vector<std::size_t> shape = images.shape();
+  shape[0] = indices.size();
+  Tensor batch(shape);
+  std::vector<int> ys(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t idx = indices[b];
+    RESIPE_REQUIRE(idx < size(), "sample index out of range");
+    for (std::size_t k = 0; k < per_sample; ++k)
+      batch[b * per_sample + k] = images[idx * per_sample + k];
+    ys[b] = labels[idx];
+  }
+  return {std::move(batch), std::move(ys)};
+}
+
+TrainResult fit(Sequential& model, const Dataset& train, const Dataset& test,
+                const TrainConfig& config) {
+  RESIPE_REQUIRE(train.size() > 0, "empty training set");
+  RESIPE_REQUIRE(config.weight_noise_sigma >= 0.0,
+                 "negative weight noise sigma");
+  Adam opt(config.lr);
+  Rng rng(config.shuffle_seed);
+  Rng noise_rng(config.shuffle_seed ^ 0xA5A5A5A5ull);
+  TrainResult result;
+  std::vector<std::vector<double>> clean_weights;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(train.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      const std::span<const std::size_t> idx(order.data() + start,
+                                             end - start);
+      auto [batch, ys] = train.gather(idx);
+      model.zero_grads();
+
+      const auto params = model.params();
+      if (config.weight_noise_sigma > 0.0) {
+        // Snapshot clean weights, perturb for this pass.
+        clean_weights.resize(params.size());
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          auto w = params[p].value->data();
+          clean_weights[p].assign(w.begin(), w.end());
+          for (double& v : w) {
+            v *= 1.0 + noise_rng.normal(0.0, config.weight_noise_sigma);
+          }
+        }
+      }
+
+      const Tensor logits = model.forward(batch, /*train=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, ys);
+      model.backward(loss.grad);
+
+      if (config.weight_noise_sigma > 0.0) {
+        // Restore the clean weights; the gradients were computed at
+        // the perturbed point (straight-through, [22]-style).
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          auto w = params[p].value->data();
+          std::copy(clean_weights[p].begin(), clean_weights[p].end(),
+                    w.begin());
+        }
+      }
+      opt.step(params);
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    result.epoch_loss.push_back(epoch_loss);
+    if (config.verbose) {
+      std::printf("  epoch %zu/%zu loss %.4f\n", epoch + 1, config.epochs,
+                  epoch_loss);
+    }
+  }
+  result.train_accuracy = evaluate(model, train);
+  result.test_accuracy = test.size() > 0 ? evaluate(model, test) : 0.0;
+  return result;
+}
+
+double evaluate(Sequential& model, const Dataset& data,
+                std::size_t batch_size) {
+  return evaluate_with(
+      data,
+      [&model](const Tensor& batch) {
+        return model.forward(batch, /*train=*/false);
+      },
+      batch_size);
+}
+
+double evaluate_with(
+    const Dataset& data,
+    const std::function<Tensor(const Tensor&)>& batch_logits,
+    std::size_t batch_size) {
+  RESIPE_REQUIRE(batch_size > 0, "batch size must be positive");
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, data.size());
+    idx.clear();
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    auto [batch, ys] = data.gather(idx);
+    const Tensor logits = batch_logits(batch);
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      if (logits.argmax_row(i) == static_cast<std::size_t>(ys[i])) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace resipe::nn

@@ -1,0 +1,111 @@
+#include "resipe/resipe/bit_slicing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::resipe_core {
+
+int SlicingConfig::slices() const {
+  return (total_bits + bits_per_slice - 1) / bits_per_slice;
+}
+
+void SlicingConfig::validate() const {
+  RESIPE_REQUIRE(total_bits >= 1 && total_bits <= 16,
+                 "total weight bits out of range");
+  RESIPE_REQUIRE(bits_per_slice >= 1 && bits_per_slice <= total_bits,
+                 "bits per slice out of range");
+}
+
+SlicedMatrix::SlicedMatrix(const EngineConfig& config,
+                           const SlicingConfig& slicing,
+                           std::span<const double> weights,
+                           std::span<const double> bias, std::size_t in,
+                           std::size_t out, Rng& rng)
+    : in_(in), out_(out), bias_(bias.begin(), bias.end()) {
+  slicing.validate();
+  RESIPE_REQUIRE(weights.size() == in * out, "weight matrix size mismatch");
+  RESIPE_REQUIRE(bias.size() == out, "bias size mismatch");
+
+  weight_scale = 0.0;
+  for (double w : weights) weight_scale = std::max(weight_scale, std::abs(w));
+  if (weight_scale <= 0.0) weight_scale = 1.0;
+
+  levels_per_slice_ = (1 << slicing.bits_per_slice) - 1;
+  total_levels_ = (1 << slicing.total_bits) - 1;
+
+  // Quantize the logical weights to total_bits and slice the magnitude
+  // into base-2^b digits; the sign rides along with every digit so each
+  // slice maps through the ordinary signed machinery.
+  const int n_slices = slicing.slices();
+  std::vector<std::vector<double>> digit_weights(
+      static_cast<std::size_t>(n_slices),
+      std::vector<double>(in * out, 0.0));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    long code = std::lround(std::abs(w) / weight_scale *
+                            static_cast<double>(total_levels_));
+    code = std::min<long>(code, total_levels_);
+    const double sign = w < 0.0 ? -1.0 : 1.0;
+    for (int s = 0; s < n_slices; ++s) {
+      const long digit = code & levels_per_slice_;
+      code >>= slicing.bits_per_slice;
+      digit_weights[static_cast<std::size_t>(s)][i] =
+          sign * static_cast<double>(digit);
+    }
+  }
+
+  const std::vector<double> zero_bias(out, 0.0);
+  EngineConfig slice_config = config;
+  // A slice's cells only need 2^b levels — that is the whole point.
+  slice_config.device.levels =
+      std::max(2, levels_per_slice_ + 1);
+  double factor = 1.0;
+  for (int s = 0; s < n_slices; ++s) {
+    slices_.push_back(std::make_unique<ProgrammedMatrix>(
+        slice_config, digit_weights[static_cast<std::size_t>(s)],
+        zero_bias, in, out, rng));
+    // Every slice normalizes its own digits by their max; the
+    // recombination must undo that per-slice scale, which forward()
+    // already reports in weight units — so the factor is just the
+    // positional power of two.
+    slice_weight_.push_back(factor);
+    factor *= static_cast<double>(levels_per_slice_ + 1);
+  }
+}
+
+std::size_t SlicedMatrix::tile_count() const {
+  std::size_t n = 0;
+  for (const auto& s : slices_) n += s->tile_count();
+  return n;
+}
+
+void SlicedMatrix::set_input_scale(double scale) {
+  for (const auto& s : slices_) s->set_input_scale(scale);
+}
+
+void SlicedMatrix::calibrate_alpha(std::span<const double> x_batch,
+                                   std::size_t n) {
+  for (const auto& s : slices_) s->calibrate_alpha(x_batch, n);
+}
+
+void SlicedMatrix::forward(std::span<const double> x,
+                           std::span<double> y) const {
+  RESIPE_REQUIRE(x.size() == in_ && y.size() == out_,
+                 "forward vector size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  std::vector<double> partial(out_, 0.0);
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    slices_[s]->forward(x, partial);
+    for (std::size_t j = 0; j < out_; ++j) {
+      y[j] += slice_weight_[s] * partial[j];
+    }
+  }
+  const double scale = weight_scale / static_cast<double>(total_levels_);
+  for (std::size_t j = 0; j < out_; ++j) {
+    y[j] = y[j] * scale + bias_[j];
+  }
+}
+
+}  // namespace resipe::resipe_core

@@ -1,0 +1,52 @@
+#include "resipe/resipe/design.hpp"
+
+#include "resipe/common/error.hpp"
+#include "resipe/resipe/spike_code.hpp"
+
+namespace resipe::resipe_core {
+
+ResipeDesign::ResipeDesign(circuits::CircuitParams params,
+                           device::ReramSpec spec, std::size_t rows,
+                           std::size_t cols, double utilization_input,
+                           std::uint64_t program_seed)
+    : params_(params), utilization_input_(utilization_input) {
+  RESIPE_REQUIRE(utilization_input >= 0.0 && utilization_input <= 1.0,
+                 "utilization input out of [0, 1]");
+  tile_ = std::make_unique<ResipeTile>(params_, rows, cols, spec);
+  // Representative programming: mid-window conductances with a
+  // deterministic spread so column sums match a typical mapped layer.
+  Rng rng(program_seed);
+  std::vector<double> g(rows * cols);
+  const double g_min = spec.g_min();
+  const double g_span = spec.g_max() - spec.g_min();
+  for (double& v : g) v = g_min + rng.uniform(0.2, 0.8) * g_span;
+  tile_->program(g, rng);
+}
+
+std::vector<circuits::Spike> ResipeDesign::nominal_inputs() const {
+  const SpikeCodec codec(params_);
+  // Deterministic spread around the utilization point: a realistic MVM
+  // has unequal wordline voltages, which is what makes static current
+  // flow between rows during the computation stage.
+  std::vector<circuits::Spike> in(tile_->rows());
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac =
+        n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.5;
+    const double x = utilization_input_ * (0.4 + 1.2 * frac);
+    in[i] = codec.encode(x);
+  }
+  return in;
+}
+
+energy::EnergyReport ResipeDesign::mvm_report() const {
+  return tile_->energy_report(nominal_inputs());
+}
+
+double ResipeDesign::mvm_latency() const { return tile_->latency(); }
+
+double ResipeDesign::initiation_interval() const {
+  return params_.slice_length;
+}
+
+}  // namespace resipe::resipe_core

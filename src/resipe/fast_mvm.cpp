@@ -1,0 +1,117 @@
+#include "resipe/resipe/fast_mvm.hpp"
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::resipe_core {
+
+FastMvm::FastMvm(const circuits::CircuitParams& params,
+                 const crossbar::Crossbar& xbar)
+    : params_(params), rows_(xbar.rows()), cols_(xbar.cols()) {
+  params_.validate();
+  g_.resize(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      g_[r * cols_ + c] = xbar.effective_g(r, c);
+    }
+  }
+  precompute();
+}
+
+FastMvm::FastMvm(const circuits::CircuitParams& params, std::size_t rows,
+                 std::size_t cols, std::vector<double> g_effective)
+    : params_(params), rows_(rows), cols_(cols), g_(std::move(g_effective)) {
+  params_.validate();
+  RESIPE_REQUIRE(rows_ > 0 && cols_ > 0, "empty FastMvm");
+  RESIPE_REQUIRE(g_.size() == rows_ * cols_, "conductance matrix size");
+  precompute();
+}
+
+void FastMvm::precompute() {
+  g_total_.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) g_total_[c] += g_[r * cols_ + c];
+  }
+  k_.assign(cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (g_total_[c] <= 0.0) continue;
+    const double tau = params_.c_cog / g_total_[c];
+    if (params_.model == circuits::TransferModel::kLinear) {
+      k_[c] = params_.comp_stage / tau;  // may exceed 1 by design
+    } else {
+      k_[c] = 1.0 - std::exp(-params_.comp_stage / tau);
+    }
+  }
+}
+
+void FastMvm::set_column_offsets(std::vector<double> offsets) {
+  RESIPE_REQUIRE(offsets.size() == cols_,
+                 "need one comparator offset per column");
+  offsets_ = std::move(offsets);
+}
+
+void FastMvm::mvm_times(std::span<const double> t_in,
+                        std::span<double> t_out) const {
+  RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
+                 "FastMvm vector size mismatch");
+  const double tau_gd = params_.tau_gd();
+  const double v_s = params_.v_s;
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+
+  // S1: wordline voltages from the GD ramp.
+  thread_local std::vector<double> v_wl;
+  v_wl.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double t = t_in[r];
+    if (!(t >= 0.0) || t == kNoSpike || t > params_.slice_length) continue;
+    v_wl[r] = linear ? v_s * t / tau_gd : v_s * (1.0 - std::exp(-t / tau_gd));
+  }
+
+  // Computation stage + S2 per column.
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (g_total_[c] <= 0.0) {
+      // An unprogrammed column never charges: the ramp crosses 0 at t=0.
+      t_out[c] = params_.comparator_delay;
+      continue;
+    }
+    double weighted = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      weighted += v_wl[r] * g_[r * cols_ + c];
+    }
+    const double v_eq = weighted / g_total_[c];
+    const double v_cog = v_eq * k_[c];
+    double threshold = v_cog + params_.comparator_offset;
+    if (!offsets_.empty()) threshold += offsets_[c];
+    double crossing;
+    if (threshold <= 0.0) {
+      crossing = 0.0;
+    } else if (linear) {
+      crossing = threshold * tau_gd / v_s;
+    } else if (threshold >= v_s) {
+      crossing = kNoSpike;
+    } else {
+      crossing = -tau_gd * std::log(1.0 - threshold / v_s);
+    }
+    const double t = crossing + params_.comparator_delay;
+    t_out[c] = t <= params_.slice_length ? t : kNoSpike;
+  }
+}
+
+void FastMvm::ideal_times(std::span<const double> t_in,
+                          std::span<double> t_out) const {
+  RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
+                 "FastMvm vector size mismatch");
+  const double gain = params_.linear_gain();
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double t = t_in[r];
+      if (!(t >= 0.0) || t == kNoSpike) continue;
+      acc += t * g_[r * cols_ + c];
+    }
+    t_out[c] = gain * acc;
+  }
+}
+
+}  // namespace resipe::resipe_core

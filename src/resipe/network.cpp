@@ -1,0 +1,422 @@
+#include "resipe/resipe/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::resipe_core {
+
+EngineConfig EngineConfig::ideal() {
+  EngineConfig cfg;
+  cfg.circuit.model = circuits::TransferModel::kLinear;
+  cfg.quantize_spikes = false;
+  cfg.device.levels = 1 << 14;  // effectively continuous
+  cfg.device.write_verify_tolerance = 0.0;
+  cfg.device.variation_sigma = 0.0;
+  cfg.device.read_noise_sigma = 0.0;
+  cfg.device.transistor_r_on = 0.0;
+  return cfg;
+}
+
+ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
+                                   std::span<const double> weights,
+                                   std::span<const double> bias,
+                                   std::size_t in, std::size_t out,
+                                   Rng& rng)
+    : config_(config),
+      codec_(config.circuit, config.quantize_spikes),
+      in_(in),
+      out_(out),
+      bias_(bias.begin(), bias.end()) {
+  RESIPE_REQUIRE(weights.size() == in * out, "weight matrix size mismatch");
+  RESIPE_REQUIRE(bias.size() == out, "bias size mismatch");
+  RESIPE_REQUIRE(config_.tile_rows > 0 && config_.tile_cols > 0,
+                 "tile dimensions must be positive");
+  RESIPE_REQUIRE(config_.mapping == crossbar::SignedMapping::kOffsetColumn ||
+                     config_.tile_cols % 2 == 0,
+                 "paired mappings need an even tile width");
+
+  mapping_ = crossbar::map_weights(weights, in, out, config_.device,
+                                   config_.mapping);
+
+  row_blocks_ = (in + config_.tile_rows - 1) / config_.tile_rows;
+  const std::size_t col_blocks =
+      (mapping_.cols + config_.tile_cols - 1) / config_.tile_cols;
+
+  // Program every block cell-by-cell through the full device model.
+  for (std::size_t rb = 0; rb < row_blocks_; ++rb) {
+    const std::size_t row0 = rb * config_.tile_rows;
+    const std::size_t rows = std::min(config_.tile_rows, in - row0);
+    for (std::size_t cb = 0; cb < col_blocks; ++cb) {
+      const std::size_t col0 = cb * config_.tile_cols;
+      const std::size_t cols = std::min(config_.tile_cols,
+                                        mapping_.cols - col0);
+      Block block;
+      block.row0 = row0;
+      block.rows = rows;
+      block.col0 = col0;
+      block.cols = cols;
+      std::vector<double> g_eff(rows * cols, 0.0);
+      device::ReramCell cell;
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const double target =
+              mapping_.g_targets[(row0 + r) * mapping_.cols + (col0 + c)];
+          cell.program(config_.device, target, rng);
+          double g = cell.effective_g(config_.device);
+          if (config_.retention_time > 0.0 && g > 0.0) {
+            // Apply drift to the device part of the series combination.
+            const double g_dev = cell.drifted_g(config_.device,
+                                                config_.retention_time);
+            g = g_dev > 0.0
+                    ? 1.0 / (1.0 / g_dev + config_.device.transistor_r_on)
+                    : 0.0;
+          }
+          if (config_.model_wire_ir_drop) {
+            g = config_.wires.effective_g(g, r, c);
+          }
+          g_eff[r * cols + c] = g;
+        }
+      }
+      block.mvm = std::make_unique<FastMvm>(config_.circuit, rows, cols,
+                                            std::move(g_eff));
+      if (config_.circuit.comparator_offset_sigma > 0.0) {
+        std::vector<double> offsets(cols, 0.0);
+        for (double& o : offsets) {
+          o = rng.normal(0.0, config_.circuit.comparator_offset_sigma);
+        }
+        block.mvm->set_column_offsets(std::move(offsets));
+      }
+      blocks_.push_back(std::move(block));
+    }
+  }
+}
+
+void ProgrammedMatrix::set_input_scale(double scale) {
+  RESIPE_REQUIRE(scale > 0.0, "input scale must be positive");
+  input_scale_ = scale;
+}
+
+void ProgrammedMatrix::set_time_scale(double alpha) {
+  RESIPE_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  alpha_ = alpha;
+}
+
+void ProgrammedMatrix::encode_input(std::span<const double> x,
+                                    std::vector<double>& t) const {
+  t.assign(in_, 0.0);
+  for (std::size_t i = 0; i < in_; ++i) {
+    const double xn = std::clamp(x[i] / input_scale_, 0.0, 1.0);
+    t[i] = codec_.encode(alpha_ * xn).arrival_time;
+  }
+}
+
+void ProgrammedMatrix::accumulate(std::span<const double> t_in,
+                                  std::span<double> recovered) const {
+  std::fill(recovered.begin(), recovered.end(), 0.0);
+  const auto& params = config_.circuit;
+  thread_local std::vector<double> t_block_out;
+  for (const Block& block : blocks_) {
+    t_block_out.assign(block.cols, 0.0);
+    const std::span<const double> t_rows(t_in.data() + block.row0,
+                                         block.rows);
+    block.mvm->mvm_times(t_rows, t_block_out);
+    for (std::size_t c = 0; c < block.cols; ++c) {
+      double t = t_block_out[c];
+      // A silent output line encodes "beyond full scale": the readout
+      // books the slice-boundary value.
+      if (t == FastMvm::kNoSpike) t = params.slice_length;
+      const double v_cog = params.ramp_voltage(t);
+      const double k = block.mvm->k(c);
+      const double g_total = block.mvm->g_total(c);
+      if (k > 0.0) {
+        recovered[block.col0 + c] += v_cog * g_total / k;
+      }
+    }
+  }
+}
+
+void ProgrammedMatrix::decode(std::span<const double> recovered,
+                              std::span<double> y) const {
+  // recovered[j] = sum_i V_i G_ij with V_i = alpha * x_hat_i * v_full;
+  // the pair/offset difference removes the conductance baseline and
+  // weight_per_siemens converts siemens back into weight units.
+  const double scale = mapping_.weight_per_siemens * input_scale_ /
+                       (alpha_ * codec_.v_full());
+  for (std::size_t j = 0; j < out_; ++j) {
+    const double diff = recovered[mapping_.plus_col(j)] -
+                        recovered[mapping_.minus_col(j)];
+    y[j] = diff * scale + bias_[j];
+  }
+}
+
+void ProgrammedMatrix::forward(std::span<const double> x,
+                               std::span<double> y) const {
+  RESIPE_REQUIRE(x.size() == in_ && y.size() == out_,
+                 "forward vector size mismatch");
+  thread_local std::vector<double> t_in;
+  thread_local std::vector<double> recovered;
+  encode_input(x, t_in);
+  recovered.assign(mapping_.cols, 0.0);
+  accumulate(t_in, recovered);
+  decode(recovered, y);
+}
+
+double ProgrammedMatrix::forward_analytic(std::span<const double> x,
+                                          std::span<double> y) const {
+  RESIPE_REQUIRE(x.size() == in_ && y.size() == out_,
+                 "forward vector size mismatch");
+  // Voltage-domain pass: V_i = alpha * x_hat_i * v_full, no time
+  // quantization, no slice clamping.
+  thread_local std::vector<double> v_in;
+  thread_local std::vector<double> recovered;
+  v_in.assign(in_, 0.0);
+  for (std::size_t i = 0; i < in_; ++i) {
+    const double xn = std::clamp(x[i] / input_scale_, 0.0, 1.0);
+    v_in[i] = alpha_ * xn * codec_.v_full();
+  }
+  recovered.assign(mapping_.cols, 0.0);
+  double v_max = 0.0;
+  for (const Block& block : blocks_) {
+    for (std::size_t c = 0; c < block.cols; ++c) {
+      const double g_total = block.mvm->g_total(c);
+      if (g_total <= 0.0) continue;
+      double sum = 0.0;
+      for (std::size_t r = 0; r < block.rows; ++r) {
+        // Row-major within the block: conductances live in the FastMvm;
+        // recompute the current-sum from the mapped layout instead.
+        sum += v_in[block.row0 + r] *
+               mapping_.g_targets[(block.row0 + r) * mapping_.cols +
+                                  (block.col0 + c)];
+      }
+      // The analytic pass uses target conductances (pre-variation);
+      // close enough for range calibration.
+      const double k = block.mvm->k(c);
+      v_max = std::max(v_max, k * sum / g_total);
+      recovered[block.col0 + c] += sum;
+    }
+  }
+  decode(recovered, y);
+  return v_max;
+}
+
+void ProgrammedMatrix::calibrate_alpha(std::span<const double> x_batch,
+                                       std::size_t n) {
+  RESIPE_REQUIRE(x_batch.size() == n * in_, "calibration batch size");
+  set_time_scale(1.0);
+  double v_max = 0.0;
+  std::vector<double> y(out_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> x(x_batch.data() + i * in_, in_);
+    v_max = std::max(v_max, forward_analytic(x, y));
+  }
+  if (v_max <= 0.0) return;  // degenerate layer; keep alpha = 1
+  // The COG voltage must cross the S2 ramp inside the headroom
+  // fraction of the slice.
+  const double v_limit = config_.circuit.ramp_voltage(
+      config_.calibration_headroom * config_.circuit.slice_length);
+  if (v_max > v_limit) {
+    set_time_scale(std::clamp(v_limit / v_max, 1e-6, 1.0));
+  }
+}
+
+void gather_conv_patch(const nn::Tensor& x, std::size_t img,
+                       std::size_t cin, std::size_t k, std::size_t stride,
+                       std::size_t pad, std::size_t r, std::size_t c,
+                       std::span<double> patch) {
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  std::size_t idx = 0;
+  for (std::size_t ic = 0; ic < cin; ++ic) {
+    for (std::size_t kr = 0; kr < k; ++kr) {
+      const std::ptrdiff_t ir =
+          static_cast<std::ptrdiff_t>(r * stride + kr) -
+          static_cast<std::ptrdiff_t>(pad);
+      for (std::size_t kc = 0; kc < k; ++kc, ++idx) {
+        const std::ptrdiff_t icol =
+            static_cast<std::ptrdiff_t>(c * stride + kc) -
+            static_cast<std::ptrdiff_t>(pad);
+        if (ir < 0 || ir >= static_cast<std::ptrdiff_t>(h) || icol < 0 ||
+            icol >= static_cast<std::ptrdiff_t>(w)) {
+          patch[idx] = 0.0;
+        } else {
+          patch[idx] = x.at(img, ic, static_cast<std::size_t>(ir),
+                            static_cast<std::size_t>(icol));
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> conv_weight_matrix(const nn::Conv2d& conv) {
+  const auto& w = conv.weights();
+  const std::size_t cout = conv.out_channels();
+  const std::size_t cin = conv.in_channels();
+  const std::size_t k = conv.kernel();
+  const std::size_t in = cin * k * k;
+  std::vector<double> m(in * cout, 0.0);
+  for (std::size_t oc = 0; oc < cout; ++oc) {
+    std::size_t idx = 0;
+    for (std::size_t ic = 0; ic < cin; ++ic) {
+      for (std::size_t kr = 0; kr < k; ++kr) {
+        for (std::size_t kc = 0; kc < k; ++kc, ++idx) {
+          m[idx * cout + oc] = w.at(oc, ic, kr, kc);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+
+double batch_abs_max(const nn::Tensor& t, double margin) {
+  const double m = t.abs_max() * margin;
+  return m > 0.0 ? m : 1.0;
+}
+
+}  // namespace
+
+ResipeNetwork::ResipeNetwork(nn::Sequential& model,
+                             const EngineConfig& config,
+                             const nn::Tensor& calibration)
+    : model_(model), config_(config) {
+  Rng rng(config_.program_seed);
+  nn::Tensor h = calibration;
+  constexpr std::size_t kMaxCalibVectors = 512;
+
+  for (std::size_t li = 0; li < model_.layer_count(); ++li) {
+    nn::Layer& layer = model_.layer(li);
+    Step step;
+    if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+      auto pm = std::make_unique<ProgrammedMatrix>(
+          config_, dense->weights().data(), dense->bias().data(),
+          dense->in_features(), dense->out_features(), rng);
+      pm->set_input_scale(batch_abs_max(h, config_.input_scale_margin));
+      const std::size_t n =
+          std::min<std::size_t>(h.dim(0), kMaxCalibVectors);
+      pm->calibrate_alpha(
+          std::span<const double>(h.data().data(),
+                                  n * dense->in_features()),
+          n);
+      step.matrix = pm.get();
+      matrices_.push_back(std::move(pm));
+    } else if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      const std::vector<double> wm = conv_weight_matrix(*conv);
+      const std::size_t in = conv->in_channels() * conv->kernel() *
+                             conv->kernel();
+      auto pm = std::make_unique<ProgrammedMatrix>(
+          config_, wm, conv->bias().data(), in, conv->out_channels(), rng);
+      pm->set_input_scale(batch_abs_max(h, config_.input_scale_margin));
+      // Calibrate on a subsample of im2col patches.
+      const std::size_t oh = conv->out_size(h.dim(2));
+      const std::size_t ow = conv->out_size(h.dim(3));
+      const std::size_t total = h.dim(0) * oh * ow;
+      const std::size_t take = std::min<std::size_t>(total,
+                                                     kMaxCalibVectors);
+      std::vector<double> patches(take * in, 0.0);
+      std::vector<double> patch(in, 0.0);
+      const std::size_t step_stride = std::max<std::size_t>(1, total / take);
+      std::size_t written = 0;
+      for (std::size_t pos = 0; pos < total && written < take;
+           pos += step_stride, ++written) {
+        const std::size_t img = pos / (oh * ow);
+        const std::size_t rc = pos % (oh * ow);
+        gather_conv_patch(h, img, conv->in_channels(), conv->kernel(),
+                          conv->stride(), conv->pad(), rc / ow, rc % ow,
+                          patch);
+        std::copy(patch.begin(), patch.end(),
+                  patches.begin() + static_cast<std::ptrdiff_t>(written * in));
+      }
+      pm->calibrate_alpha(
+          std::span<const double>(patches.data(), written * in), written);
+      step.matrix = pm.get();
+      step.is_conv = true;
+      step.cin = conv->in_channels();
+      step.cout = conv->out_channels();
+      step.k = conv->kernel();
+      step.stride = conv->stride();
+      step.pad = conv->pad();
+      matrices_.push_back(std::move(pm));
+    } else {
+      step.layer = &layer;
+    }
+    steps_.push_back(step);
+    h = layer.forward(h, /*train=*/false);
+  }
+}
+
+nn::Tensor ResipeNetwork::run_dense(const Step& step,
+                                    const nn::Tensor& x) const {
+  RESIPE_REQUIRE(x.rank() == 2, "dense step expects rank-2 input");
+  const std::size_t n = x.dim(0);
+  const std::size_t in = step.matrix->in_features();
+  const std::size_t out = step.matrix->out_features();
+  RESIPE_REQUIRE(x.dim(1) == in, "dense step input width mismatch");
+  nn::Tensor y({n, out});
+  std::vector<double> row_out(out, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> row(x.data().data() + i * in, in);
+    step.matrix->forward(row, row_out);
+    for (std::size_t j = 0; j < out; ++j) y.at(i, j) = row_out[j];
+  }
+  return y;
+}
+
+nn::Tensor ResipeNetwork::run_conv(const Step& step,
+                                   const nn::Tensor& x) const {
+  RESIPE_REQUIRE(x.rank() == 4 && x.dim(1) == step.cin,
+                 "conv step input shape mismatch");
+  const std::size_t n = x.dim(0);
+  const std::size_t h = x.dim(2);
+  const std::size_t w = x.dim(3);
+  const std::size_t oh = (h + 2 * step.pad - step.k) / step.stride + 1;
+  const std::size_t ow = (w + 2 * step.pad - step.k) / step.stride + 1;
+  nn::Tensor y({n, step.cout, oh, ow});
+  const std::size_t in = step.matrix->in_features();
+  std::vector<double> patch(in, 0.0);
+  std::vector<double> out_vec(step.cout, 0.0);
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t r = 0; r < oh; ++r) {
+      for (std::size_t c = 0; c < ow; ++c) {
+        gather_conv_patch(x, img, step.cin, step.k, step.stride, step.pad, r,
+                          c, patch);
+        step.matrix->forward(patch, out_vec);
+        for (std::size_t oc = 0; oc < step.cout; ++oc)
+          y.at(img, oc, r, c) = out_vec[oc];
+      }
+    }
+  }
+  return y;
+}
+
+nn::Tensor ResipeNetwork::forward(const nn::Tensor& batch) const {
+  nn::Tensor h = batch;
+  for (const Step& step : steps_) {
+    if (step.matrix != nullptr) {
+      h = step.is_conv ? run_conv(step, h) : run_dense(step, h);
+    } else {
+      h = step.layer->forward(h, /*train=*/false);
+    }
+  }
+  return h;
+}
+
+std::size_t ResipeNetwork::tile_count() const {
+  std::size_t n = 0;
+  for (const auto& m : matrices_) n += m->tile_count();
+  return n;
+}
+
+std::size_t ResipeNetwork::mvms_per_image() const {
+  // Dense layers: one pass over all blocks per image.  Conv layers: one
+  // pass per output position.  Positions are not stored, so report the
+  // conservative per-vector count times 1; the examples derive full
+  // counts from geometry where needed.
+  std::size_t n = 0;
+  for (const auto& m : matrices_) n += m->tile_count();
+  return n;
+}
+
+}  // namespace resipe::resipe_core

@@ -1,0 +1,48 @@
+#include "resipe/resipe/spike_code.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::resipe_core {
+
+SpikeCodec::SpikeCodec(const circuits::CircuitParams& params, bool quantize)
+    : params_(params),
+      t_full_(params.slice_length - params.comp_stage),
+      v_full_(0.0),
+      quantize_(quantize) {
+  params_.validate();
+  RESIPE_ASSERT(t_full_ > 0.0, "no usable input window");
+  v_full_ = params_.ramp_voltage(t_full_);
+  RESIPE_ASSERT(v_full_ > 0.0, "degenerate ramp");
+}
+
+circuits::Spike SpikeCodec::encode(double x) const {
+  x = std::clamp(x, 0.0, 1.0);
+  double t = params_.ramp_crossing(x * v_full_);
+  t = std::min(t, t_full_);
+  if (quantize_) {
+    t = std::round(t / params_.clock_period) * params_.clock_period;
+    t = std::min(t, t_full_);
+  }
+  return circuits::Spike::at(t, params_.spike_width);
+}
+
+double SpikeCodec::decode(const circuits::Spike& spike) const {
+  if (!spike.valid()) return 1.0;
+  const double v =
+      params_.ramp_voltage(std::min(spike.arrival_time, t_full_));
+  return std::clamp(v / v_full_, 0.0, 1.0);
+}
+
+double SpikeCodec::voltage_of(double arrival_time) const {
+  RESIPE_REQUIRE(arrival_time >= 0.0, "negative arrival time");
+  return params_.ramp_voltage(std::min(arrival_time, t_full_));
+}
+
+int SpikeCodec::levels() const {
+  return static_cast<int>(std::round(t_full_ / params_.clock_period)) + 1;
+}
+
+}  // namespace resipe::resipe_core

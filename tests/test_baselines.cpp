@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/baselines/level_based.hpp"
+#include "resipe/baselines/pwm_based.hpp"
+#include "resipe/baselines/rate_coding.hpp"
+#include "resipe/common/error.hpp"
+
+namespace resipe::baselines {
+namespace {
+
+TEST(LevelBased, TimingMatchesDesignPoint) {
+  const LevelBasedDesign design;
+  EXPECT_DOUBLE_EQ(design.mvm_latency(), 128e-9);
+  EXPECT_DOUBLE_EQ(design.initiation_interval(), 64e-9);
+  const auto p = design.evaluate();
+  EXPECT_GT(p.energy_per_mvm, 0.0);
+  EXPECT_GT(p.area, 0.0);
+}
+
+TEST(LevelBased, FunctionalMvmTracksIdealWithinQuantization) {
+  const LevelBasedDesign design;
+  std::vector<double> x(32);
+  for (std::size_t i = 0; i < 32; ++i)
+    x[i] = static_cast<double>(i) / 31.0;
+  const auto y = design.functional_mvm(x);
+  ASSERT_EQ(y.size(), 32u);
+  for (double v : y) {
+    EXPECT_GE(v, 0.0);
+  }
+  // Feeding larger inputs never reduces any output (monotonicity).
+  std::vector<double> x2 = x;
+  for (double& v : x2) v = std::min(1.0, v + 0.2);
+  const auto y2 = design.functional_mvm(x2);
+  for (std::size_t c = 0; c < y.size(); ++c) {
+    EXPECT_GE(y2[c], y[c] - 1e-12);
+  }
+}
+
+TEST(LevelBased, DacQuantizationIsVisible) {
+  LevelBasedParams params;
+  params.dac_bits = 1;  // crude DAC
+  const LevelBasedDesign coarse(params);
+  const LevelBasedDesign fine;  // 8 bit
+  std::vector<double> x(32, 0.4);
+  const auto yc = coarse.functional_mvm(x);
+  const auto yf = fine.functional_mvm(x);
+  // 0.4 quantizes to 0.5 at 1 bit -> outputs differ.
+  EXPECT_GT(std::abs(yc[0] - yf[0]), 1e-9);
+}
+
+TEST(RateCoding, WindowIs400nsAtDefaults) {
+  const RateCodingParams params;
+  EXPECT_DOUBLE_EQ(params.window(), 400e-9);
+  const RateCodingDesign design;
+  EXPECT_DOUBLE_EQ(design.mvm_latency(), 400e-9);
+}
+
+TEST(RateCoding, EncodeSpikesQuantizesToCounts) {
+  const RateCodingDesign design;
+  EXPECT_EQ(design.encode_spikes(0.0), 0);
+  EXPECT_EQ(design.encode_spikes(1.0), 31);
+  EXPECT_EQ(design.encode_spikes(0.5), 16);  // round(15.5)
+  EXPECT_EQ(design.encode_spikes(-1.0), 0);
+  EXPECT_EQ(design.encode_spikes(2.0), 31);
+}
+
+TEST(RateCoding, FunctionalMvmMonotone) {
+  const RateCodingDesign design;
+  std::vector<double> x(32, 0.2);
+  const auto y_low = design.functional_mvm(x);
+  for (double& v : x) v = 0.9;
+  const auto y_high = design.functional_mvm(x);
+  for (std::size_t c = 0; c < y_low.size(); ++c) {
+    EXPECT_GT(y_high[c], y_low[c]);
+  }
+}
+
+TEST(RateCoding, ZeroInputGivesZeroCharge) {
+  const RateCodingDesign design;
+  const std::vector<double> x(32, 0.0);
+  for (double v : design.functional_mvm(x)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(PwmBased, WindowAndLatency) {
+  const PwmParams params;
+  EXPECT_DOUBLE_EQ(params.window(), 512e-9);
+  const PwmDesign design;
+  EXPECT_DOUBLE_EQ(design.mvm_latency(), 640e-9);
+}
+
+TEST(PwmBased, FunctionalMvmScalesWithDuty) {
+  const PwmDesign design;
+  std::vector<double> x(32, 0.25);
+  const auto y1 = design.functional_mvm(x);
+  for (double& v : x) v = 0.5;
+  const auto y2 = design.functional_mvm(x);
+  for (std::size_t c = 0; c < y1.size(); ++c) {
+    EXPECT_NEAR(y2[c] / y1[c], 2.0, 0.1);
+  }
+}
+
+TEST(Baselines, EnergyOrderingMatchesThePaper) {
+  // Per-MVM energy: rate > level > ReSiPE is not required, but PWM
+  // must be far above everyone and all must be positive.
+  const LevelBasedDesign level;
+  const RateCodingDesign rate;
+  const PwmDesign pwm;
+  const double e_level = level.evaluate().energy_per_mvm;
+  const double e_rate = rate.evaluate().energy_per_mvm;
+  const double e_pwm = pwm.evaluate().energy_per_mvm;
+  EXPECT_GT(e_pwm, 5.0 * e_level);
+  EXPECT_GT(e_pwm, 5.0 * e_rate);
+}
+
+TEST(Baselines, RejectBadParameters) {
+  RateCodingParams rate;
+  rate.bits = 0;
+  EXPECT_THROW(RateCodingDesign{rate}, Error);
+  PwmParams pwm;
+  pwm.bits = 13;
+  EXPECT_THROW(PwmDesign{pwm}, Error);
+  LevelBasedParams level;
+  level.apply_time = 0.0;
+  EXPECT_THROW(LevelBasedDesign{level}, Error);
+}
+
+TEST(Baselines, InputSizeChecked) {
+  const LevelBasedDesign level;
+  const std::vector<double> x(16, 0.5);
+  EXPECT_THROW(level.functional_mvm(x), Error);
+}
+
+}  // namespace
+}  // namespace resipe::baselines

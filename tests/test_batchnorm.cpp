@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+#include "resipe/nn/layers.hpp"
+#include "resipe/nn/model.hpp"
+#include "resipe/nn/train.hpp"
+
+namespace resipe::nn {
+namespace {
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  BatchNorm2d bn(2);
+  Rng rng(1);
+  Tensor x({4, 2, 3, 3});
+  x.fill_normal(rng, 2.0);
+  for (double& v : x.data()) v += 5.0;  // shifted, scaled input
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per channel: mean ~ 0, var ~ 1 after normalization (gamma=1,beta=0).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, ss = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t h = 0; h < 3; ++h)
+        for (std::size_t w = 0; w < 3; ++w) {
+          sum += y.at(n, c, h, w);
+          ++count;
+        }
+    const double mean = sum / count;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t h = 0; h < 3; ++h)
+        for (std::size_t w = 0; w < 3; ++w)
+          ss += (y.at(n, c, h, w) - mean) * (y.at(n, c, h, w) - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(ss / count, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStatistics) {
+  BatchNorm2d bn(1, /*momentum=*/1.0);  // adopt batch stats immediately
+  Rng rng(2);
+  Tensor x({8, 1, 4, 4});
+  x.fill_normal(rng, 3.0);
+  bn.forward(x, true);  // sets running stats to this batch's stats
+  // A fresh input normalized with those stats:
+  Tensor z({1, 1, 4, 4});
+  z.fill(1.0);
+  const Tensor y = bn.forward(z, false);
+  // y = (1 - mean)/sqrt(var+eps); just check it is deterministic and
+  // finite, and changes when running stats change.
+  const double y0 = y[0];
+  EXPECT_TRUE(std::isfinite(y0));
+  Tensor x2({8, 1, 4, 4});
+  x2.fill_normal(rng, 1.0);
+  for (double& v : x2.data()) v += 10.0;
+  bn.forward(x2, true);
+  const Tensor y2 = bn.forward(z, false);
+  EXPECT_NE(y0, y2[0]);
+}
+
+TEST(BatchNorm, GradientsMatchFiniteDifferences) {
+  constexpr double kEps = 1e-6;
+  constexpr double kTol = 1e-5;
+  BatchNorm2d bn(2);
+  Rng rng(3);
+  Tensor x({3, 2, 2, 2});
+  x.fill_normal(rng, 1.0);
+
+  auto loss = [&bn](const Tensor& in) {
+    // Use eval-independent path: forward(train) changes running stats,
+    // so snapshot via a fresh lambda call pattern — the loss uses the
+    // train path consistently (stats recomputed per call, identical
+    // for identical input).
+    BatchNorm2d probe = bn;
+    const Tensor y = probe.forward(in, true);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      s += y[i] * (0.2 + 0.1 * static_cast<double>(i % 5));
+    return s;
+  };
+
+  for (const Param& p : bn.params()) p.grad->fill(0.0);
+  const Tensor y = bn.forward(x, true);
+  Tensor gy(y.shape());
+  for (std::size_t i = 0; i < gy.size(); ++i)
+    gy[i] = 0.2 + 0.1 * static_cast<double>(i % 5);
+  const Tensor gx = bn.backward(gy);
+
+  for (std::size_t i = 0; i < x.size(); i += 3) {
+    const double orig = x[i];
+    x[i] = orig + kEps;
+    const double up = loss(x);
+    x[i] = orig - kEps;
+    const double dn = loss(x);
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (up - dn) / (2.0 * kEps), kTol) << "x grad " << i;
+  }
+}
+
+TEST(BatchNorm, TrainingABlockImprovesLoss) {
+  Rng rng(4);
+  Sequential model("bn-net");
+  model.emplace<Conv2d>(1, 4, 3, 1, 1, rng);
+  model.emplace<BatchNorm2d>(4);
+  model.emplace<ReLU>();
+  model.emplace<Flatten>();
+  model.emplace<Dense>(4 * 8 * 8, 3, rng);
+
+  Tensor x({6, 1, 8, 8});
+  x.fill_normal(rng, 1.0);
+  const std::vector<int> labels{0, 1, 2, 0, 1, 2};
+  Adam opt(1e-2);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    model.zero_grads();
+    const Tensor logits = model.forward(x, true);
+    const LossResult res = softmax_cross_entropy(logits, labels);
+    model.backward(res.grad);
+    const auto params = model.params();
+    opt.step(params);
+    if (step == 0) first = res.loss;
+    last = res.loss;
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(FoldBatchnorm, FoldedModelMatchesUnfoldedAtEval) {
+  Rng rng(5);
+  Sequential model("fold");
+  model.emplace<Conv2d>(2, 3, 3, 1, 1, rng);
+  model.emplace<BatchNorm2d>(3);
+  model.emplace<ReLU>();
+
+  // Push non-trivial statistics into the BN.
+  Tensor warm({8, 2, 6, 6});
+  warm.fill_normal(rng, 2.0);
+  for (double& v : warm.data()) v += 0.5;
+  model.forward(warm, true);
+
+  Tensor x({2, 2, 6, 6});
+  x.fill_normal(rng, 1.0);
+  const Tensor before = model.forward(x, false);
+  const std::size_t folded = fold_batchnorm(model);
+  EXPECT_EQ(folded, 1u);
+  const Tensor after = model.forward(x, false);
+  ASSERT_TRUE(before.same_shape(after));
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(FoldBatchnorm, NoPairsMeansNoFolds) {
+  Rng rng(6);
+  Sequential model("plain");
+  model.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  model.emplace<ReLU>();
+  EXPECT_EQ(fold_batchnorm(model), 0u);
+}
+
+TEST(BatchNorm, RejectsBadShapesAndParams) {
+  EXPECT_THROW(BatchNorm2d(0), Error);
+  EXPECT_THROW(BatchNorm2d(2, 0.0), Error);
+  BatchNorm2d bn(2);
+  EXPECT_THROW(bn.forward(Tensor({1, 3, 2, 2}), false), Error);
+}
+
+}  // namespace
+}  // namespace resipe::nn

@@ -1,0 +1,137 @@
+#include "resipe/resipe/bit_slicing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+TEST(SlicingConfig, SliceArithmetic) {
+  SlicingConfig cfg;
+  cfg.total_bits = 8;
+  cfg.bits_per_slice = 4;
+  EXPECT_EQ(cfg.slices(), 2);
+  cfg.bits_per_slice = 3;
+  EXPECT_EQ(cfg.slices(), 3);  // ceil(8/3)
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.bits_per_slice = 9;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = SlicingConfig{};
+  cfg.total_bits = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+class SlicedFixture : public ::testing::Test {
+ protected:
+  SlicedFixture() : rng_(31) {
+    w_.resize(kIn * kOut);
+    for (double& v : w_) v = rng_.normal(0.0, 0.4);
+    bias_.assign(kOut, 0.25);
+    xs_.resize(kSamples * kIn);
+    for (double& v : xs_) v = rng_.uniform(0.0, 1.0);
+  }
+
+  double rmse_of(SlicedMatrix& sm) {
+    sm.set_input_scale(1.0);
+    sm.calibrate_alpha(xs_, kSamples);
+    std::vector<double> y(kOut, 0.0);
+    double ss = 0.0, ref_max = 0.0;
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      const std::span<const double> x(xs_.data() + s * kIn, kIn);
+      sm.forward(x, y);
+      for (std::size_t j = 0; j < kOut; ++j) {
+        double ref = bias_[j];
+        for (std::size_t i = 0; i < kIn; ++i)
+          ref += x[i] * w_[i * kOut + j];
+        ss += (y[j] - ref) * (y[j] - ref);
+        ref_max = std::max(ref_max, std::abs(ref));
+      }
+    }
+    return std::sqrt(ss / (kSamples * kOut)) / ref_max;
+  }
+
+  static constexpr std::size_t kIn = 24;
+  static constexpr std::size_t kOut = 6;
+  static constexpr std::size_t kSamples = 48;
+  Rng rng_;
+  std::vector<double> w_;
+  std::vector<double> bias_;
+  std::vector<double> xs_;
+};
+
+TEST_F(SlicedFixture, TwoFourBitSlicesReproduceTheMatmul) {
+  EngineConfig cfg;
+  SlicingConfig slicing;  // 8 bits as 2 x 4
+  Rng prog(7);
+  SlicedMatrix sm(cfg, slicing, w_, bias_, kIn, kOut, prog);
+  EXPECT_EQ(sm.slice_count(), 2u);
+  EXPECT_LT(rmse_of(sm), 0.05);
+}
+
+TEST_F(SlicedFixture, MoreTotalBitsNeverHurts) {
+  EngineConfig cfg = EngineConfig::ideal();
+  cfg.quantize_spikes = false;
+
+  SlicingConfig coarse;
+  coarse.total_bits = 4;
+  coarse.bits_per_slice = 4;
+  Rng prog_a(7);
+  SlicedMatrix a(cfg, coarse, w_, bias_, kIn, kOut, prog_a);
+
+  SlicingConfig fine;
+  fine.total_bits = 12;
+  fine.bits_per_slice = 4;
+  Rng prog_b(7);
+  SlicedMatrix b(cfg, fine, w_, bias_, kIn, kOut, prog_b);
+
+  EXPECT_EQ(a.slice_count(), 1u);
+  EXPECT_EQ(b.slice_count(), 3u);
+  EXPECT_LT(rmse_of(b), rmse_of(a));
+}
+
+TEST_F(SlicedFixture, SlicingBeatsSingleCoarseCellsAtEqualLogicalBits) {
+  // 8 logical bits on 3-bit cells: one slice cannot represent them,
+  // three slices can.
+  EngineConfig single_cfg;
+  single_cfg.device.levels = 1 << 3;
+  SlicingConfig mono;
+  mono.total_bits = 3;
+  mono.bits_per_slice = 3;
+  Rng prog_a(9);
+  SlicedMatrix coarse(single_cfg, mono, w_, bias_, kIn, kOut, prog_a);
+
+  EngineConfig sliced_cfg;
+  SlicingConfig split;
+  split.total_bits = 9;
+  split.bits_per_slice = 3;
+  Rng prog_b(9);
+  SlicedMatrix sliced(sliced_cfg, split, w_, bias_, kIn, kOut, prog_b);
+
+  EXPECT_LT(rmse_of(sliced), rmse_of(coarse));
+}
+
+TEST_F(SlicedFixture, TileCountScalesWithSlices) {
+  EngineConfig cfg;
+  SlicingConfig slicing;
+  slicing.total_bits = 8;
+  slicing.bits_per_slice = 2;
+  Rng prog(11);
+  SlicedMatrix sm(cfg, slicing, w_, bias_, kIn, kOut, prog);
+  EXPECT_EQ(sm.slice_count(), 4u);
+  EXPECT_EQ(sm.tile_count(), 4u * (sm.slice_count() ? 1u : 0u));
+}
+
+TEST(SlicedMatrix, RejectsBadShapes) {
+  EngineConfig cfg;
+  SlicingConfig slicing;
+  Rng rng(1);
+  const std::vector<double> w(6, 0.1);
+  const std::vector<double> b(3, 0.0);
+  EXPECT_THROW(SlicedMatrix(cfg, slicing, w, b, 3, 3, rng), Error);
+}
+
+}  // namespace
+}  // namespace resipe::resipe_core

@@ -1,0 +1,132 @@
+#include "resipe/resipe/chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+#include "resipe/nn/zoo.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+TEST(ChipMapping, SingleDenseLayer) {
+  Rng rng(1);
+  nn::Sequential model("m");
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(784, 10, rng);
+  const ChipReport report = map_network(model, {1, 28, 28});
+  ASSERT_EQ(report.layers.size(), 1u);
+  const auto& m = report.layers[0];
+  EXPECT_EQ(m.logical_rows, 784u);
+  EXPECT_EQ(m.logical_cols, 10u);
+  // ceil(784/32) = 25 row blocks x ceil(20/32) = 1 column block.
+  EXPECT_EQ(m.tiles, 25u);
+  EXPECT_EQ(m.slices_per_input, 1u);
+  EXPECT_EQ(report.total_tiles, 25u);
+  EXPECT_DOUBLE_EQ(report.ops_per_inference, 2.0 * 784 * 10);
+  // One slice of pipeline II for a dense-only network.
+  EXPECT_DOUBLE_EQ(report.initiation_interval, 100e-9);
+  EXPECT_DOUBLE_EQ(report.input_latency, 200e-9);
+}
+
+TEST(ChipMapping, ConvLayerIsTheTemporalBottleneck) {
+  Rng rng(1);
+  nn::Sequential model("m");
+  model.emplace<nn::Conv2d>(1, 6, 5, 1, 2, rng);  // 28 -> 28
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2d>(2);                // -> 14
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(6 * 14 * 14, 10, rng);
+  const ChipReport report = map_network(model, {1, 28, 28});
+  ASSERT_EQ(report.layers.size(), 2u);
+  const auto& conv = report.layers[0];
+  EXPECT_TRUE(conv.is_conv);
+  EXPECT_EQ(conv.logical_rows, 25u);
+  EXPECT_EQ(conv.slices_per_input, 28u * 28u);
+  // The conv sets the chip initiation interval.
+  EXPECT_DOUBLE_EQ(report.initiation_interval, 784.0 * 100e-9);
+  EXPECT_GT(report.input_latency, report.initiation_interval);
+}
+
+TEST(ChipMapping, PoolingShrinksDownstreamFanIn) {
+  Rng rng(1);
+  nn::Sequential with_pool("a");
+  with_pool.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  with_pool.emplace<nn::MaxPool2d>(2);
+  with_pool.emplace<nn::Flatten>();
+  with_pool.emplace<nn::Dense>(4 * 14 * 14, 10, rng);
+  const ChipReport report = map_network(with_pool, {1, 28, 28});
+  EXPECT_EQ(report.layers[1].logical_rows, 4u * 14u * 14u);
+}
+
+TEST(ChipMapping, BenchmarkNetsAllMap) {
+  Rng rng(1);
+  for (nn::BenchmarkNet net : nn::all_benchmarks()) {
+    nn::Sequential model = nn::build_benchmark(net, rng);
+    const std::vector<std::size_t> shape =
+        nn::uses_object_dataset(net) ? std::vector<std::size_t>{3, 32, 32}
+                                     : std::vector<std::size_t>{1, 28, 28};
+    const ChipReport report = map_network(model, shape);
+    EXPECT_EQ(report.layers.size(), model.matrix_layer_count());
+    EXPECT_GT(report.total_tiles, 0u);
+    EXPECT_GT(report.power, 0.0);
+    EXPECT_GT(report.power_efficiency, 0.0);
+    EXPECT_GT(report.throughput, 0.0);
+    const std::string rendered = report.render();
+    EXPECT_NE(rendered.find("tiles"), std::string::npos);
+  }
+}
+
+TEST(ChipMapping, DeeperNetworksUseMoreTiles) {
+  Rng rng(1);
+  nn::Sequential mlp1 = nn::build_benchmark(nn::BenchmarkNet::kMlp1, rng);
+  nn::Sequential mlp2 = nn::build_benchmark(nn::BenchmarkNet::kMlp2, rng);
+  const auto r1 = map_network(mlp1, {1, 28, 28});
+  const auto r2 = map_network(mlp2, {1, 28, 28});
+  EXPECT_GT(r2.total_tiles, r1.total_tiles);
+  EXPECT_GT(r2.input_latency, r1.input_latency);
+}
+
+TEST(ChipMapping, ConvReplicationTradesAreaForLatency) {
+  Rng rng(1);
+  nn::Sequential model("m");
+  model.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);  // 28x28 positions
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(4 * 28 * 28, 10, rng);
+
+  resipe_core::ChipConfig base;
+  const auto r1 = resipe_core::map_network(model, {1, 28, 28}, base);
+  resipe_core::ChipConfig fast;
+  fast.conv_replication = 4;
+  const auto r4 = resipe_core::map_network(model, {1, 28, 28}, fast);
+
+  EXPECT_EQ(r4.layers[0].slices_per_input,
+            (r1.layers[0].slices_per_input + 3) / 4);
+  EXPECT_GT(r4.total_tiles, r1.total_tiles);
+  EXPECT_LT(r4.input_latency, r1.input_latency);
+  // Same MVM count per inference: energy per inference is unchanged.
+  EXPECT_EQ(r4.layers[0].mvms_per_input, r1.layers[0].mvms_per_input);
+}
+
+TEST(ChipMapping, ReplicationClampsAtPositionCount) {
+  Rng rng(1);
+  nn::Sequential model("m");
+  model.emplace<nn::Conv2d>(1, 2, 3, 1, 1, rng);  // 4x4 = 16 positions
+  resipe_core::ChipConfig cfg;
+  cfg.conv_replication = 1000;
+  const auto report = resipe_core::map_network(model, {1, 4, 4}, cfg);
+  EXPECT_EQ(report.layers[0].slices_per_input, 1u);
+  EXPECT_EQ(report.layers[0].tiles, 16u);  // one group per position
+}
+
+TEST(ChipMapping, RejectsBadInputs) {
+  Rng rng(1);
+  nn::Sequential model("m");
+  model.emplace<nn::ReLU>();  // no matrix layers
+  EXPECT_THROW(map_network(model, {1, 28, 28}), Error);
+  nn::Sequential ok("m2");
+  ok.emplace<nn::Dense>(4, 2, rng);
+  EXPECT_THROW(map_network(ok, {1, 28}), Error);  // bad shape arity
+}
+
+}  // namespace
+}  // namespace resipe::resipe_core

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "resipe/circuits/column_output_generator.hpp"
+#include "resipe/circuits/global_decoder.hpp"
+#include "resipe/circuits/params.hpp"
+#include "resipe/circuits/sample_hold.hpp"
+#include "resipe/circuits/waveform.hpp"
+#include "resipe/common/error.hpp"
+#include "resipe/common/units.hpp"
+
+namespace resipe::circuits {
+namespace {
+
+using namespace resipe::units;
+
+TEST(CircuitParams, PaperDefaultsMatchSectionIV) {
+  const CircuitParams p = CircuitParams::paper_defaults();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.v_s, 1.0);
+  EXPECT_DOUBLE_EQ(p.r_gd, 100e3);
+  EXPECT_DOUBLE_EQ(p.c_gd, 100e-15);
+  EXPECT_DOUBLE_EQ(p.c_cog, 100e-15);
+  EXPECT_DOUBLE_EQ(p.slice_length, 100e-9);
+  EXPECT_DOUBLE_EQ(p.comp_stage, 1e-9);
+  EXPECT_DOUBLE_EQ(p.spike_width, 1e-9);
+  EXPECT_DOUBLE_EQ(p.tau_gd(), 10e-9);
+}
+
+TEST(CircuitParams, ValidateRejectsBadConfigs) {
+  CircuitParams p;
+  p.comp_stage = p.slice_length;  // must fit strictly inside
+  EXPECT_THROW(p.validate(), Error);
+  p = CircuitParams{};
+  p.v_s = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = CircuitParams{};
+  p.spike_width = 2.0 * p.slice_length;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(CircuitParams, RampAndCrossingAreInverse) {
+  for (auto model : {TransferModel::kExact, TransferModel::kLinear}) {
+    CircuitParams p;
+    p.model = model;
+    for (double t : {1e-9, 5e-9, 20e-9, 60e-9}) {
+      const double v = p.ramp_voltage(t);
+      if (v < p.v_s) {
+        EXPECT_NEAR(p.ramp_crossing(v), t, 1e-15) << "model "
+                                                  << static_cast<int>(model);
+      }
+    }
+  }
+}
+
+TEST(CircuitParams, RampClampsAtSupply) {
+  CircuitParams p;  // tau = 10 ns
+  EXPECT_LE(p.ramp_voltage(1.0), p.v_s);
+  EXPECT_EQ(p.ramp_crossing(p.v_s),
+            std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(p.ramp_crossing(0.0), 0.0);
+}
+
+TEST(CircuitParams, LinearRegimePresetIsQuasiLinear) {
+  const CircuitParams p = CircuitParams::linear_regime();
+  // tau = 1 us >> 100 ns slice: the ramp end is within 10% of linear.
+  const double v_end = p.ramp_voltage(p.slice_length);
+  const double v_lin = p.v_s * p.slice_length / p.tau_gd();
+  EXPECT_NEAR(v_end, v_lin, 0.1 * v_lin);
+}
+
+TEST(SampleHold, IdentityByDefault) {
+  const SampleHold sh;
+  EXPECT_DOUBLE_EQ(sh.sample(0.42, 100e-9), 0.42);
+}
+
+TEST(SampleHold, GainErrorAndDroop) {
+  const SampleHold sh(0.01, 1e3);  // +1%, 1 kV/s droop
+  EXPECT_NEAR(sh.sample(1.0, 100e-9), 1.01 - 1e3 * 100e-9, 1e-12);
+}
+
+TEST(SampleHold, DroopClampsAtGround) {
+  const SampleHold sh(0.0, 1e9);
+  EXPECT_DOUBLE_EQ(sh.sample(0.1, 1e-6), 0.0);
+}
+
+TEST(GlobalDecoder, DecodesSpikeToRampVoltage) {
+  const CircuitParams p;
+  const GlobalDecoder gd(p);
+  const Spike s = Spike::at(10e-9);
+  EXPECT_NEAR(gd.decode(s), 1.0 - std::exp(-1.0), 1e-12);  // t = tau
+}
+
+TEST(GlobalDecoder, SilentLineGivesZeroVolts) {
+  const CircuitParams p;
+  const GlobalDecoder gd(p);
+  EXPECT_DOUBLE_EQ(gd.decode(Spike::none()), 0.0);
+  // A spike after the slice also never gets sampled.
+  EXPECT_DOUBLE_EQ(gd.decode(Spike::at(2.0 * p.slice_length)), 0.0);
+}
+
+TEST(GlobalDecoder, VectorizedDecode) {
+  const CircuitParams p;
+  const GlobalDecoder gd(p);
+  const std::vector<Spike> spikes{Spike::at(10e-9), Spike::none()};
+  const auto v = gd.decode(spikes);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_GT(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(ColumnOutputGenerator, SampleVoltageMatchesEq3) {
+  const CircuitParams p;
+  const ColumnOutputGenerator cog(p);
+  const ColumnDrive drive{0.5, 1e-4};  // Veq = 0.5 V, G = 100 uS
+  const double tau = p.c_cog / drive.g_total;
+  const double expect = 0.5 * (1.0 - std::exp(-p.comp_stage / tau));
+  EXPECT_NEAR(cog.sample_voltage(drive), expect, 1e-12);
+}
+
+TEST(ColumnOutputGenerator, ZeroConductanceColumnStaysAtGround) {
+  const CircuitParams p;
+  const ColumnOutputGenerator cog(p);
+  EXPECT_DOUBLE_EQ(cog.sample_voltage(ColumnDrive{0.8, 0.0}), 0.0);
+}
+
+TEST(ColumnOutputGenerator, EmitInvertsTheRamp) {
+  const CircuitParams p;
+  const GlobalDecoder gd(p);
+  const ColumnOutputGenerator cog(p);
+  const double v_out = 0.4;
+  const Spike s = cog.emit(v_out, gd);
+  ASSERT_TRUE(s.valid());
+  EXPECT_NEAR(gd.ramp_voltage(s.arrival_time), v_out, 1e-9);
+}
+
+TEST(ColumnOutputGenerator, ZeroVoltageFiresImmediately) {
+  const CircuitParams p;
+  const GlobalDecoder gd(p);
+  const ColumnOutputGenerator cog(p);
+  const Spike s = cog.emit(0.0, gd);
+  ASSERT_TRUE(s.valid());
+  EXPECT_DOUBLE_EQ(s.arrival_time, 0.0);
+}
+
+TEST(ColumnOutputGenerator, OverRangeStaysSilent) {
+  const CircuitParams p;
+  const GlobalDecoder gd(p);
+  const ColumnOutputGenerator cog(p);
+  // v >= Vs can never be crossed by the exact ramp.
+  EXPECT_FALSE(cog.emit(1.0, gd).valid());
+}
+
+TEST(ColumnOutputGenerator, ComparatorDelayShiftsOutput) {
+  CircuitParams p;
+  p.comparator_delay = 2e-9;
+  const GlobalDecoder gd(p);
+  const ColumnOutputGenerator cog(p);
+  CircuitParams p0;
+  const GlobalDecoder gd0(p0);
+  const ColumnOutputGenerator cog0(p0);
+  const double v = 0.3;
+  EXPECT_NEAR(cog.emit(v, gd).arrival_time,
+              cog0.emit(v, gd0).arrival_time + 2e-9, 1e-15);
+}
+
+TEST(ColumnOutputGenerator, ConversionEnergyGrowsWithOutput) {
+  const CircuitParams p;
+  const ColumnOutputGenerator cog(p);
+  EXPECT_GT(cog.conversion_energy(0.8), cog.conversion_energy(0.1));
+  EXPECT_GT(cog.conversion_energy(0.0), 0.0);  // S2 reference still paid
+}
+
+TEST(Spike, ValidityRules) {
+  EXPECT_FALSE(Spike::none().valid());
+  EXPECT_TRUE(Spike::at(0.0).valid());
+  EXPECT_TRUE(Spike::at(50e-9).valid());
+}
+
+TEST(WaveformRecorder, InterpolatesLinearly) {
+  WaveformRecorder rec;
+  rec.record("v", 0.0, 0.0);
+  rec.record("v", 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(rec.at("v", 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(rec.at("v", -1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(rec.at("v", 99.0), 1.0);   // clamped
+}
+
+TEST(WaveformRecorder, RejectsOutOfOrderSamples) {
+  WaveformRecorder rec;
+  rec.record("v", 1.0, 0.0);
+  EXPECT_THROW(rec.record("v", 0.5, 0.0), Error);
+}
+
+TEST(WaveformRecorder, UnknownTraceThrows) {
+  const WaveformRecorder rec;
+  EXPECT_THROW(rec.at("nope", 0.0), Error);
+}
+
+TEST(WaveformRecorder, AsciiRenderContainsTraceName) {
+  WaveformRecorder rec;
+  rec.record("V(Cgd)", 0.0, 0.0);
+  rec.record("V(Cgd)", 1.0, 1.0);
+  const std::string s = rec.render_ascii(0.0, 1.0, 16, 4);
+  EXPECT_NE(s.find("V(Cgd)"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resipe::circuits

@@ -1,0 +1,224 @@
+#include "resipe/device/reram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/stats.hpp"
+
+namespace resipe::device {
+namespace {
+
+TEST(ReramSpec, PresetsAreValidAndMatchPaper) {
+  const ReramSpec ch = ReramSpec::characterization();
+  EXPECT_NO_THROW(ch.validate());
+  EXPECT_DOUBLE_EQ(ch.r_lrs, 10e3);
+  EXPECT_DOUBLE_EQ(ch.r_hrs, 1e6);
+
+  const ReramSpec nn = ReramSpec::nn_mapping();
+  EXPECT_NO_THROW(nn.validate());
+  EXPECT_DOUBLE_EQ(nn.r_lrs, 50e3);
+  // The Sec. III-D condition: a 32-cell column stays below 1.6 mS.
+  EXPECT_LE(32.0 * nn.g_max(), 1.6e-3);
+}
+
+TEST(ReramSpec, ValidateRejectsBadCorners) {
+  ReramSpec s;
+  s.r_lrs = -1.0;
+  EXPECT_THROW(s.validate(), Error);
+  s = ReramSpec{};
+  s.r_hrs = s.r_lrs;  // HRS must exceed LRS
+  EXPECT_THROW(s.validate(), Error);
+  s = ReramSpec{};
+  s.levels = 1;
+  EXPECT_THROW(s.validate(), Error);
+  s = ReramSpec{};
+  s.variation_sigma = -0.1;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(ConductanceQuantizer, EndpointsMapToWindow) {
+  const ReramSpec spec = ReramSpec::characterization();
+  const ConductanceQuantizer q(spec);
+  EXPECT_DOUBLE_EQ(q.weight_to_g(0.0), spec.g_min());
+  EXPECT_DOUBLE_EQ(q.weight_to_g(1.0), spec.g_max());
+  EXPECT_DOUBLE_EQ(q.weight_to_g(-1.0), spec.g_min());  // clamped
+  EXPECT_DOUBLE_EQ(q.weight_to_g(2.0), spec.g_max());   // clamped
+}
+
+TEST(ConductanceQuantizer, RoundTripWithinHalfStep) {
+  const ReramSpec spec = ReramSpec::characterization();
+  const ConductanceQuantizer q(spec);
+  for (double w = 0.0; w <= 1.0; w += 0.03) {
+    const double g = q.weight_to_g_quantized(w);
+    EXPECT_NEAR(g, q.weight_to_g(w), q.step() / 2.0 + 1e-18);
+    EXPECT_NEAR(q.g_to_weight(g), w, 0.5 / (spec.levels - 1) + 1e-12);
+  }
+}
+
+TEST(ConductanceQuantizer, LevelsAreDiscrete) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.levels = 4;
+  const ConductanceQuantizer q(spec);
+  // Only 4 distinct values possible.
+  std::vector<double> seen;
+  for (double w = 0.0; w <= 1.0001; w += 0.01) {
+    const double g = q.weight_to_g_quantized(w);
+    bool found = false;
+    for (double s : seen) {
+      if (std::abs(s - g) < 1e-18) found = true;
+    }
+    if (!found) seen.push_back(g);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ReramCell, DeterministicProgramWithoutNoise) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  spec.variation_sigma = 0.0;
+  Rng rng(1);
+  ReramCell cell;
+  cell.program(spec, 5e-5, rng);
+  const ConductanceQuantizer q(spec);
+  EXPECT_NEAR(cell.programmed_g(), q.weight_to_g_quantized(
+                                       q.g_to_weight(5e-5)),
+              1e-18);
+  EXPECT_DOUBLE_EQ(cell.target_g(), 5e-5);
+}
+
+TEST(ReramCell, TargetClampedToWindow) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  Rng rng(1);
+  ReramCell cell;
+  cell.program(spec, 1.0, rng);  // way above G_max
+  EXPECT_DOUBLE_EQ(cell.target_g(), spec.g_max());
+  cell.program(spec, 0.0, rng);  // below G_min
+  EXPECT_DOUBLE_EQ(cell.target_g(), spec.g_min());
+}
+
+TEST(ReramCell, VariationSigmaIsRespected) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  spec.variation_sigma = 0.10;
+  spec.levels = 1 << 14;
+  Rng rng(5);
+  const double target = 5e-5;
+  std::vector<double> gs(20000);
+  ReramCell cell;
+  for (double& g : gs) {
+    cell.program(spec, target, rng);
+    g = cell.programmed_g();
+  }
+  const Summary s = summarize(gs);
+  EXPECT_NEAR(s.mean, target, 0.002 * target);
+  EXPECT_NEAR(s.stddev / target, 0.10, 0.005);
+}
+
+TEST(ReramCell, ReadNoiseOnlyWhenConfigured) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  Rng rng(5);
+  ReramCell cell;
+  cell.program(spec, 5e-5, rng);
+  EXPECT_DOUBLE_EQ(cell.read_g(spec, rng), cell.programmed_g());
+  spec.read_noise_sigma = 0.05;
+  double diff = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    diff += std::abs(cell.read_g(spec, rng) - cell.programmed_g());
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(ReramCell, EffectiveGIncludesAccessTransistor) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  spec.transistor_r_on = 10e3;
+  Rng rng(5);
+  ReramCell cell;
+  cell.program(spec, 1.0 / 10e3, rng);  // program to LRS = 10 k
+  // Series 10 k + 10 k = 20 k.
+  EXPECT_NEAR(cell.effective_g(spec), 1.0 / 20e3, 1e-9);
+}
+
+TEST(ReramCell, UnprogrammedCellHasZeroEffectiveG) {
+  const ReramSpec spec = ReramSpec::characterization();
+  const ReramCell cell;
+  EXPECT_DOUBLE_EQ(cell.effective_g(spec), 0.0);
+}
+
+TEST(ReramCell, StuckAtFaultsPinTheRails) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.stuck_lrs_rate = 1.0;  // every cell stuck at LRS
+  Rng rng(9);
+  ReramCell cell;
+  cell.program(spec, spec.g_min(), rng);
+  EXPECT_TRUE(cell.is_stuck());
+  EXPECT_DOUBLE_EQ(cell.programmed_g(), spec.g_max());
+
+  spec.stuck_lrs_rate = 0.0;
+  spec.stuck_hrs_rate = 1.0;
+  cell.program(spec, spec.g_max(), rng);
+  EXPECT_TRUE(cell.is_stuck());
+  EXPECT_DOUBLE_EQ(cell.programmed_g(), spec.g_min());
+}
+
+TEST(ReramCell, StuckAtRateIsRespectedStatistically) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.stuck_lrs_rate = 0.1;
+  Rng rng(11);
+  ReramCell cell;
+  int stuck = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    cell.program(spec, 5e-5, rng);
+    if (cell.is_stuck()) ++stuck;
+  }
+  EXPECT_NEAR(static_cast<double>(stuck) / n, 0.1, 0.01);
+}
+
+TEST(ReramCell, RetentionDriftFollowsPowerLaw) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  spec.drift_nu = 0.05;
+  spec.drift_t0 = 1.0;
+  Rng rng(13);
+  ReramCell cell;
+  cell.program(spec, 5e-5, rng);
+  const double g0 = cell.programmed_g();
+  // No drift before t0.
+  EXPECT_DOUBLE_EQ(cell.drifted_g(spec, 0.5), g0);
+  // Power law afterwards: G(100 s) = G0 * 100^-0.05.
+  EXPECT_NEAR(cell.drifted_g(spec, 100.0), g0 * std::pow(100.0, -0.05),
+              1e-12 * g0);
+  // Drift never increases conductance.
+  EXPECT_LT(cell.drifted_g(spec, 1e6), g0);
+}
+
+TEST(ReramCell, StuckCellsDoNotDrift) {
+  ReramSpec spec = ReramSpec::characterization();
+  spec.drift_nu = 0.1;
+  spec.stuck_lrs_rate = 1.0;
+  Rng rng(15);
+  ReramCell cell;
+  cell.program(spec, spec.g_min(), rng);
+  EXPECT_DOUBLE_EQ(cell.drifted_g(spec, 1e6), spec.g_max());
+}
+
+TEST(ReramSpec, ValidateRejectsBadReliabilityNumbers) {
+  ReramSpec spec;
+  spec.stuck_lrs_rate = 0.7;
+  spec.stuck_hrs_rate = 0.7;  // sums beyond 1
+  EXPECT_THROW(spec.validate(), Error);
+  spec = ReramSpec{};
+  spec.drift_nu = -0.1;
+  EXPECT_THROW(spec.validate(), Error);
+  spec = ReramSpec{};
+  spec.drift_t0 = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+}  // namespace
+}  // namespace resipe::device

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+#include "resipe/energy/components.hpp"
+#include "resipe/energy/design.hpp"
+#include "resipe/energy/report.hpp"
+#include "resipe/resipe/design.hpp"
+
+namespace resipe::energy {
+namespace {
+
+using namespace resipe::units;
+
+TEST(ComponentLibrary, AllComponentsHavePositiveArea) {
+  const ComponentLibrary lib;
+  for (const Component& c :
+       {lib.dac(8), lib.adc(8), lib.sample_hold(), lib.comparator(),
+        lib.spike_driver(), lib.spike_modulator(5),
+        lib.integrate_fire_neuron(5), lib.pulse_modulator(),
+        lib.integrator(), lib.ramp_generator(100.0 * fF),
+        lib.mim_capacitor(100.0 * fF), lib.digital_logic(100),
+        lib.pulse_shaper()}) {
+    EXPECT_GT(c.area, 0.0) << c.name;
+    EXPECT_GE(c.static_power, 0.0) << c.name;
+    EXPECT_GE(c.energy_per_op, 0.0) << c.name;
+  }
+}
+
+TEST(ComponentLibrary, AdcMatchesCitedReference) {
+  // [20]: 2.3 mW at 950 MS/s -> ~2.42 pJ per 8-bit conversion.
+  const ComponentLibrary lib;
+  EXPECT_NEAR(lib.adc(8).energy_per_op, 2.42e-12, 0.01e-12);
+  // Resolution scaling doubles per bit.
+  EXPECT_NEAR(lib.adc(9).energy_per_op / lib.adc(8).energy_per_op, 2.0,
+              1e-9);
+}
+
+TEST(ComponentLibrary, RejectsBadArguments) {
+  const ComponentLibrary lib;
+  EXPECT_THROW(lib.dac(0), Error);
+  EXPECT_THROW(lib.adc(17), Error);
+  EXPECT_THROW(lib.comparator(-1.0), Error);
+  EXPECT_THROW(lib.mim_capacitor(-1e-15), Error);
+}
+
+TEST(Component, EnergyAccountsOpsAndStaticTime) {
+  Component c;
+  c.energy_per_op = 2.0;
+  c.static_power = 3.0;
+  EXPECT_DOUBLE_EQ(c.energy(4.0, 5.0), 8.0 + 15.0);
+}
+
+TEST(EnergyReport, AggregatesEntries) {
+  EnergyReport report;
+  Component c;
+  c.name = "thing";
+  c.area = 1e-9;
+  c.energy_per_op = 1e-12;
+  report.add(c, 2.0, 3.0, 0.0);  // 2 instances x 3 ops = 6 pJ
+  report.add_raw("raw", 4e-12, 2e-9);
+  EXPECT_NEAR(report.total_energy(), 10e-12, 1e-18);
+  EXPECT_NEAR(report.total_area(), 4e-9, 1e-15);
+  EXPECT_NEAR(report.average_power(1e-6), 10e-6, 1e-12);
+}
+
+TEST(EnergyReport, EnergyShareMatchesSubstring) {
+  EnergyReport report;
+  report.add_raw("COG caps", 98.0, 0.0);
+  report.add_raw("other", 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(report.energy_share("COG"), 0.98);
+  EXPECT_DOUBLE_EQ(report.energy_share("missing"), 0.0);
+}
+
+TEST(EnergyReport, BreakdownRendersTotal) {
+  EnergyReport report;
+  report.add_raw("a", 1e-12, 1e-12);
+  const std::string s = report.breakdown();
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+  EXPECT_NE(s.find("100.0%"), std::string::npos);
+}
+
+TEST(EnergyReport, RejectsNegativeInputs) {
+  EnergyReport report;
+  EXPECT_THROW(report.add_raw("bad", -1.0, 0.0), Error);
+  Component c;
+  EXPECT_THROW(report.add(c, -1.0, 0.0, 0.0), Error);
+}
+
+TEST(DesignModel, EvaluateDerivesConsistentMetrics) {
+  resipe_core::ResipeDesign design;
+  const DesignPoint p = design.evaluate();
+  EXPECT_GT(p.energy_per_mvm, 0.0);
+  EXPECT_DOUBLE_EQ(p.ops_per_mvm, 2.0 * 32 * 32);
+  EXPECT_NEAR(p.power, p.energy_per_mvm / p.interval, 1e-18);
+  EXPECT_NEAR(p.throughput, p.ops_per_mvm / p.interval, 1e-6);
+  EXPECT_NEAR(p.power_efficiency, p.throughput / p.power, 1.0);
+  EXPECT_DOUBLE_EQ(p.latency, 200e-9);
+  EXPECT_DOUBLE_EQ(p.interval, 100e-9);
+}
+
+}  // namespace
+}  // namespace resipe::energy

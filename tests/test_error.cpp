@@ -1,0 +1,43 @@
+#include "resipe/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace resipe {
+namespace {
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    const int x = 3;
+    RESIPE_REQUIRE(x > 5, "x was " << x);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("x > 5"), std::string::npos);
+    EXPECT_NE(what.find("x was 3"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsInvariant) {
+  try {
+    RESIPE_ASSERT(false, "broken");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant"), std::string::npos);
+    EXPECT_NE(what.find("broken"), std::string::npos);
+  }
+}
+
+TEST(Error, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(RESIPE_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(RESIPE_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST(Error, IsARuntimeError) {
+  EXPECT_THROW(
+      { throw Error("x"); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resipe

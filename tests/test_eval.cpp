@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "resipe/eval/characterization.hpp"
+#include "resipe/eval/comparison.hpp"
+#include "resipe/eval/fidelity.hpp"
+#include "resipe/eval/taxonomy.hpp"
+#include "resipe/eval/throughput.hpp"
+
+namespace resipe::eval {
+namespace {
+
+TEST(Taxonomy, HasTheFiveClassesOfTableI) {
+  const auto rows = data_format_taxonomy();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].format, "Level");
+  EXPECT_EQ(rows.back().interface, "ReSiPE GD + COG");
+  // Only the single-spiking format drives non-zero voltage "Short".
+  int shorts = 0;
+  for (const auto& r : rows) {
+    if (r.drive_duration == "Short") ++shorts;
+  }
+  EXPECT_EQ(shorts, 1);
+  const std::string rendered = taxonomy_table().str();
+  EXPECT_NE(rendered.find("Rate coding"), std::string::npos);
+}
+
+TEST(Characterization, SharedRampCancellation) {
+  // Uniform inputs + saturated column: t_out == t_in (Sec. III-D).
+  const circuits::CircuitParams p;
+  for (double t : {20e-9, 50e-9, 80e-9}) {
+    EXPECT_NEAR(single_point_t_out(p, 32, t, 3.2e-3), t, 1e-11);
+  }
+}
+
+TEST(Characterization, Fig5ShapeHolds) {
+  CharacterizationConfig cfg;
+  cfg.samples = 60;
+  cfg.sweep_points = 16;
+  const auto result = characterize(cfg);
+  ASSERT_EQ(result.random_samples.size(), 60u);
+
+  // (a) outputs never exceed the slice.
+  for (const auto& pt : result.random_samples) {
+    EXPECT_LE(pt.t_out, cfg.circuit.slice_length + 1e-12);
+    EXPECT_GE(pt.t_out, 0.0);
+  }
+
+  // (b) the fixed-G curves are ordered: larger G -> lower t_out for
+  // the same input strength (Ccog saturation, Sec. III-D).
+  const double x_probe = 80e-12;
+  EXPECT_GT(result.curve1(x_probe), result.curve2(x_probe));
+  EXPECT_GT(result.curve2(x_probe), result.curve3(x_probe));
+
+  // (c) the sweeps are monotone in input strength.
+  for (std::size_t i = 1; i < result.sweep_2_5ms.size(); ++i) {
+    EXPECT_GE(result.sweep_2_5ms[i].t_out,
+              result.sweep_2_5ms[i - 1].t_out - 1e-12);
+  }
+
+  // (d) most high-G random samples fall below Curve 1.
+  std::size_t below = 0;
+  std::size_t high_g = 0;
+  for (const auto& pt : result.random_samples) {
+    if (pt.g_total <= 1.6e-3) continue;
+    ++high_g;
+    if (pt.t_out < result.curve1(pt.strength)) ++below;
+  }
+  ASSERT_GT(high_g, 0u);
+  EXPECT_GT(static_cast<double>(below) / static_cast<double>(high_g), 0.5);
+}
+
+TEST(Characterization, MeasuredBelowLinearPrediction) {
+  // "t_out is smaller than the linear calculation, especially at big
+  // t_in" — the exact output never exceeds Eq.(6).
+  CharacterizationConfig cfg;
+  cfg.samples = 40;
+  const auto result = characterize(cfg);
+  for (const auto& pt : result.random_samples) {
+    EXPECT_LE(pt.t_out, pt.t_out_ideal + 1e-12);
+  }
+}
+
+TEST(Comparison, HeadlinesLandInThePaperBallpark) {
+  const ComparisonResult r = compare_designs();
+  ASSERT_EQ(r.points.size(), 4u);
+  const auto& h = r.headlines;
+  // Paper: 67.1% power reduction vs level-based.
+  EXPECT_NEAR(h.power_reduction_vs_level, 0.671, 0.07);
+  // Paper: 1.97x / 2.41x / 49.76x power-efficiency gains.
+  EXPECT_NEAR(h.peff_gain_vs_level, 1.97, 0.4);
+  EXPECT_NEAR(h.peff_gain_vs_rate, 2.41, 0.4);
+  EXPECT_NEAR(h.peff_gain_vs_pwm, 49.76, 8.0);
+  // Paper: 50% / 68.8% latency savings (exact by construction).
+  EXPECT_NEAR(h.latency_saving_vs_rate, 0.50, 1e-9);
+  EXPECT_NEAR(h.latency_saving_vs_pwm, 0.688, 0.002);
+  // Paper: 14.2% / 85.3% area savings.
+  EXPECT_NEAR(h.area_saving_vs_rate, 0.142, 0.08);
+  EXPECT_NEAR(h.area_saving_vs_level, 0.853, 0.05);
+  // Paper: COG cluster = 98.1% of ReSiPE power.
+  EXPECT_NEAR(h.cog_power_share, 0.981, 0.02);
+}
+
+TEST(Comparison, ResipeWinsEveryEfficiencyMatchup) {
+  const ComparisonResult r = compare_designs();
+  const double resipe_eff = r.points[0].power_efficiency;
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    EXPECT_GT(resipe_eff, r.points[i].power_efficiency) << r.points[i].name;
+  }
+}
+
+TEST(Comparison, RenderMentionsAllDesigns) {
+  const ComparisonResult r = compare_designs();
+  const std::string s = r.render();
+  EXPECT_NE(s.find("ReSiPE"), std::string::npos);
+  EXPECT_NE(s.find("Level-based"), std::string::npos);
+  EXPECT_NE(s.find("Rate-coding"), std::string::npos);
+  EXPECT_NE(s.find("PWM-based"), std::string::npos);
+}
+
+TEST(Throughput, ResipeLeadsAtEveryBudget) {
+  const ThroughputResult r = throughput_tradeoff(0.1e-6, 0.5e-6, 5);
+  ASSERT_EQ(r.series.size(), 4u);
+  const auto& resipe = r.series[0];
+  for (std::size_t i = 0; i < r.area_axis.size(); ++i) {
+    for (std::size_t s = 1; s < r.series.size(); ++s) {
+      EXPECT_GE(resipe.throughput[i], r.series[s].throughput[i])
+          << "budget " << r.area_axis[i] << " design " << r.series[s].name;
+    }
+  }
+}
+
+TEST(Throughput, MonotoneInAreaBudget) {
+  const ThroughputResult r = throughput_tradeoff(0.05e-6, 0.5e-6, 8);
+  for (const auto& s : r.series) {
+    for (std::size_t i = 1; i < s.throughput.size(); ++i) {
+      EXPECT_GE(s.throughput[i], s.throughput[i - 1]);
+    }
+  }
+}
+
+TEST(Throughput, ReplicationMath) {
+  energy::DesignPoint p;
+  p.area = 1e-8;       // 0.01 mm^2
+  p.throughput = 100;  // ops/s
+  EXPECT_DOUBLE_EQ(replicated_throughput(p, 3.5e-8), 300.0);
+  EXPECT_DOUBLE_EQ(replicated_throughput(p, 0.5e-8), 0.0);
+}
+
+TEST(Fidelity, ScoreFieldsArePopulated) {
+  const auto score = mvm_fidelity(resipe_core::EngineConfig{}, 16, 4, 16);
+  EXPECT_GT(score.rmse, 0.0);
+  EXPECT_GE(score.worst, score.rmse);
+  EXPECT_GT(score.alpha, 0.0);
+  EXPECT_LE(score.alpha, 1.0);
+}
+
+}  // namespace
+}  // namespace resipe::eval

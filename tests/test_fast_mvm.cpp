@@ -1,0 +1,162 @@
+#include "resipe/resipe/fast_mvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "resipe/resipe/tile.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+using circuits::CircuitParams;
+using circuits::Spike;
+using circuits::TransferModel;
+
+device::ReramSpec clean_spec() {
+  device::ReramSpec spec = device::ReramSpec::nn_mapping();
+  spec.write_verify_tolerance = 0.0;
+  spec.variation_sigma = 0.0;
+  return spec;
+}
+
+TEST(FastMvm, MatchesHandComputedSingleColumn) {
+  const CircuitParams p;
+  // Two rows, G = 20 uS and 5 uS.
+  FastMvm mvm(p, 2, 1, {20e-6, 5e-6});
+  EXPECT_NEAR(mvm.g_total(0), 25e-6, 1e-15);
+  const double tau_cog = p.c_cog / 25e-6;
+  EXPECT_NEAR(mvm.k(0), 1.0 - std::exp(-p.comp_stage / tau_cog), 1e-12);
+
+  const std::vector<double> t_in{30e-9, 60e-9};
+  std::vector<double> t_out(1, 0.0);
+  mvm.mvm_times(t_in, t_out);
+
+  const double v1 = 1.0 - std::exp(-30e-9 / p.tau_gd());
+  const double v2 = 1.0 - std::exp(-60e-9 / p.tau_gd());
+  const double veq = (v1 * 20e-6 + v2 * 5e-6) / 25e-6;
+  const double vout = veq * mvm.k(0);
+  const double expect = -p.tau_gd() * std::log(1.0 - vout);
+  EXPECT_NEAR(t_out[0], expect, 1e-15);
+}
+
+TEST(FastMvm, AgreesWithFaithfulTileModel) {
+  const CircuitParams p;
+  const device::ReramSpec spec = clean_spec();
+  ResipeTile tile(p, 16, 8, spec);
+  Rng rng(21);
+  std::vector<double> g(16 * 8);
+  for (double& v : g) v = rng.uniform(spec.g_min(), spec.g_max());
+  tile.program(g, rng);
+
+  const FastMvm fast(p, tile.crossbar());
+  const SpikeCodec codec(p);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Spike> spikes(16);
+    std::vector<double> t_in(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      spikes[i] = codec.encode(rng.uniform(0.0, 1.0));
+      t_in[i] = spikes[i].arrival_time;
+    }
+    const auto tile_out = tile.execute(spikes);
+    std::vector<double> fast_out(8, 0.0);
+    fast.mvm_times(t_in, fast_out);
+    for (std::size_t c = 0; c < 8; ++c) {
+      if (tile_out[c].valid()) {
+        EXPECT_NEAR(fast_out[c], tile_out[c].arrival_time, 1e-15)
+            << "trial " << trial << " col " << c;
+      } else {
+        EXPECT_EQ(fast_out[c], FastMvm::kNoSpike);
+      }
+    }
+  }
+}
+
+TEST(FastMvm, SilentInputContributesNothing) {
+  const CircuitParams p;
+  FastMvm mvm(p, 2, 1, {20e-6, 20e-6});
+  std::vector<double> t_out_a(1), t_out_b(1);
+  // One line silent vs one line at t=0: t=0 means V=0, identical to
+  // silent electrically.
+  mvm.mvm_times(std::vector<double>{50e-9, FastMvm::kNoSpike}, t_out_a);
+  mvm.mvm_times(std::vector<double>{50e-9, 0.0}, t_out_b);
+  EXPECT_NEAR(t_out_a[0], t_out_b[0], 1e-15);
+}
+
+TEST(FastMvm, ZeroColumnFiresImmediately) {
+  const CircuitParams p;
+  FastMvm mvm(p, 2, 1, {0.0, 0.0});
+  std::vector<double> t_out(1);
+  mvm.mvm_times(std::vector<double>{50e-9, 50e-9}, t_out);
+  EXPECT_DOUBLE_EQ(t_out[0], p.comparator_delay);
+}
+
+TEST(FastMvm, LinearModeMatchesEq6ForSmallConductance) {
+  CircuitParams p = CircuitParams::linear_regime();
+  p.model = TransferModel::kLinear;
+  // Tiny conductance keeps the linear k = dt*G/Ccog small.
+  const double g = 1e-6;
+  FastMvm mvm(p, 1, 1, {g});
+  const std::vector<double> t_in{50e-9};
+  std::vector<double> t_out(1), t_ideal(1);
+  mvm.mvm_times(t_in, t_out);
+  mvm.ideal_times(t_in, t_ideal);
+  EXPECT_NEAR(t_out[0], t_ideal[0], 1e-12);
+  EXPECT_NEAR(t_ideal[0], p.linear_gain() * 50e-9 * g, 1e-18);
+}
+
+TEST(FastMvm, SharedRampCancellationAtSaturation) {
+  // Single input, heavy conductance: k -> 1, so the exact model returns
+  // t_out == t_in — the Sec. III-D cancellation.
+  const CircuitParams p;
+  FastMvm mvm(p, 1, 1, {3.2e-3});
+  for (double t : {10e-9, 40e-9, 80e-9}) {
+    std::vector<double> t_out(1);
+    mvm.mvm_times(std::vector<double>{t}, t_out);
+    EXPECT_NEAR(t_out[0], t, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(FastMvm, OutputsBeyondSliceAreSilent) {
+  // Force a crossing beyond the slice: a comparator offset above the
+  // reachable ramp within the slice cannot fire.
+  CircuitParams p = CircuitParams::linear_regime();  // tau = 1 us
+  // ramp reaches 0.1 Vs at slice end; an output needing more is silent.
+  FastMvm mvm(p, 1, 1, {3.2e-3});  // k ~ 1 -> Vout ~ Vin
+  std::vector<double> t_out(1);
+  // Input at full window -> Vin ~ 0.099 Vs -> crossing just inside.
+  mvm.mvm_times(std::vector<double>{99e-9}, t_out);
+  EXPECT_NE(t_out[0], FastMvm::kNoSpike);
+  // With comparator offset pushing the threshold past slice reach:
+  p.comparator_offset = 0.05;
+  FastMvm mvm2(p, 1, 1, {3.2e-3});
+  mvm2.mvm_times(std::vector<double>{99e-9}, t_out);
+  EXPECT_EQ(t_out[0], FastMvm::kNoSpike);
+}
+
+TEST(FastMvm, RejectsSizeMismatch) {
+  const CircuitParams p;
+  FastMvm mvm(p, 2, 1, {1e-6, 1e-6});
+  std::vector<double> t_out(1);
+  EXPECT_THROW(mvm.mvm_times(std::vector<double>{1e-9}, t_out), Error);
+  EXPECT_THROW(FastMvm(p, 2, 2, {1e-6}), Error);
+}
+
+TEST(FastMvm, MonotoneInInputTime) {
+  const CircuitParams p;
+  FastMvm mvm(p, 4, 1, {5e-6, 5e-6, 5e-6, 5e-6});
+  double prev = -1.0;
+  for (double t = 0.0; t <= 90e-9; t += 5e-9) {
+    std::vector<double> t_out(1);
+    mvm.mvm_times(std::vector<double>{t, 20e-9, 40e-9, 60e-9}, t_out);
+    ASSERT_NE(t_out[0], FastMvm::kNoSpike);
+    EXPECT_GE(t_out[0], prev);
+    prev = t_out[0];
+  }
+}
+
+}  // namespace
+}  // namespace resipe::resipe_core

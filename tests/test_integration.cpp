@@ -1,0 +1,108 @@
+// End-to-end integration: train a small network on the synthetic digit
+// task, lower it onto the ReSiPE circuit model, and verify the Fig. 7
+// properties — near-zero loss at sigma = 0 and graceful degradation
+// under process variation.
+#include <gtest/gtest.h>
+
+#include "resipe/eval/accuracy.hpp"
+#include "resipe/nn/data.hpp"
+#include "resipe/nn/train.hpp"
+#include "resipe/nn/zoo.hpp"
+#include "resipe/resipe/network.hpp"
+
+namespace resipe {
+namespace {
+
+class TrainedMlp : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(77);
+    train_ = new nn::Dataset(nn::synthetic_digits(2000, rng));
+    test_ = new nn::Dataset(nn::synthetic_digits(150, rng));
+    Rng model_rng(1);
+    model_ = new nn::Sequential(
+        nn::build_benchmark(nn::BenchmarkNet::kMlp1, model_rng));
+    nn::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.lr = 1e-3;
+    nn::fit(*model_, *train_, *test_, cfg);
+  }
+
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    delete model_;
+    train_ = nullptr;
+    test_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static nn::Dataset* train_;
+  static nn::Dataset* test_;
+  static nn::Sequential* model_;
+};
+
+nn::Dataset* TrainedMlp::train_ = nullptr;
+nn::Dataset* TrainedMlp::test_ = nullptr;
+nn::Sequential* TrainedMlp::model_ = nullptr;
+
+double hardware_accuracy(nn::Sequential& model, const nn::Dataset& test,
+                         const nn::Dataset& train,
+                         resipe_core::EngineConfig cfg) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < 16; ++i) idx.push_back(i);
+  auto [calib, labels] = train.gather(idx);
+  (void)labels;
+  const resipe_core::ResipeNetwork hw(model, cfg, calib);
+  return nn::evaluate_with(
+      test, [&hw](const nn::Tensor& b) { return hw.forward(b); });
+}
+
+TEST_F(TrainedMlp, SoftwareBaselineLearns) {
+  EXPECT_GT(nn::evaluate(*model_, *test_), 0.85);
+}
+
+TEST_F(TrainedMlp, SigmaZeroDropMatchesPaperBound) {
+  const double sw = nn::evaluate(*model_, *test_);
+  const double hw =
+      hardware_accuracy(*model_, *test_, *train_, resipe_core::EngineConfig{});
+  // Paper: the non-linearity costs less than ~2.5% accuracy.
+  EXPECT_GT(hw, sw - 0.04);
+}
+
+TEST_F(TrainedMlp, HeavyVariationDegradesButDoesNotDestroy) {
+  resipe_core::EngineConfig cfg;
+  cfg.device.variation_sigma = 0.20;
+  const double hw = hardware_accuracy(*model_, *test_, *train_, cfg);
+  const double sw = nn::evaluate(*model_, *test_);
+  EXPECT_LE(hw, sw + 0.02);  // cannot beat software by more than noise
+  EXPECT_GT(hw, 0.5);        // still far above chance (10%)
+}
+
+TEST_F(TrainedMlp, IdealEngineMatchesSoftwareAccuracy) {
+  const double sw = nn::evaluate(*model_, *test_);
+  const double hw = hardware_accuracy(*model_, *test_, *train_,
+                                      resipe_core::EngineConfig::ideal());
+  EXPECT_NEAR(hw, sw, 0.02);
+}
+
+TEST(AccuracyHarness, SingleNetworkRowIsWellFormed) {
+  eval::AccuracyConfig cfg;
+  cfg.sigmas = {0.0, 0.10};
+  cfg.train_samples = 1200;
+  cfg.test_samples = 80;
+  cfg.epochs = 3;
+  cfg.mc_seeds = 1;
+  const auto row =
+      eval::evaluate_network_accuracy(nn::BenchmarkNet::kMlp1, cfg);
+  EXPECT_EQ(row.name, "MLP-1");
+  ASSERT_EQ(row.accuracy.size(), 2u);
+  EXPECT_GT(row.software_accuracy, 0.6);
+  EXPECT_GT(row.accuracy[0], 0.5);
+  const std::string rendered = eval::render_accuracy({row});
+  EXPECT_NE(rendered.find("MLP-1"), std::string::npos);
+  EXPECT_NE(rendered.find("sigma=10%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resipe

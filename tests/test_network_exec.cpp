@@ -1,0 +1,221 @@
+#include "resipe/resipe/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+#include "resipe/eval/fidelity.hpp"
+#include "resipe/nn/zoo.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+TEST(EngineConfig, IdealPresetIsNoiseless) {
+  const EngineConfig cfg = EngineConfig::ideal();
+  EXPECT_EQ(cfg.circuit.model, circuits::TransferModel::kLinear);
+  EXPECT_FALSE(cfg.quantize_spikes);
+  EXPECT_DOUBLE_EQ(cfg.device.variation_sigma, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.device.transistor_r_on, 0.0);
+}
+
+TEST(ProgrammedMatrix, IdealConfigReproducesTheMatmul) {
+  const auto score = eval::mvm_fidelity(EngineConfig::ideal());
+  EXPECT_LT(score.rmse, 1e-3);
+  EXPECT_LT(score.worst, 5e-3);
+}
+
+TEST(ProgrammedMatrix, PaperConfigStaysWithinFewPercent) {
+  const auto score = eval::mvm_fidelity(EngineConfig{});
+  // Device quantization (32 levels) + write verify + clocked spikes.
+  EXPECT_LT(score.rmse, 0.05);
+}
+
+TEST(ProgrammedMatrix, VariationDegradesFidelityMonotonically) {
+  EngineConfig low;
+  low.device.variation_sigma = 0.02;
+  EngineConfig high;
+  high.device.variation_sigma = 0.20;
+  const auto s_low = eval::mvm_fidelity(low);
+  const auto s_high = eval::mvm_fidelity(high);
+  EXPECT_GT(s_high.rmse, s_low.rmse);
+}
+
+TEST(ProgrammedMatrix, TileCountMatchesBlocking) {
+  EngineConfig cfg;
+  cfg.tile_rows = 32;
+  cfg.tile_cols = 32;
+  Rng rng(1);
+  // 70 x 20 logical, differential -> 40 physical columns.
+  const std::vector<double> w(70 * 20, 0.1);
+  const std::vector<double> b(20, 0.0);
+  const ProgrammedMatrix pm(cfg, w, b, 70, 20, rng);
+  // ceil(70/32) = 3 row blocks x ceil(40/32) = 2 column blocks.
+  EXPECT_EQ(pm.tile_count(), 6u);
+  EXPECT_EQ(pm.mvms_per_forward(), 3u);
+  EXPECT_EQ(pm.in_features(), 70u);
+  EXPECT_EQ(pm.out_features(), 20u);
+}
+
+TEST(ProgrammedMatrix, BiasIsApplied) {
+  EngineConfig cfg = EngineConfig::ideal();
+  Rng rng(1);
+  const std::vector<double> w(4, 0.0);  // zero weights
+  const std::vector<double> b{1.5, -2.5};
+  const ProgrammedMatrix pm(cfg, w, b, 2, 2, rng);
+  std::vector<double> y(2, 0.0);
+  pm.forward(std::vector<double>{0.7, 0.3}, y);
+  EXPECT_NEAR(y[0], 1.5, 1e-6);
+  EXPECT_NEAR(y[1], -2.5, 1e-6);
+}
+
+TEST(ProgrammedMatrix, InputScaleNormalizesActivations) {
+  EngineConfig cfg = EngineConfig::ideal();
+  Rng rng(1);
+  const std::vector<double> w{1.0};
+  const std::vector<double> b{0.0};
+  ProgrammedMatrix pm(cfg, w, b, 1, 1, rng);
+  pm.set_input_scale(10.0);  // inputs up to 10
+  std::vector<double> y(1, 0.0);
+  pm.forward(std::vector<double>{5.0}, y);
+  EXPECT_NEAR(y[0], 5.0, 0.05);
+  // Inputs beyond the scale clamp — the hardware range is hard.
+  pm.forward(std::vector<double>{25.0}, y);
+  EXPECT_NEAR(y[0], 10.0, 0.1);
+}
+
+TEST(ProgrammedMatrix, RejectsBadShapes) {
+  EngineConfig cfg;
+  Rng rng(1);
+  const std::vector<double> w(6, 0.1);
+  const std::vector<double> b(3, 0.0);
+  EXPECT_THROW(ProgrammedMatrix(cfg, w, b, 3, 3, rng), Error);
+  const ProgrammedMatrix pm(cfg, w, b, 2, 3, rng);
+  std::vector<double> y(2, 0.0);
+  EXPECT_THROW(pm.forward(std::vector<double>{1.0, 2.0}, y), Error);
+  EXPECT_THROW(ProgrammedMatrix(cfg, w, b, 2, 2, rng), Error);
+}
+
+TEST(ProgrammedMatrix, AlphaSetterValidates) {
+  EngineConfig cfg;
+  Rng rng(1);
+  const std::vector<double> w(4, 0.1);
+  const std::vector<double> b(2, 0.0);
+  ProgrammedMatrix pm(cfg, w, b, 2, 2, rng);
+  EXPECT_THROW(pm.set_time_scale(0.0), Error);
+  EXPECT_THROW(pm.set_time_scale(1.5), Error);
+  EXPECT_THROW(pm.set_input_scale(-1.0), Error);
+  EXPECT_NO_THROW(pm.set_time_scale(0.5));
+}
+
+TEST(ProgrammedMatrix, WireIrDropIsTinyAtPaperGeometry) {
+  EngineConfig plain;
+  EngineConfig wired;
+  wired.model_wire_ir_drop = true;
+  const auto s_plain = eval::mvm_fidelity(plain);
+  const auto s_wired = eval::mvm_fidelity(wired);
+  // 2.5 ohm per segment against >= 50 k cells barely registers.
+  EXPECT_NEAR(s_wired.rmse, s_plain.rmse, 0.01);
+}
+
+TEST(ProgrammedMatrix, RetentionDriftAddsGainError) {
+  EngineConfig fresh;
+  EngineConfig aged;
+  aged.device.drift_nu = 0.02;
+  aged.retention_time = 365.0 * 24 * 3600;
+  const auto s_fresh = eval::mvm_fidelity(fresh);
+  const auto s_aged = eval::mvm_fidelity(aged);
+  EXPECT_GT(s_aged.rmse, s_fresh.rmse);
+}
+
+TEST(ProgrammedMatrix, ComparatorMismatchDegradesFidelity) {
+  EngineConfig clean;
+  EngineConfig offset;
+  offset.circuit.comparator_offset_sigma = 10e-3;  // 10 mV sigma
+  const auto s_clean = eval::mvm_fidelity(clean);
+  const auto s_offset = eval::mvm_fidelity(offset);
+  EXPECT_GT(s_offset.rmse, s_clean.rmse);
+}
+
+TEST(ProgrammedMatrix, StuckAtFaultsDegradeFidelity) {
+  EngineConfig clean;
+  EngineConfig faulty;
+  faulty.device.stuck_lrs_rate = 0.02;
+  faulty.device.stuck_hrs_rate = 0.02;
+  const auto s_clean = eval::mvm_fidelity(clean);
+  const auto s_faulty = eval::mvm_fidelity(faulty);
+  EXPECT_GT(s_faulty.rmse, s_clean.rmse);
+}
+
+class MlpThroughHardware : public ::testing::Test {
+ protected:
+  MlpThroughHardware() : rng_(5) {
+    model_.emplace<nn::Flatten>();
+    model_.emplace<nn::Dense>(16, 12, rng_);
+    model_.emplace<nn::ReLU>();
+    model_.emplace<nn::Dense>(12, 4, rng_);
+    calib_ = nn::Tensor({8, 1, 4, 4});
+    for (std::size_t i = 0; i < calib_.size(); ++i) {
+      calib_[i] = rng_.uniform(0.0, 1.0);
+    }
+  }
+
+  Rng rng_;
+  nn::Sequential model_{"tiny-mlp"};
+  nn::Tensor calib_;
+};
+
+TEST_F(MlpThroughHardware, IdealEngineMatchesSoftware) {
+  const ResipeNetwork hw(model_, EngineConfig::ideal(), calib_);
+  const nn::Tensor ref = model_.forward(calib_, false);
+  const nn::Tensor out = hw.forward(calib_);
+  ASSERT_TRUE(ref.same_shape(out));
+  const double scale = std::max(ref.abs_max(), 1e-9);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 0.01 * scale) << "logit " << i;
+  }
+}
+
+TEST_F(MlpThroughHardware, ExactEngineStaysClose) {
+  const ResipeNetwork hw(model_, EngineConfig{}, calib_);
+  const nn::Tensor ref = model_.forward(calib_, false);
+  const nn::Tensor out = hw.forward(calib_);
+  const double scale = std::max(ref.abs_max(), 1e-9);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 0.12 * scale) << "logit " << i;
+  }
+}
+
+TEST_F(MlpThroughHardware, TileAccounting) {
+  const ResipeNetwork hw(model_, EngineConfig{}, calib_);
+  EXPECT_EQ(hw.programmed_layers(), 2u);
+  // 16x12 diff -> 24 phys cols -> 1 block; 12x4 -> 8 cols -> 1 block.
+  EXPECT_EQ(hw.tile_count(), 2u);
+  EXPECT_GE(hw.mvms_per_image(), 2u);
+}
+
+TEST(ResipeNetworkConv, IdealEngineMatchesSoftwareConv) {
+  Rng rng(6);
+  nn::Sequential model("tiny-cnn");
+  model.emplace<nn::Conv2d>(1, 3, 3, 1, 1, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2d>(2);
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(3 * 3 * 3, 4, rng);
+
+  nn::Tensor calib({4, 1, 6, 6});
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib[i] = rng.uniform(0.0, 1.0);
+
+  const ResipeNetwork hw(model, EngineConfig::ideal(), calib);
+  const nn::Tensor ref = model.forward(calib, false);
+  const nn::Tensor out = hw.forward(calib);
+  ASSERT_TRUE(ref.same_shape(out));
+  const double scale = std::max(ref.abs_max(), 1e-9);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 0.02 * scale) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace resipe::resipe_core

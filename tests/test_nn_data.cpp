@@ -1,0 +1,126 @@
+#include "resipe/nn/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::nn {
+namespace {
+
+TEST(SyntheticDigits, ShapesAndLabels) {
+  Rng rng(1);
+  const Dataset ds = synthetic_digits(50, rng);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.classes, 10u);
+  ASSERT_EQ(ds.images.rank(), 4u);
+  EXPECT_EQ(ds.images.dim(1), 1u);
+  EXPECT_EQ(ds.images.dim(2), 28u);
+  EXPECT_EQ(ds.images.dim(3), 28u);
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(SyntheticDigits, PixelsInUnitRange) {
+  Rng rng(2);
+  const Dataset ds = synthetic_digits(20, rng);
+  for (double v : ds.images.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SyntheticDigits, DeterministicPerSeed) {
+  Rng a(3);
+  Rng b(3);
+  const Dataset da = synthetic_digits(10, a);
+  const Dataset db = synthetic_digits(10, b);
+  EXPECT_EQ(da.labels, db.labels);
+  for (std::size_t i = 0; i < da.images.size(); ++i) {
+    EXPECT_DOUBLE_EQ(da.images[i], db.images[i]);
+  }
+}
+
+TEST(SyntheticDigits, CoversManyClasses) {
+  Rng rng(4);
+  const Dataset ds = synthetic_digits(200, rng);
+  const std::set<int> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_GE(seen.size(), 8u);
+}
+
+TEST(RenderDigit, GlyphsAreDistinct) {
+  std::vector<double> one(28 * 28), seven(28 * 28);
+  render_digit(1, 0, 0, 1.0, one);
+  render_digit(7, 0, 0, 1.0, seven);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < one.size(); ++i)
+    diff += std::abs(one[i] - seven[i]);
+  EXPECT_GT(diff, 5.0);
+}
+
+TEST(RenderDigit, RejectsBadArguments) {
+  std::vector<double> buf(28 * 28);
+  EXPECT_THROW(render_digit(10, 0, 0, 1.0, buf), resipe::Error);
+  std::vector<double> small(10);
+  EXPECT_THROW(render_digit(1, 0, 0, 1.0, small), resipe::Error);
+}
+
+TEST(SyntheticObjects, ShapesAndLabels) {
+  Rng rng(5);
+  const Dataset ds = synthetic_objects(30, rng);
+  EXPECT_EQ(ds.size(), 30u);
+  ASSERT_EQ(ds.images.rank(), 4u);
+  EXPECT_EQ(ds.images.dim(1), 3u);
+  EXPECT_EQ(ds.images.dim(2), 32u);
+  EXPECT_EQ(ds.images.dim(3), 32u);
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(SyntheticObjects, PixelsInUnitRange) {
+  Rng rng(6);
+  const Dataset ds = synthetic_objects(10, rng);
+  for (double v : ds.images.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SyntheticObjects, ClassesDifferInContent) {
+  // Average image of class 0 (red disc) must differ from class 5
+  // (blue disc) in the red channel.
+  Rng rng(7);
+  const Dataset ds = synthetic_objects(400, rng);
+  double red0 = 0.0, red5 = 0.0;
+  std::size_t n0 = 0, n5 = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.labels[i] != 0 && ds.labels[i] != 5) continue;
+    double red = 0.0;
+    for (std::size_t y = 0; y < 32; ++y)
+      for (std::size_t x = 0; x < 32; ++x) red += ds.images.at(i, 0, y, x);
+    if (ds.labels[i] == 0) {
+      red0 += red;
+      ++n0;
+    } else {
+      red5 += red;
+      ++n5;
+    }
+  }
+  ASSERT_GT(n0, 0u);
+  ASSERT_GT(n5, 0u);
+  EXPECT_GT(red0 / n0, red5 / n5);
+}
+
+TEST(SyntheticData, EmptyRequestRejected) {
+  Rng rng(8);
+  EXPECT_THROW(synthetic_digits(0, rng), resipe::Error);
+  EXPECT_THROW(synthetic_objects(0, rng), resipe::Error);
+}
+
+}  // namespace
+}  // namespace resipe::nn

@@ -1,0 +1,159 @@
+#include "resipe/nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::nn {
+namespace {
+
+TEST(Dense, ForwardMatchesHandComputation) {
+  Rng rng(1);
+  Dense d(2, 3, rng);
+  d.weights() = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+  d.bias() = Tensor({1, 3}, {0.1, 0.2, 0.3});
+  const Tensor x({1, 2}, {1.0, 0.5});
+  const Tensor y = d.forward(x, false);
+  // y = [1*1 + 0.5*4, 1*2 + 0.5*5, 1*3 + 0.5*6] + b
+  EXPECT_NEAR(y.at(0, 0), 3.1, 1e-12);
+  EXPECT_NEAR(y.at(0, 1), 4.7, 1e-12);
+  EXPECT_NEAR(y.at(0, 2), 6.3, 1e-12);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Dense d(4, 2, rng);
+  EXPECT_THROW(d.forward(Tensor({1, 3}), false), Error);
+}
+
+TEST(Dense, BackwardRequiresTrainingForward) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  d.forward(Tensor({1, 2}), false);
+  EXPECT_THROW(d.backward(Tensor({1, 2})), Error);
+}
+
+TEST(Dense, DescribeAndParams) {
+  Rng rng(1);
+  Dense d(3, 5, rng);
+  EXPECT_EQ(d.describe(), "Dense(3 -> 5)");
+  EXPECT_TRUE(d.is_matrix_layer());
+  const auto params = d.params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].value->size(), 15u);
+  EXPECT_EQ(params[1].value->size(), 5u);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 1, 1, 0, rng);  // 1x1 kernel
+  conv.weights().fill(1.0);
+  conv.bias().fill(0.0);
+  Tensor x({1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<double>(i);
+  const Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, SumKernelMatchesHandComputation) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 0, rng);
+  conv.weights().fill(1.0);  // 3x3 box filter
+  conv.bias().fill(0.5);
+  Tensor x({1, 1, 3, 3});
+  x.fill(2.0);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.dim(2), 1u);
+  EXPECT_DOUBLE_EQ(y.at(0, 0, 0, 0), 18.0 + 0.5);
+}
+
+TEST(Conv2d, PaddingKeepsSpatialSize) {
+  Rng rng(1);
+  Conv2d conv(1, 2, 3, 1, 1, rng);
+  const Tensor x({2, 1, 8, 8});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 2u);
+  EXPECT_EQ(y.dim(2), 8u);
+  EXPECT_EQ(y.dim(3), 8u);
+}
+
+TEST(Conv2d, StrideReducesOutput) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 2, 0, rng);
+  EXPECT_EQ(conv.out_size(7), 3u);
+  EXPECT_THROW(conv.out_size(1), Error);
+}
+
+TEST(MaxPool2d, SelectsWindowMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 0,
+                          3, 4, 9, 1});
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y.at(0, 0, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 0, 0, 1), 9.0);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 4});
+  pool.forward(x, true);
+  Tensor g({1, 1, 1, 1}, {2.0});
+  const Tensor gx = pool.backward(g);
+  EXPECT_DOUBLE_EQ(gx[0], 0.0);
+  EXPECT_DOUBLE_EQ(gx[1], 2.0);  // the max at index 1
+  EXPECT_DOUBLE_EQ(gx[2], 0.0);
+  EXPECT_DOUBLE_EQ(gx[3], 0.0);
+}
+
+TEST(MaxPool2d, RejectsNonDivisibleWindows) {
+  MaxPool2d pool(2);
+  EXPECT_THROW(pool.forward(Tensor({1, 1, 3, 4}), false), Error);
+}
+
+TEST(AvgPool2d, AveragesWindows) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 6});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(AvgPool2d, BackwardSpreadsUniformly) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  pool.forward(x, true);
+  const Tensor gx = pool.backward(Tensor({1, 1, 1, 1}, {4.0}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(gx[i], 1.0);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  Tensor x({1, 4}, {-1.0, 0.0, 2.0, -3.0});
+  const Tensor y = relu.forward(x, false);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(ReLU, GradientMasksNegatives) {
+  ReLU relu;
+  Tensor x({1, 3}, {-1.0, 1.0, 0.0});
+  relu.forward(x, true);
+  const Tensor gx = relu.backward(Tensor({1, 3}, {5.0, 5.0, 5.0}));
+  EXPECT_DOUBLE_EQ(gx[0], 0.0);
+  EXPECT_DOUBLE_EQ(gx[1], 5.0);
+  EXPECT_DOUBLE_EQ(gx[2], 0.0);  // x == 0 has zero subgradient here
+}
+
+TEST(Flatten, CollapsesAndRestores) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 60u);
+  const Tensor gx = flat.backward(Tensor({2, 60}));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+}  // namespace
+}  // namespace resipe::nn

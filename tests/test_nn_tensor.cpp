@@ -1,0 +1,85 @@
+#include "resipe/nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.shape_str(), "[2, 3]");
+  for (double v : t.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Tensor, ExplicitDataChecked) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, TwoDAccess) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(t[1 * 3 + 2], 7.0);
+  EXPECT_THROW(t.at(2, 0), Error);
+  Tensor t4({1, 1, 1, 1});
+  EXPECT_THROW(t4.at(0, 0), Error);  // rank mismatch
+}
+
+TEST(Tensor, FourDAccess) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2, 3, 4), 9.0);
+  EXPECT_DOUBLE_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0);
+  EXPECT_THROW(t.at(0, 3, 0, 0), Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_DOUBLE_EQ(r.at(2, 1), 6.0);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, FillAndNormalFill) {
+  Tensor t({10, 10});
+  t.fill(3.0);
+  EXPECT_DOUBLE_EQ(t[57], 3.0);
+  Rng rng(1);
+  t.fill_normal(rng, 1.0);
+  double sum = 0.0;
+  for (double v : t.data()) sum += v;
+  EXPECT_NE(sum, 0.0);
+}
+
+TEST(Tensor, AbsMax) {
+  Tensor t({1, 4}, {1.0, -5.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.abs_max(), 5.0);
+}
+
+TEST(Tensor, ArgmaxRow) {
+  Tensor t({2, 3}, {1, 9, 2, 7, 3, 5});
+  EXPECT_EQ(t.argmax_row(0), 1u);
+  EXPECT_EQ(t.argmax_row(1), 0u);
+  EXPECT_THROW(t.argmax_row(2), Error);
+}
+
+TEST(Tensor, AddAndScaleInplace) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({1, 2}, {10, 20});
+  add_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  scale_inplace(a, 0.5);
+  EXPECT_DOUBLE_EQ(a[1], 11.0);
+  Tensor c({2, 1});
+  EXPECT_THROW(add_inplace(a, c), Error);
+}
+
+}  // namespace
+}  // namespace resipe::nn

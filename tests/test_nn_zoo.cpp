@@ -1,0 +1,86 @@
+#include "resipe/nn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/nn/tensor.hpp"
+
+namespace resipe::nn {
+namespace {
+
+Tensor input_for(BenchmarkNet net, std::size_t batch) {
+  return uses_object_dataset(net) ? Tensor({batch, 3, 32, 32})
+                                  : Tensor({batch, 1, 28, 28});
+}
+
+class ZooForward : public ::testing::TestWithParam<BenchmarkNet> {};
+
+TEST_P(ZooForward, ProducesTenLogitsPerSample) {
+  Rng rng(1);
+  Sequential model = build_benchmark(GetParam(), rng);
+  const Tensor x = input_for(GetParam(), 2);
+  const Tensor y = model.forward(x, false);
+  ASSERT_EQ(y.rank(), 2u);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST_P(ZooForward, HasTrainableParameters) {
+  Rng rng(1);
+  Sequential model = build_benchmark(GetParam(), rng);
+  EXPECT_GT(model.parameter_count(), 0u);
+  EXPECT_FALSE(model.summary().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSixBenchmarks, ZooForward,
+    ::testing::Values(BenchmarkNet::kMlp1, BenchmarkNet::kMlp2,
+                      BenchmarkNet::kCnn1, BenchmarkNet::kCnn2,
+                      BenchmarkNet::kCnn3, BenchmarkNet::kCnn4));
+
+TEST(Zoo, MatrixLayerCountsMatchTopologies) {
+  Rng rng(1);
+  // MLP-1: 1 dense; MLP-2: 2 dense; LeNet: 2 conv + 3 dense;
+  // AlexNet-class: 5 conv + 2 FC; VGG16-class: 13 conv + 3 FC;
+  // VGG19-class: 16 conv + 3 FC.
+  EXPECT_EQ(build_benchmark(BenchmarkNet::kMlp1, rng).matrix_layer_count(),
+            1u);
+  EXPECT_EQ(build_benchmark(BenchmarkNet::kMlp2, rng).matrix_layer_count(),
+            2u);
+  EXPECT_EQ(build_benchmark(BenchmarkNet::kCnn1, rng).matrix_layer_count(),
+            5u);
+  EXPECT_EQ(build_benchmark(BenchmarkNet::kCnn2, rng).matrix_layer_count(),
+            7u);
+  EXPECT_EQ(build_benchmark(BenchmarkNet::kCnn3, rng).matrix_layer_count(),
+            16u);
+  EXPECT_EQ(build_benchmark(BenchmarkNet::kCnn4, rng).matrix_layer_count(),
+            19u);
+}
+
+TEST(Zoo, DepthOrderingIsPreserved) {
+  Rng rng(1);
+  // The Fig. 7 sensitivity argument relies on this ordering.
+  const auto count = [&rng](BenchmarkNet n) {
+    return build_benchmark(n, rng).matrix_layer_count();
+  };
+  EXPECT_LT(count(BenchmarkNet::kMlp1), count(BenchmarkNet::kMlp2));
+  EXPECT_LT(count(BenchmarkNet::kMlp2), count(BenchmarkNet::kCnn1));
+  EXPECT_LT(count(BenchmarkNet::kCnn1), count(BenchmarkNet::kCnn2));
+  EXPECT_LT(count(BenchmarkNet::kCnn2), count(BenchmarkNet::kCnn3));
+  EXPECT_LT(count(BenchmarkNet::kCnn3), count(BenchmarkNet::kCnn4));
+}
+
+TEST(Zoo, NamesMatchThePaper) {
+  EXPECT_EQ(benchmark_name(BenchmarkNet::kMlp1), "MLP-1");
+  EXPECT_EQ(benchmark_name(BenchmarkNet::kCnn4), "CNN-4 (VGG19-class)");
+  EXPECT_EQ(all_benchmarks().size(), 6u);
+}
+
+TEST(Zoo, DatasetAssignment) {
+  EXPECT_FALSE(uses_object_dataset(BenchmarkNet::kMlp1));
+  EXPECT_FALSE(uses_object_dataset(BenchmarkNet::kCnn1));
+  EXPECT_TRUE(uses_object_dataset(BenchmarkNet::kCnn2));
+  EXPECT_TRUE(uses_object_dataset(BenchmarkNet::kCnn4));
+}
+
+}  // namespace
+}  // namespace resipe::nn

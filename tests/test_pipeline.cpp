@@ -1,0 +1,65 @@
+#include "resipe/resipe/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/units.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+using namespace resipe::units;
+
+TEST(TwoSlicePipeline, SingleLayerLatencyIsTwoSlices) {
+  const TwoSlicePipeline pipe(1, 100.0 * ns);
+  EXPECT_DOUBLE_EQ(pipe.input_latency(), 200.0 * ns);
+  EXPECT_DOUBLE_EQ(pipe.initiation_interval(), 100.0 * ns);
+}
+
+TEST(TwoSlicePipeline, DeepNetworkLatencyGrowsOneSlicePerLayer) {
+  const TwoSlicePipeline pipe(5, 100.0 * ns);
+  EXPECT_DOUBLE_EQ(pipe.input_latency(), 600.0 * ns);
+}
+
+TEST(TwoSlicePipeline, OutputSliceSchedule) {
+  const TwoSlicePipeline pipe(3, 100.0 * ns);
+  // Input presented in slice 0: layer 0 emits in slice 1, layer 2 in
+  // slice 3.
+  EXPECT_EQ(pipe.output_slice(0, 0), 1u);
+  EXPECT_EQ(pipe.output_slice(2, 0), 3u);
+  // A later input shifts everything.
+  EXPECT_EQ(pipe.output_slice(2, 4), 7u);
+  EXPECT_THROW(pipe.output_slice(3, 0), Error);
+}
+
+TEST(TwoSlicePipeline, StreamLatency) {
+  const TwoSlicePipeline pipe(3, 100.0 * ns);
+  EXPECT_DOUBLE_EQ(pipe.stream_latency(0), 0.0);
+  EXPECT_DOUBLE_EQ(pipe.stream_latency(1), 400.0 * ns);
+  // 10 inputs: last presented in slice 9, final output in slice 12.
+  EXPECT_DOUBLE_EQ(pipe.stream_latency(10), 1300.0 * ns);
+}
+
+TEST(TwoSlicePipeline, SpeedupApproachesLayersPlusOne) {
+  const TwoSlicePipeline pipe(7, 100.0 * ns);
+  EXPECT_DOUBLE_EQ(pipe.pipeline_speedup(1), 1.0);
+  EXPECT_GT(pipe.pipeline_speedup(100), 7.0);
+  EXPECT_LT(pipe.pipeline_speedup(100), 8.0);
+}
+
+TEST(TwoSlicePipeline, DiagramShowsSkewedOccupancy) {
+  const TwoSlicePipeline pipe(2, 100.0 * ns);
+  const std::string d = pipe.diagram(3);
+  EXPECT_NE(d.find("layer 0"), std::string::npos);
+  EXPECT_NE(d.find("layer 1"), std::string::npos);
+  EXPECT_NE(d.find("i0"), std::string::npos);
+  EXPECT_NE(d.find("i2"), std::string::npos);
+}
+
+TEST(TwoSlicePipeline, RejectsDegenerateConfigs) {
+  EXPECT_THROW(TwoSlicePipeline(0, 100.0 * ns), Error);
+  EXPECT_THROW(TwoSlicePipeline(1, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace resipe::resipe_core

@@ -1,0 +1,92 @@
+#include "resipe/eval/precision.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+#include "resipe/nn/layers.hpp"
+
+namespace resipe::eval {
+namespace {
+
+nn::Sequential tiny_cnn(Rng& rng) {
+  nn::Sequential m("probe-net");
+  m.emplace<nn::Conv2d>(1, 3, 3, 1, 1, rng);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Dense>(3 * 6 * 6, 4, rng);
+  return m;
+}
+
+nn::Tensor probe_batch(Rng& rng) {
+  nn::Tensor t({6, 1, 6, 6});
+  for (double& v : t.data()) v = rng.uniform(0.0, 1.0);
+  return t;
+}
+
+TEST(LayerPrecision, ReportsOneRowPerMatrixLayer) {
+  Rng rng(3);
+  nn::Sequential model = tiny_cnn(rng);
+  const nn::Tensor probe = probe_batch(rng);
+  const auto rows =
+      layer_precision(model, resipe_core::EngineConfig{}, probe, 32);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].in_features, 9u);
+  EXPECT_EQ(rows[0].out_features, 3u);
+  EXPECT_EQ(rows[1].in_features, 108u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.signal_rms, 0.0);
+    EXPECT_GE(r.rmse, 0.0);
+    EXPECT_GT(r.alpha, 0.0);
+  }
+}
+
+TEST(LayerPrecision, IdealEngineHasHighSnr) {
+  Rng rng(4);
+  nn::Sequential model = tiny_cnn(rng);
+  const nn::Tensor probe = probe_batch(rng);
+  const auto rows = layer_precision(
+      model, resipe_core::EngineConfig::ideal(), probe, 32);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.snr_db, 40.0) << r.description;
+  }
+}
+
+TEST(LayerPrecision, VariationLowersSnr) {
+  Rng rng(5);
+  nn::Sequential model = tiny_cnn(rng);
+  const nn::Tensor probe = probe_batch(rng);
+  resipe_core::EngineConfig noisy;
+  noisy.device.variation_sigma = 0.20;
+  const auto clean =
+      layer_precision(model, resipe_core::EngineConfig{}, probe, 32);
+  const auto degraded = layer_precision(model, noisy, probe, 32);
+  ASSERT_EQ(clean.size(), degraded.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_LT(degraded[i].snr_db, clean[i].snr_db + 1.0)
+        << clean[i].description;
+  }
+}
+
+TEST(LayerPrecision, RenderContainsLayers) {
+  Rng rng(6);
+  nn::Sequential model = tiny_cnn(rng);
+  const nn::Tensor probe = probe_batch(rng);
+  const auto rows =
+      layer_precision(model, resipe_core::EngineConfig{}, probe, 16);
+  const std::string s = render_precision(rows);
+  EXPECT_NE(s.find("Conv2d"), std::string::npos);
+  EXPECT_NE(s.find("Dense"), std::string::npos);
+  EXPECT_NE(s.find("dB"), std::string::npos);
+}
+
+TEST(LayerPrecision, RejectsTinyProbeLimit) {
+  Rng rng(7);
+  nn::Sequential model = tiny_cnn(rng);
+  const nn::Tensor probe = probe_batch(rng);
+  EXPECT_THROW(
+      layer_precision(model, resipe_core::EngineConfig{}, probe, 2),
+      Error);
+}
+
+}  // namespace
+}  // namespace resipe::eval

@@ -1,0 +1,183 @@
+// Cross-module property tests: invariants that must hold across random
+// configurations, not just the hand-picked cases in the per-module
+// suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/crossbar/mapping.hpp"
+#include "resipe/eval/fidelity.hpp"
+#include "resipe/resipe/chip.hpp"
+#include "resipe/resipe/fast_mvm.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "resipe/resipe/tile.hpp"
+
+namespace resipe {
+namespace {
+
+using circuits::CircuitParams;
+using circuits::Spike;
+
+// ---------------------------------------------------------------------------
+// Property: FastMvm and the faithful tile model agree for any array
+// geometry, device corner and operating point.
+struct EquivalenceCase {
+  std::size_t rows;
+  std::size_t cols;
+  bool nn_window;   // device corner
+  bool linear_gd;   // big tau_gd
+  std::uint64_t seed;
+};
+
+class TileFastEquivalence
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(TileFastEquivalence, OutputsMatchBitForBit) {
+  const EquivalenceCase c = GetParam();
+  CircuitParams params;
+  if (c.linear_gd) params = CircuitParams::linear_regime();
+  device::ReramSpec spec = c.nn_window
+                               ? device::ReramSpec::nn_mapping()
+                               : device::ReramSpec::characterization();
+  spec.variation_sigma = 0.05;  // exercise the noisy programming path
+
+  resipe_core::ResipeTile tile(params, c.rows, c.cols, spec);
+  Rng rng(c.seed);
+  std::vector<double> g(c.rows * c.cols);
+  for (double& v : g) v = rng.uniform(spec.g_min(), spec.g_max());
+  tile.program(g, rng);
+
+  const resipe_core::FastMvm fast(params, tile.crossbar());
+  const resipe_core::SpikeCodec codec(params);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Spike> spikes(c.rows);
+    std::vector<double> t_in(c.rows);
+    for (std::size_t i = 0; i < c.rows; ++i) {
+      spikes[i] = codec.encode(rng.uniform(0.0, 1.0));
+      t_in[i] = spikes[i].arrival_time;
+    }
+    const auto tile_out = tile.execute(spikes);
+    std::vector<double> fast_out(c.cols, 0.0);
+    fast.mvm_times(t_in, fast_out);
+    for (std::size_t col = 0; col < c.cols; ++col) {
+      if (tile_out[col].valid()) {
+        // The two implementations use algebraically-identical but
+        // differently-factored expressions; agreement to 1e-12 relative
+        // is the float-exactness bound.
+        EXPECT_NEAR(fast_out[col], tile_out[col].arrival_time,
+                    1e-12 * std::max(tile_out[col].arrival_time, 1e-9));
+      } else {
+        EXPECT_EQ(fast_out[col], resipe_core::FastMvm::kNoSpike);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TileFastEquivalence,
+    ::testing::Values(EquivalenceCase{1, 1, true, false, 11},
+                      EquivalenceCase{4, 7, true, false, 12},
+                      EquivalenceCase{16, 3, false, false, 13},
+                      EquivalenceCase{32, 32, true, false, 14},
+                      EquivalenceCase{8, 8, true, true, 15},
+                      EquivalenceCase{64, 16, false, true, 16}));
+
+// ---------------------------------------------------------------------------
+// Property: the codec round-trip holds at every operating point.
+class CodecProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodecProperty, RoundTripUnquantized) {
+  CircuitParams params;
+  params.r_gd = GetParam();
+  const resipe_core::SpikeCodec codec(params, /*quantize=*/false);
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    EXPECT_NEAR(codec.decode(codec.encode(x)), x, 1e-9)
+        << "Rgd=" << GetParam() << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RgdSweep, CodecProperty,
+                         ::testing::Values(50e3, 100e3, 300e3, 1e6, 1e7));
+
+// ---------------------------------------------------------------------------
+// Property: mapping + unmapping recovers weights for random shapes and
+// strategies (quantization-bounded).
+class MappingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MappingProperty, RoundTripAnyShape) {
+  Rng rng(GetParam());
+  const std::size_t rows = 1 + static_cast<std::size_t>(
+                                   rng.uniform_int(0, 20));
+  const std::size_t cols = 1 + static_cast<std::size_t>(
+                                   rng.uniform_int(0, 10));
+  device::ReramSpec spec = device::ReramSpec::nn_mapping();
+  spec.levels = 1 << 12;
+  std::vector<double> w(rows * cols);
+  for (double& v : w) v = rng.normal(0.0, 1.0);
+  double w_max = 0.0;
+  for (double v : w) w_max = std::max(w_max, std::abs(v));
+
+  for (auto strategy : {crossbar::SignedMapping::kDifferentialPair,
+                        crossbar::SignedMapping::kComplementaryPair,
+                        crossbar::SignedMapping::kOffsetColumn}) {
+    const auto mapped = crossbar::map_weights(w, rows, cols, spec, strategy);
+    const auto recovered = crossbar::unmap_weights(mapped, mapped.g_targets);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(recovered[i], w[i], 2e-3 * w_max)
+          << crossbar::to_string(strategy) << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MappingProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+// ---------------------------------------------------------------------------
+// Property: the ideal engine is homogeneous — scaling the input vector
+// scales the (bias-free) output.
+TEST(EngineProperty, IdealEngineIsHomogeneous) {
+  resipe_core::EngineConfig cfg = resipe_core::EngineConfig::ideal();
+  Rng rng(33);
+  constexpr std::size_t kIn = 12;
+  constexpr std::size_t kOut = 5;
+  std::vector<double> w(kIn * kOut);
+  for (double& v : w) v = rng.normal(0.0, 0.5);
+  const std::vector<double> bias(kOut, 0.0);
+  Rng prog(1);
+  resipe_core::ProgrammedMatrix pm(cfg, w, bias, kIn, kOut, prog);
+  pm.set_input_scale(2.0);  // inputs live in [0, 2]
+
+  std::vector<double> x(kIn);
+  for (double& v : x) v = rng.uniform(0.0, 1.0);
+  std::vector<double> y1(kOut), y2(kOut);
+  pm.forward(x, y1);
+  for (double& v : x) v *= 2.0;
+  pm.forward(x, y2);
+  for (std::size_t j = 0; j < kOut; ++j) {
+    EXPECT_NEAR(y2[j], 2.0 * y1[j], 1e-3 * std::abs(y1[j]) + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: chip mapping tile counts obey the ceil arithmetic for any
+// layer shape.
+TEST(ChipProperty, TileCountsMatchCeilMath) {
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t in = 1 + static_cast<std::size_t>(
+                                   rng.uniform_int(0, 300));
+    const std::size_t out = 1 + static_cast<std::size_t>(
+                                    rng.uniform_int(0, 60));
+    nn::Sequential model("m");
+    Rng init(1);
+    model.emplace<nn::Dense>(in, out, init);
+    const auto report = resipe_core::map_network(
+        model, {1, 1, in});  // flat input of matching size
+    const std::size_t expect =
+        ((in + 31) / 32) * ((2 * out + 31) / 32);
+    EXPECT_EQ(report.total_tiles, expect) << "in=" << in << " out=" << out;
+  }
+}
+
+}  // namespace
+}  // namespace resipe

@@ -1,0 +1,85 @@
+#include "resipe/circuits/rc_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::circuits {
+namespace {
+
+TEST(RcVoltage, StartsAtV0AndConvergesToVInf) {
+  EXPECT_DOUBLE_EQ(rc_voltage(0.2, 1.0, 1e-9, 0.0), 0.2);
+  EXPECT_NEAR(rc_voltage(0.0, 1.0, 1e-9, 100e-9), 1.0, 1e-12);
+}
+
+TEST(RcVoltage, OneTauReaches63Percent) {
+  EXPECT_NEAR(rc_voltage(0.0, 1.0, 10e-9, 10e-9), 1.0 - std::exp(-1.0),
+              1e-12);
+}
+
+TEST(RcVoltage, DischargeToward0) {
+  EXPECT_NEAR(rc_voltage(1.0, 0.0, 10e-9, 10e-9), std::exp(-1.0), 1e-12);
+}
+
+TEST(RcVoltage, ZeroTauSettlesInstantly) {
+  EXPECT_DOUBLE_EQ(rc_voltage(0.0, 0.7, 0.0, 1e-12), 0.7);
+}
+
+TEST(RcVoltage, RejectsNegativeInputs) {
+  EXPECT_THROW(rc_voltage(0, 1, -1.0, 0), Error);
+  EXPECT_THROW(rc_voltage(0, 1, 1.0, -1e-9), Error);
+}
+
+TEST(RcTimeToReach, InverseOfRcVoltage) {
+  const double tau = 10e-9;
+  for (double t : {1e-9, 5e-9, 20e-9, 50e-9}) {
+    const double v = rc_voltage(0.0, 1.0, tau, t);
+    EXPECT_NEAR(rc_time_to_reach(0.0, 1.0, tau, v), t, 1e-18);
+  }
+}
+
+TEST(RcTimeToReach, UnreachableTargetIsInfinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(rc_time_to_reach(0.0, 1.0, 10e-9, 1.0), inf);
+  EXPECT_EQ(rc_time_to_reach(0.0, 1.0, 10e-9, 1.5), inf);
+  EXPECT_EQ(rc_time_to_reach(0.0, 1.0, 10e-9, -0.1), inf);
+}
+
+TEST(RcTimeToReach, AtStartIsZero) {
+  EXPECT_DOUBLE_EQ(rc_time_to_reach(0.3, 1.0, 10e-9, 0.3), 0.0);
+}
+
+TEST(RcTimeToReach, FlatDriveNeverMoves) {
+  EXPECT_EQ(rc_time_to_reach(0.5, 0.5, 10e-9, 0.7),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(RcSourceEnergy, MatchesQTimesV) {
+  // C = 100 fF charged to 0.5 V from a 1 V source: Q*Vs = 50 fJ.
+  EXPECT_NEAR(rc_source_energy(100e-15, 1.0, 0.5), 50e-15, 1e-20);
+}
+
+TEST(CapacitorEnergy, HalfCVSquared) {
+  EXPECT_NEAR(capacitor_energy(100e-15, 1.0), 50e-15, 1e-20);
+  EXPECT_DOUBLE_EQ(capacitor_energy(100e-15, 0.0), 0.0);
+}
+
+TEST(RcVoltageLinear, MatchesExactForSmallT) {
+  const double tau = 100e-9;
+  for (double t : {0.1e-9, 0.5e-9, 1e-9}) {
+    const double exact = rc_voltage(0.0, 1.0, tau, t);
+    const double lin = rc_voltage_linear(1.0, tau, t);
+    EXPECT_NEAR(lin, exact, 1e-4);
+    EXPECT_GE(lin, exact);  // the linearization always overestimates
+  }
+}
+
+TEST(RcVoltageLinear, RejectsZeroTau) {
+  EXPECT_THROW(rc_voltage_linear(1.0, 0.0, 1e-9), Error);
+}
+
+}  // namespace
+}  // namespace resipe::circuits

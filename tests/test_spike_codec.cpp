@@ -1,0 +1,114 @@
+#include "resipe/resipe/spike_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/units.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+using circuits::CircuitParams;
+using circuits::Spike;
+using circuits::TransferModel;
+
+TEST(SpikeCodec, FullScaleUsesTheUsableWindow) {
+  const SpikeCodec codec{CircuitParams{}};
+  EXPECT_DOUBLE_EQ(codec.t_full(), 99e-9);  // slice - comp stage
+  EXPECT_GT(codec.v_full(), 0.99);          // ramp nearly at Vs by then
+  EXPECT_EQ(codec.levels(), 100);           // 1 GHz clock
+}
+
+TEST(SpikeCodec, EndpointsEncodeToWindowEdges) {
+  const SpikeCodec codec{CircuitParams{}};
+  EXPECT_DOUBLE_EQ(codec.encode(0.0).arrival_time, 0.0);
+  EXPECT_LE(codec.encode(1.0).arrival_time, codec.t_full());
+  EXPECT_DOUBLE_EQ(codec.decode(codec.encode(0.0)), 0.0);
+  EXPECT_NEAR(codec.decode(codec.encode(1.0)), 1.0, 1e-9);
+}
+
+TEST(SpikeCodec, ClampsOutOfRangeValues) {
+  const SpikeCodec codec{CircuitParams{}};
+  EXPECT_DOUBLE_EQ(codec.encode(-0.5).arrival_time,
+                   codec.encode(0.0).arrival_time);
+  EXPECT_DOUBLE_EQ(codec.encode(1.5).arrival_time,
+                   codec.encode(1.0).arrival_time);
+}
+
+TEST(SpikeCodec, MissingSpikeDecodesToFullScale) {
+  const SpikeCodec codec{CircuitParams{}};
+  EXPECT_DOUBLE_EQ(codec.decode(Spike::none()), 1.0);
+}
+
+TEST(SpikeCodec, EncodeIsMonotone) {
+  const SpikeCodec codec(CircuitParams{}, /*quantize=*/false);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.02) {
+    const double t = codec.encode(x).arrival_time;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SpikeCodec, ContinuousRoundTripIsExact) {
+  const SpikeCodec codec(CircuitParams{}, /*quantize=*/false);
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    EXPECT_NEAR(codec.decode(codec.encode(x)), x, 1e-9) << "x=" << x;
+  }
+}
+
+TEST(SpikeCodec, QuantizedTimesSitOnTheClockGrid) {
+  const CircuitParams p;
+  const SpikeCodec codec(p, /*quantize=*/true);
+  for (double x = 0.0; x <= 1.0; x += 0.013) {
+    const double t = codec.encode(x).arrival_time;
+    const double slots = t / p.clock_period;
+    EXPECT_NEAR(slots, std::round(slots), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(SpikeCodec, LinearModeRoundTripUniformResolution) {
+  CircuitParams p = CircuitParams::linear_regime();
+  p.model = TransferModel::kLinear;
+  const SpikeCodec codec(p, /*quantize=*/true);
+  // In linear mode the value grid is uniform: worst-case round-trip
+  // error is half a slot.
+  const double half_slot = 0.5 / (codec.levels() - 1);
+  for (double x = 0.0; x <= 1.0; x += 0.007) {
+    EXPECT_NEAR(codec.decode(codec.encode(x)), x, half_slot + 1e-9);
+  }
+}
+
+TEST(SpikeCodec, VoltageOfMatchesRamp) {
+  const CircuitParams p;
+  const SpikeCodec codec(p);
+  EXPECT_DOUBLE_EQ(codec.voltage_of(10e-9), p.ramp_voltage(10e-9));
+  // Beyond the window the S/H held the value at t_full.
+  EXPECT_DOUBLE_EQ(codec.voltage_of(2.0 * p.slice_length),
+                   p.ramp_voltage(codec.t_full()));
+}
+
+// Property sweep: the codec round-trip error is bounded by the local
+// slot width at every operating point.
+class CodecRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodecRoundTrip, ErrorBoundedByLocalSlot) {
+  const CircuitParams p;
+  const SpikeCodec codec(p, /*quantize=*/true);
+  const double x = GetParam();
+  const double t = codec.encode(x).arrival_time;
+  // Local slot width in value terms: ramp step across one clock.
+  const double v0 = p.ramp_voltage(std::max(t - p.clock_period, 0.0));
+  const double v1 = p.ramp_voltage(t + p.clock_period);
+  const double slot_value = (v1 - v0) / codec.v_full();
+  EXPECT_NEAR(codec.decode(codec.encode(x)), x, slot_value + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueSweep, CodecRoundTrip,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3, 0.4,
+                                           0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+                                           1.0));
+
+}  // namespace
+}  // namespace resipe::resipe_core

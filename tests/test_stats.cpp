@@ -1,0 +1,127 @@
+#include "resipe/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/rng.hpp"
+
+namespace resipe {
+namespace {
+
+TEST(Summarize, BasicStatistics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one{5.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, RejectsMismatched) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW(pearson(xs, ys), Error);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{1, 2, 5};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(4.0 / 3.0), 1e-12);
+}
+
+TEST(SolveLinearSystem, TwoByTwo) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  const auto x = solve_linear_system({2, 1, 1, 3}, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear_system({0, 1, 1, 0}, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  EXPECT_THROW(solve_linear_system({1, 2, 2, 4}, {1, 2}), Error);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  const auto xs = linspace(-2.0, 2.0, 25);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(1.5 - 0.5 * x + 2.0 * x * x);
+  const PolyFit fit = polyfit(xs, ys, 2);
+  ASSERT_EQ(fit.coeffs.size(), 3u);
+  EXPECT_NEAR(fit.coeffs[0], 1.5, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], -0.5, 1e-9);
+  EXPECT_NEAR(fit.coeffs[2], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Polyfit, NoisyFitHasReasonableR2) {
+  Rng rng(5);
+  const auto xs = linspace(0.0, 1.0, 200);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + rng.normal(0.0, 0.05));
+  const PolyFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.coeffs[1], 3.0, 0.1);
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(Polyfit, RejectsTooFewPoints) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), Error);
+  EXPECT_THROW(polyfit(xs, ys, -1), Error);
+}
+
+TEST(PolyFitEval, HornerEvaluation) {
+  PolyFit fit;
+  fit.coeffs = {1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(fit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fit(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(fit(2.0), 17.0);
+}
+
+TEST(Linspace, EndpointsExact) {
+  const auto v = linspace(0.1, 0.9, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.1);
+  EXPECT_DOUBLE_EQ(v.back(), 0.9);
+  EXPECT_NEAR(v[2], 0.5, 1e-12);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_GT(relative_error(1.0, 0.0), 1e20);  // eps denominator
+}
+
+}  // namespace
+}  // namespace resipe

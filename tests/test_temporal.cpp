@@ -1,0 +1,82 @@
+#include "resipe/baselines/temporal_coding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/baselines/rate_coding.hpp"
+#include "resipe/common/error.hpp"
+#include "resipe/resipe/design.hpp"
+
+namespace resipe::baselines {
+namespace {
+
+TEST(TemporalCoding, LatencyIsTheSlowestOfTheTaxonomy) {
+  // Table I classes ReSiPE "Medium" and temporal coding "Slow".
+  const TemporalCodingDesign temporal;
+  const RateCodingDesign rate;
+  const resipe_core::ResipeDesign resipe;
+  EXPECT_GT(temporal.mvm_latency(), rate.mvm_latency());
+  EXPECT_GT(temporal.mvm_latency(), resipe.mvm_latency());
+}
+
+TEST(TemporalCoding, PowerIsLowDespiteLongWindow) {
+  // Sec. II: "enriched functionality ... can largely reduce the power
+  // consumption but result in long latency".
+  const TemporalCodingDesign temporal;
+  const RateCodingDesign rate;
+  const auto pt = temporal.evaluate();
+  const auto pr = rate.evaluate();
+  EXPECT_LT(pt.power, pr.power);
+  // But the long window murders power efficiency vs ReSiPE.
+  const resipe_core::ResipeDesign resipe;
+  EXPECT_GT(resipe.evaluate().power_efficiency, pt.power_efficiency);
+}
+
+TEST(TemporalCoding, FunctionalMvmIsMonotone) {
+  const TemporalCodingDesign design;
+  std::vector<double> x(32, 0.2);
+  const auto q_low = design.functional_mvm(x);
+  for (double& v : x) v = 0.9;
+  const auto q_high = design.functional_mvm(x);
+  for (std::size_t c = 0; c < q_low.size(); ++c) {
+    EXPECT_GT(q_high[c], q_low[c]);
+  }
+}
+
+TEST(TemporalCoding, EarlierSpikesIntegrateMore) {
+  // First-spike-latency coding: larger values spike earlier, so their
+  // sustained synaptic current integrates longer before readout.
+  // Invariant: zero input yields strictly less charge than full input.
+  const TemporalCodingDesign design;
+  const std::vector<double> zero(32, 0.0);
+  const std::vector<double> one(32, 1.0);
+  const auto q0 = design.functional_mvm(zero);
+  const auto q1 = design.functional_mvm(one);
+  for (std::size_t c = 0; c < q0.size(); ++c) {
+    EXPECT_LT(q0[c], q1[c]);
+  }
+}
+
+TEST(TemporalCoding, ReportIsPositiveAndNeuronDominated) {
+  const TemporalCodingDesign design;
+  const auto report = design.mvm_report();
+  EXPECT_GT(report.total_energy(), 0.0);
+  EXPECT_GT(report.total_area(), 0.0);
+  EXPECT_GT(report.energy_share("neuron"), 0.5);
+}
+
+TEST(TemporalCoding, RejectsBadParameters) {
+  TemporalCodingParams p;
+  p.window = 0.0;
+  EXPECT_THROW(TemporalCodingDesign{p}, Error);
+  p = TemporalCodingParams{};
+  p.spikes_per_input = 0.0;
+  EXPECT_THROW(TemporalCodingDesign{p}, Error);
+}
+
+TEST(TemporalCoding, InputSizeChecked) {
+  const TemporalCodingDesign design;
+  EXPECT_THROW(design.functional_mvm(std::vector<double>(8, 0.5)), Error);
+}
+
+}  // namespace
+}  // namespace resipe::baselines

@@ -1,0 +1,163 @@
+#include "resipe/resipe/tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resipe/common/error.hpp"
+#include "resipe/resipe/spike_code.hpp"
+
+namespace resipe::resipe_core {
+namespace {
+
+using circuits::CircuitParams;
+using circuits::Spike;
+
+device::ReramSpec clean_spec() {
+  device::ReramSpec spec = device::ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  spec.variation_sigma = 0.0;
+  spec.transistor_r_on = 0.0;
+  spec.levels = 1 << 14;
+  return spec;
+}
+
+TEST(ResipeTile, TwoInputMacMatchesSection3B) {
+  // The Fig. 2 example: R1 = 50 k, R2 = 200 k, inputs at 30/60 ns.
+  const CircuitParams p;
+  ResipeTile tile(p, 2, 1, clean_spec());
+  Rng rng(1);
+  tile.program(std::vector<double>{1.0 / 50e3, 1.0 / 200e3}, rng);
+
+  const std::vector<Spike> in{Spike::at(30e-9), Spike::at(60e-9)};
+  const auto v = tile.sample_voltages(in);
+  ASSERT_EQ(v.size(), 1u);
+
+  const double v1 = 1.0 - std::exp(-30e-9 / p.tau_gd());
+  const double v2 = 1.0 - std::exp(-60e-9 / p.tau_gd());
+  const double g1 = 20e-6;
+  const double g2 = 5e-6;
+  const double veq = (v1 * g1 + v2 * g2) / (g1 + g2);
+  const double tau = p.c_cog / (g1 + g2);
+  const double expect = veq * (1.0 - std::exp(-p.comp_stage / tau));
+  EXPECT_NEAR(v[0], expect, 1e-4);
+
+  const auto out = tile.execute(in);
+  ASSERT_TRUE(out[0].valid());
+  EXPECT_NEAR(p.ramp_voltage(out[0].arrival_time), v[0], 1e-9);
+}
+
+TEST(ResipeTile, IdealTimesImplementEq6) {
+  const CircuitParams p;
+  ResipeTile tile(p, 2, 1, clean_spec());
+  Rng rng(1);
+  tile.program(std::vector<double>{20e-6, 5e-6}, rng);
+  const std::vector<Spike> in{Spike::at(30e-9), Spike::at(60e-9)};
+  const auto t = tile.ideal_times(in);
+  EXPECT_NEAR(t[0],
+              p.linear_gain() * (30e-9 * 20e-6 + 60e-9 * 5e-6), 1e-11);
+}
+
+TEST(ResipeTile, LatencyIsTwoSlices) {
+  const CircuitParams p;
+  const ResipeTile tile(p, 2, 2, clean_spec());
+  EXPECT_DOUBLE_EQ(tile.latency(), 2.0 * p.slice_length);
+}
+
+TEST(ResipeTile, ExecuteChecksInputArity) {
+  const CircuitParams p;
+  const ResipeTile tile(p, 4, 2, clean_spec());
+  EXPECT_THROW(tile.execute(std::vector<Spike>(3)), Error);
+}
+
+TEST(ResipeTile, ReadNoiseChangesOutputs) {
+  device::ReramSpec spec = clean_spec();
+  spec.read_noise_sigma = 0.10;
+  const CircuitParams p;
+  ResipeTile tile(p, 8, 4, spec);
+  Rng rng(3);
+  std::vector<double> g(32);
+  for (double& v : g) v = rng.uniform(spec.g_min(), spec.g_max());
+  tile.program(g, rng);
+  const SpikeCodec codec(p);
+  std::vector<Spike> in(8);
+  for (std::size_t i = 0; i < 8; ++i)
+    in[i] = codec.encode(0.1 + 0.1 * static_cast<double>(i));
+  const auto clean = tile.execute(in);
+  Rng noise(4);
+  const auto noisy = tile.execute(in, &noise);
+  bool any_diff = false;
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (clean[c].arrival_time != noisy[c].arrival_time) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ResipeTile, TraceContainsTheFig3Waveforms) {
+  const CircuitParams p;
+  ResipeTile tile(p, 2, 1, clean_spec());
+  Rng rng(1);
+  tile.program(std::vector<double>{20e-6, 5e-6}, rng);
+  const std::vector<Spike> in{Spike::at(30e-9), Spike::at(60e-9)};
+  circuits::WaveformRecorder rec;
+  tile.trace(in, 0, rec);
+
+  // The GD ramp at 10 ns (one tau) reads 63%.
+  EXPECT_NEAR(rec.at("V(Cgd)", 10e-9), 1.0 - std::exp(-1.0), 0.02);
+  // The ramp is discharged during the computation stage.
+  EXPECT_NEAR(rec.at("V(Cgd)", 99.9e-9), 0.0, 1e-9);
+  // The held COG voltage in S2 matches the sampled value.
+  const auto v = tile.sample_voltages(in);
+  EXPECT_NEAR(rec.at("S2 V(Ccog) held", 150e-9), v[0], 1e-9);
+  // The output spike trace goes high at the output time.
+  const auto out = tile.execute(in);
+  EXPECT_NEAR(rec.at("S_out", p.slice_length + out[0].arrival_time +
+                                  out[0].width / 2.0),
+              1.0, 1e-9);
+}
+
+TEST(ResipeTile, TraceRejectsBadColumn) {
+  const CircuitParams p;
+  ResipeTile tile(p, 2, 1, clean_spec());
+  circuits::WaveformRecorder rec;
+  EXPECT_THROW(tile.trace(std::vector<Spike>(2), 1, rec), Error);
+}
+
+TEST(ResipeTile, EnergyReportIsDominatedByCog) {
+  const CircuitParams p;
+  const device::ReramSpec spec = device::ReramSpec::nn_mapping();
+  ResipeTile tile(p, 32, 32, spec);
+  Rng rng(7);
+  std::vector<double> g(32 * 32);
+  for (double& v : g) v = rng.uniform(spec.g_min(), spec.g_max());
+  tile.program(g, rng);
+  const SpikeCodec codec(p);
+  std::vector<Spike> in(32);
+  for (std::size_t i = 0; i < 32; ++i)
+    in[i] = codec.encode(static_cast<double>(i) / 31.0);
+  const auto report = tile.energy_report(in);
+  EXPECT_GT(report.total_energy(), 0.0);
+  EXPECT_GT(report.total_area(), 0.0);
+  // Sec. IV-B: the COG cluster dominates (98.1% in the paper).
+  EXPECT_GT(report.energy_share("COG"), 0.90);
+}
+
+TEST(ResipeTile, MoreActiveInputsNeverCostLessEnergy) {
+  const CircuitParams p;
+  const device::ReramSpec spec = device::ReramSpec::nn_mapping();
+  ResipeTile tile(p, 16, 16, spec);
+  Rng rng(7);
+  std::vector<double> g(256);
+  for (double& v : g) v = rng.uniform(spec.g_min(), spec.g_max());
+  tile.program(g, rng);
+  const SpikeCodec codec(p);
+  std::vector<Spike> few(16, Spike::none());
+  few[0] = codec.encode(0.5);
+  std::vector<Spike> many(16);
+  for (std::size_t i = 0; i < 16; ++i) many[i] = codec.encode(0.5);
+  EXPECT_LE(tile.energy_report(few).total_energy(),
+            tile.energy_report(many).total_energy() + 1e-18);
+}
+
+}  // namespace
+}  // namespace resipe::resipe_core

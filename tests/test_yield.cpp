@@ -1,0 +1,64 @@
+#include "resipe/eval/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::eval {
+namespace {
+
+TEST(Yield, CleanDevicesAlwaysPass) {
+  YieldConfig cfg;
+  cfg.sigmas = {0.0};
+  cfg.chips_per_sigma = 6;
+  cfg.rmse_bound = 0.05;
+  const auto points = mvm_yield(resipe_core::EngineConfig{}, cfg);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].yield, 1.0);
+  EXPECT_LT(points[0].mean_rmse, 0.05);
+}
+
+TEST(Yield, DegradesMonotonicallyWithSigma) {
+  YieldConfig cfg;
+  cfg.sigmas = {0.0, 0.10, 0.20};
+  cfg.chips_per_sigma = 8;
+  const auto points = mvm_yield(resipe_core::EngineConfig{}, cfg);
+  ASSERT_EQ(points.size(), 3u);
+  // Common random numbers -> the mean error is monotone in sigma.
+  EXPECT_LE(points[0].mean_rmse, points[1].mean_rmse);
+  EXPECT_LE(points[1].mean_rmse, points[2].mean_rmse);
+  EXPECT_GE(points[0].yield, points[2].yield);
+  // The worst chip is at least as bad as the mean.
+  for (const auto& p : points) EXPECT_GE(p.worst_rmse, p.mean_rmse);
+}
+
+TEST(Yield, TightBoundLowersYield) {
+  YieldConfig loose;
+  loose.sigmas = {0.15};
+  loose.chips_per_sigma = 12;
+  loose.rmse_bound = 0.30;
+  YieldConfig tight = loose;
+  tight.rmse_bound = 0.01;
+  const auto y_loose = mvm_yield(resipe_core::EngineConfig{}, loose);
+  const auto y_tight = mvm_yield(resipe_core::EngineConfig{}, tight);
+  EXPECT_GE(y_loose[0].yield, y_tight[0].yield);
+}
+
+TEST(Yield, RenderContainsEverySigma) {
+  YieldConfig cfg;
+  cfg.sigmas = {0.0, 0.20};
+  cfg.chips_per_sigma = 4;
+  const auto points = mvm_yield(resipe_core::EngineConfig{}, cfg);
+  const std::string s = render_yield(points, cfg.rmse_bound);
+  EXPECT_NE(s.find("0.0%"), std::string::npos);
+  EXPECT_NE(s.find("20.0%"), std::string::npos);
+}
+
+TEST(Yield, RejectsEmptySweep) {
+  YieldConfig cfg;
+  cfg.sigmas = {};
+  EXPECT_THROW(mvm_yield(resipe_core::EngineConfig{}, cfg), Error);
+}
+
+}  // namespace
+}  // namespace resipe::eval
