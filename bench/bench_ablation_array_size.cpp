@@ -8,14 +8,16 @@
 // is the paper's sweet spot.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/common/units.hpp"
 #include "resipe/eval/fidelity.hpp"
 #include "resipe/resipe/design.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
   using namespace resipe::units;
+  bench::BenchReport report("ablation_array_size", argc, argv);
 
   std::puts("=== Ablation: array size sweep (NN-mapping device window) "
             "===\n");
@@ -42,11 +44,16 @@ int main() {
                format_percent(fidelity.rmse),
                format_si(point.energy_per_mvm, "J"),
                format_si(point.energy_per_mvm / point.ops_per_mvm, "J")});
+    if (n == 32) {
+      report.add("mvm_rmse_32x32", fidelity.rmse);
+      report.add("energy_per_op_J_32x32",
+                 point.energy_per_mvm / point.ops_per_mvm);
+    }
   }
   std::puts(t.str().c_str());
   std::puts("Larger arrays amortize the COG cluster over more MACs "
             "(energy/op falls)\nbut accumulate more rows per column, "
             "raising conductance loading and\nquantization pressure on "
             "the single-spike output.");
-  return 0;
+  return report.emit();
 }

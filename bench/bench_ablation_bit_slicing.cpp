@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "resipe/common/rng.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/resipe/bit_slicing.hpp"
@@ -51,8 +52,9 @@ double sliced_rmse(const resipe_core::SlicingConfig& slicing,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("ablation_bit_slicing", argc, argv);
   std::puts("=== Ablation: bit-sliced weight storage ===\n");
   TextTable t({"Logical bits", "Bits/slice", "Slices", "Column cost",
                "RMSE (sigma=0)", "RMSE (sigma=10%)"});
@@ -64,15 +66,20 @@ int main() {
     resipe_core::SlicingConfig slicing;
     slicing.total_bits = c.total;
     slicing.bits_per_slice = c.per_slice;
+    const double rmse0 = sliced_rmse(slicing, 0.0);
+    const double rmse10 = sliced_rmse(slicing, 0.10);
     t.add_row({std::to_string(c.total), std::to_string(c.per_slice),
                std::to_string(slicing.slices()),
                format_ratio(static_cast<double>(slicing.slices()), 0),
-               format_percent(sliced_rmse(slicing, 0.0)),
-               format_percent(sliced_rmse(slicing, 0.10))});
+               format_percent(rmse0), format_percent(rmse10)});
+    const std::string key = std::to_string(c.total) + "b_" +
+                            std::to_string(c.per_slice) + "b_slice";
+    report.add(key + "_rmse_sigma0", rmse0);
+    report.add(key + "_rmse_sigma10", rmse10);
   }
   std::puts(t.str().c_str());
   std::puts("Slicing buys resolution while each cell stays at its\n"
             "reliable precision; under variation the benefit saturates\n"
             "because device noise, not quantization, dominates.");
-  return 0;
+  return report.emit();
 }

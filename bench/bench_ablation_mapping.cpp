@@ -6,11 +6,15 @@
 // full circuit model and (b) physical column cost.
 #include <cstdio>
 
+#include <string>
+
+#include "bench_report.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/fidelity.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("ablation_mapping", argc, argv);
   std::puts("=== Ablation: signed-weight mapping strategy ===\n");
   std::puts("32x8 random signed matrix through the full circuit model;\n"
             "errors relative to the largest reference output.\n");
@@ -28,6 +32,13 @@ int main() {
       t.add_row({crossbar::to_string(strategy), format_percent(sigma),
                  format_percent(score.rmse), format_percent(score.worst),
                  std::to_string(phys_cols)});
+      if (sigma > 0.0) {
+        std::string key = crossbar::to_string(strategy);
+        for (char& ch : key) {
+          if (ch == ' ' || ch == '-') ch = '_';
+        }
+        report.add(key + "_rmse_sigma10", score.rmse);
+      }
     }
   }
   std::puts(t.str().c_str());
@@ -35,5 +46,5 @@ int main() {
             "columns, minimizing absolute variation noise — most robust.\n"
             "The offset column halves the column overhead but couples\n"
             "every output to one shared reference.");
-  return 0;
+  return report.emit();
 }

@@ -9,11 +9,13 @@
 // combined worst case.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/fidelity.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("ablation_reliability", argc, argv);
 
   std::puts("=== Ablation: reliability mechanisms at the MVM level "
             "===\n");
@@ -23,6 +25,7 @@ int main() {
     const auto s = eval::mvm_fidelity(resipe_core::EngineConfig{});
     t.add_row({"baseline", "-", format_percent(s.rmse),
                format_percent(s.worst)});
+    report.add("baseline_rmse", s.rmse);
   }
   for (double rate : {0.001, 0.01, 0.05}) {
     resipe_core::EngineConfig cfg;
@@ -69,6 +72,8 @@ int main() {
     const auto s = eval::mvm_fidelity(cfg);
     t.add_row({"combined", "sigma 10% + 1% SAF + 1y drift + wires",
                format_percent(s.rmse), format_percent(s.worst)});
+    report.add("combined_rmse", s.rmse);
+    report.add("combined_worst", s.worst);
   }
   std::puts(t.str().c_str());
   std::puts("Power-law drift acts as a slowly-growing global gain error\n"
@@ -77,5 +82,5 @@ int main() {
             "stuck-LRS cell injects a full-scale spurious weight into\n"
             "one column; wire IR-drop is negligible at 32 x 32 with\n"
             ">= 50 k cells.");
-  return 0;
+  return report.emit();
 }

@@ -10,12 +10,14 @@
 // latency/throughput/area trade that optimization buys.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/nn/zoo.hpp"
 #include "resipe/resipe/chip.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport bench("ablation_replication", argc, argv);
   std::puts("=== Ablation: conv tile-group replication on CNN-1 ===\n");
 
   Rng rng(1);
@@ -35,6 +37,13 @@ int main() {
                format_si(report.throughput, "inf/s"),
                format_si(report.power, "W"),
                format_si(report.power_efficiency, "OPS/W")});
+    if (r == 1) {
+      bench.add("inference_rate_R1", report.throughput);
+      bench.add("input_latency_s_R1", report.input_latency);
+    } else if (r == 49) {
+      bench.add("inference_rate_R49", report.throughput);
+      bench.add("area_m2_R49", report.total_area);
+    }
   }
   std::puts(t.str().c_str());
   std::puts("Replication divides the conv layers' position multiplexing\n"
@@ -42,5 +51,5 @@ int main() {
             "exhausted) at proportional area; energy per inference — and\n"
             "hence power efficiency — stays put, which is why the paper\n"
             "frames it as a latency optimization.");
-  return 0;
+  return bench.emit();
 }

@@ -7,13 +7,15 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/common/units.hpp"
 #include "resipe/eval/characterization.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
   using namespace resipe::units;
+  bench::BenchReport report("ablation_transfer", argc, argv);
 
   std::puts("=== Ablation: exact vs linearized transfer model ===\n");
 
@@ -23,19 +25,24 @@ int main() {
 
   TextTable t({"G_total", "t_in", "t_out exact", "t_out linearized",
                "Eq.6 prediction", "exact dev", "linear dev"});
+  double max_exact_dev = 0.0;
+  double max_linear_dev = 0.0;
   for (double g : {0.32e-3, 0.64e-3, 1.6e-3, 2.5e-3, 3.2e-3}) {
     for (double t_in : {20.0 * ns, 50.0 * ns, 80.0 * ns}) {
       const double t_exact = eval::single_point_t_out(exact, 32, t_in, g);
       const double t_linear = eval::single_point_t_out(linear, 32, t_in, g);
       const double eq6 = exact.linear_gain() * t_in * g;
       const double full = exact.slice_length;
+      const double exact_dev =
+          std::abs(t_exact - std::min(eq6, full)) / full;
+      const double linear_dev =
+          std::abs(t_linear - std::min(eq6, full)) / full;
+      max_exact_dev = std::max(max_exact_dev, exact_dev);
+      max_linear_dev = std::max(max_linear_dev, linear_dev);
       t.add_row({format_si(g, "S"), format_si(t_in, "s"),
                  format_si(t_exact, "s"), format_si(t_linear, "s"),
-                 format_si(eq6, "s"),
-                 format_percent(std::abs(t_exact - std::min(eq6, full)) /
-                                full),
-                 format_percent(std::abs(t_linear - std::min(eq6, full)) /
-                                full)});
+                 format_si(eq6, "s"), format_percent(exact_dev),
+                 format_percent(linear_dev)});
     }
   }
   std::puts(t.str().c_str());
@@ -45,12 +52,18 @@ int main() {
   // t_out ~ t_in regardless of the exponential ramp shape, because the
   // same ramp encodes (S1) and decodes (S2) the timing.
   std::puts("Shared-ramp cancellation check (k -> 1, single input):");
+  double worst_residual = 0.0;
   for (double t_in : {20.0 * ns, 50.0 * ns, 80.0 * ns}) {
     const double t_out = eval::single_point_t_out(exact, 1, t_in, 3.2e-3);
+    const double residual = std::abs(t_out - t_in) / t_in;
+    worst_residual = std::max(worst_residual, residual);
     std::printf("  t_in = %s -> t_out = %s (residual %.3f%%)\n",
                 format_si(t_in, "s").c_str(),
-                format_si(t_out, "s").c_str(),
-                std::abs(t_out - t_in) / t_in * 100.0);
+                format_si(t_out, "s").c_str(), residual * 100.0);
   }
-  return 0;
+
+  report.add("max_exact_dev", max_exact_dev);
+  report.add("max_linear_dev", max_linear_dev);
+  report.add("worst_cancellation_residual", worst_residual);
+  return report.emit();
 }

@@ -3,12 +3,16 @@
 // Fig. 7 reports mean accuracy across device instantiations; this
 // bench asks the manufacturer's question — what fraction of chips
 // meets an MVM error bound at each process-variation sigma?
+#include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "resipe/eval/yield.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("ablation_yield", argc, argv);
   std::puts("=== Ablation: Monte-Carlo chip yield vs variation sigma "
             "===\n");
   eval::YieldConfig cfg;
@@ -16,5 +20,11 @@ int main() {
   std::puts(eval::render_yield(points, cfg.rmse_bound).c_str());
   std::puts("\nWith an error-correcting margin in mind, the 5% RMSE\n"
             "bound tracks roughly where Fig. 7's accuracy knee sits.");
-  return 0;
+
+  for (const auto& p : points) {
+    const int pct = static_cast<int>(std::lround(p.sigma * 100.0));
+    report.add("yield_sigma_" + std::to_string(pct) + "pct", p.yield);
+  }
+  report.add("rmse_bound", cfg.rmse_bound);
+  return report.emit();
 }

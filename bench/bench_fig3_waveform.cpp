@@ -7,15 +7,18 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.hpp"
+
 #include "resipe/circuits/waveform.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/common/units.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/resipe/tile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
   using namespace resipe::units;
+  bench::BenchReport report("fig3_waveform", argc, argv);
 
   const circuits::CircuitParams params =
       circuits::CircuitParams::paper_defaults();
@@ -75,5 +78,9 @@ int main() {
     std::cout << s2.render_ascii(params.slice_length - params.comp_stage,
                                  2.0 * params.slice_length);
   }
-  return 0;
+
+  report.add("t_out_s", out[0].arrival_time);
+  report.add("t_out_ideal_s", ideal[0]);
+  report.add("v_ccog_V", v[0]);
+  return report.emit();
 }

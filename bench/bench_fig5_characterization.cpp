@@ -10,12 +10,14 @@
 //     large t_in*G (Ccog saturation).
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "resipe/common/csv.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/characterization.hpp"
 
 int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("fig5_characterization", argc, argv);
 
   eval::CharacterizationConfig cfg;
   const auto result = eval::characterize(cfg);
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
               "%zu / %zu\n",
               below, high_g);
 
-  if (argc > 1) {
+  if (argc > 1 && argv[1][0] != '-') {
     CsvWriter csv;
     std::vector<double> t_in, g, x, y, y_lin;
     for (const auto& p : result.random_samples) {
@@ -86,5 +88,14 @@ int main(int argc, char** argv) {
     csv.write_file(argv[1]);
     std::printf("\nwrote %s\n", argv[1]);
   }
-  return 0;
+
+  report.add("samples", static_cast<double>(result.random_samples.size()));
+  report.add("curve1_r2", result.curve1.r2);
+  report.add("curve2_r2", result.curve2.r2);
+  report.add("curve3_r2", result.curve3.r2);
+  report.add("high_g_below_curve1_frac",
+             high_g > 0 ? static_cast<double>(below) /
+                              static_cast<double>(high_g)
+                        : 0.0);
+  return report.emit();
 }

@@ -6,14 +6,17 @@
 // highest throughput because its engine footprint (no DAC/ADC) lets it
 // replicate more tiles per mm^2.
 #include <cmath>
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/throughput.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("fig6_throughput", argc, argv);
 
   std::puts("=== Fig. 6: latency / area / throughput trade-off ===\n");
   const auto result = eval::throughput_tradeoff();
@@ -34,5 +37,14 @@ int main() {
     t.add_row(std::move(row));
   }
   std::cout << t;
-  return 0;
+
+  for (const auto& s : result.series) {
+    std::string key = s.name;
+    for (char& ch : key) {
+      if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    }
+    report.add(key + "_engine_throughput_ops", s.engine_throughput);
+    report.add(key + "_engine_area_m2", s.engine_area);
+  }
+  return report.emit();
 }

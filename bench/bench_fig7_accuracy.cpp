@@ -10,15 +10,19 @@
 // Usage: bench_fig7_accuracy [--quick] [--full]
 //   --quick : MLPs + LeNet only, 1 Monte-Carlo seed (CI-friendly)
 //   --full  : all six networks, 2 Monte-Carlo seeds (default)
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <string>
 
+#include "bench_report.hpp"
 #include "resipe/eval/accuracy.hpp"
 
 int main(int argc, char** argv) {
   using namespace resipe;
 
+  bench::BenchReport report("fig7_accuracy", argc, argv);
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -42,5 +46,18 @@ int main(int argc, char** argv) {
 
   std::puts("");
   std::cout << eval::render_accuracy(rows);
-  return 0;
+
+  report.add("networks", static_cast<double>(rows.size()));
+  report.add("mode", quick ? "quick" : "full");
+  for (const auto& row : rows) {
+    std::string key = row.name;
+    for (char& ch : key) {
+      if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    }
+    report.add(key + "_software_acc", row.software_accuracy);
+    if (!row.accuracy.empty()) {
+      report.add(key + "_acc_sigma_max", row.accuracy.back());
+    }
+  }
+  return report.emit();
 }

@@ -2,15 +2,20 @@
 // increasing process variation — shows *where* the Fig. 7 accuracy is
 // lost (the wide FC layers, whose many-row accumulations average out
 // device noise, versus the small conv layers, which do not).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "bench_report.hpp"
 #include "resipe/eval/precision.hpp"
 #include "resipe/nn/data.hpp"
 #include "resipe/nn/train.hpp"
 #include "resipe/nn/zoo.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace resipe;
+  bench::BenchReport report("layer_precision", argc, argv);
   std::puts("=== Per-layer precision of CNN-1 (LeNet) on ReSiPE ===\n");
 
   Rng data_rng(5);
@@ -35,6 +40,11 @@ int main() {
     std::printf("-- variation sigma = %.0f%% --\n", sigma * 100.0);
     const auto rows = eval::layer_precision(model, cfg, probe, 64);
     std::puts(eval::render_precision(rows).c_str());
+    double min_snr = rows.empty() ? 0.0 : rows.front().snr_db;
+    for (const auto& r : rows) min_snr = std::min(min_snr, r.snr_db);
+    const int pct = static_cast<int>(std::lround(sigma * 100.0));
+    report.add("min_layer_snr_db_sigma_" + std::to_string(pct) + "pct",
+               min_snr);
   }
-  return 0;
+  return report.emit();
 }

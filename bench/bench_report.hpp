@@ -1,0 +1,112 @@
+// Machine-readable bench reports.
+//
+// Every bench binary prints its ASCII tables as before and, on exit,
+// emits one `BENCH_JSON {...}` line on stdout with its name, wall time
+// and key figures so harnesses can accumulate a perf trajectory without
+// scraping tables.  Pass `--json FILE` (or set RESIPE_BENCH_JSON=FILE)
+// to additionally write the report to a file.
+//
+//   int main(int argc, char** argv) {
+//     resipe::bench::BenchReport report("fig6_throughput", argc, argv);
+//     ...
+//     report.add("resipe_throughput_ops", value);
+//     return report.emit();
+//   }
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace resipe::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, int argc = 0,
+                       char** argv = nullptr)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
+    }
+    if (json_path_.empty()) {
+      if (const char* env = std::getenv("RESIPE_BENCH_JSON")) {
+        json_path_ = env;
+      }
+    }
+  }
+
+  void add(const std::string& key, double value) {
+    numbers_.emplace_back(key, value);
+  }
+  void add(const std::string& key, const std::string& value) {
+    strings_.emplace_back(key, value);
+  }
+
+  /// Prints the BENCH_JSON line (and optional file); returns 0 so mains
+  /// can `return report.emit();`.
+  int emit() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::string json = "{\"bench\":\"" + escape(name_) + "\"";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", wall_s);
+    json += ",\"wall_time_s\":";
+    json += buf;
+    json += ",\"figures\":{";
+    bool first = true;
+    for (const auto& [key, value] : numbers_) {
+      if (!first) json += ",";
+      first = false;
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+      json += "\"" + escape(key) + "\":" + buf;
+    }
+    for (const auto& [key, value] : strings_) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + escape(key) + "\":\"" + escape(value) + "\"";
+    }
+    json += "}}";
+    std::printf("BENCH_JSON %s\n", json.c_str());
+    if (!json_path_.empty()) {
+      std::ofstream os(json_path_);
+      if (os.good()) {
+        os << json << "\n";
+      } else {
+        std::fprintf(stderr, "bench_report: cannot write %s\n",
+                     json_path_.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      if (ch == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::string json_path_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+};
+
+}  // namespace resipe::bench

@@ -1,11 +1,18 @@
 // Reproduces TABLE I: the taxonomy of data formats used by ReRAM PIM
 // designs (Sec. II), rendered from the design-class registry.
+#include <algorithm>
 #include <iostream>
+#include <string>
 
+#include "bench_report.hpp"
 #include "resipe/eval/taxonomy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  resipe::bench::BenchReport report("table1_taxonomy", argc, argv);
   std::cout << "=== TABLE I: data formats in ReRAM PIM designs ===\n\n";
-  std::cout << resipe::eval::taxonomy_table();
-  return 0;
+  const std::string table = resipe::eval::taxonomy_table().str();
+  std::cout << table;
+  report.add("table_lines", static_cast<double>(std::count(
+                                table.begin(), table.end(), '\n')));
+  return report.emit();
 }

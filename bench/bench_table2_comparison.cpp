@@ -7,14 +7,23 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_report.hpp"
 #include "resipe/eval/comparison.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  resipe::bench::BenchReport report("table2_comparison", argc, argv);
   std::puts("=== TABLE II: PIM design comparison (32x32 array, full "
             "utilization) ===\n");
   const auto result = resipe::eval::compare_designs();
   std::cout << result.render() << "\n";
   std::puts("=== ReSiPE per-MVM energy breakdown ===\n");
   std::cout << result.resipe_breakdown << std::endl;
-  return 0;
+
+  const auto& h = result.headlines;
+  report.add("power_reduction_vs_level", h.power_reduction_vs_level);
+  report.add("peff_gain_vs_level", h.peff_gain_vs_level);
+  report.add("peff_gain_vs_rate", h.peff_gain_vs_rate);
+  report.add("peff_gain_vs_pwm", h.peff_gain_vs_pwm);
+  report.add("cog_power_share", h.cog_power_share);
+  return report.emit();
 }

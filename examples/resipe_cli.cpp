@@ -12,13 +12,23 @@
 //       decoded outputs.
 //   yield [--bound R]
 //       Monte-Carlo chip yield across the Fig. 7 sigma sweep.
+//   quickstart
+//       End-to-end mini-workload touching every subsystem; pairs well
+//       with --trace / --metrics.
+//
+// Global options (any position):
+//   --trace FILE     record a Chrome trace (chrome://tracing, Perfetto)
+//   --metrics FILE   dump the metric registry (.csv extension -> CSV,
+//                    anything else -> JSON)
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "resipe/common/csv.hpp"
 #include "resipe/common/table.hpp"
+#include "resipe/crossbar/mapping.hpp"
 #include "resipe/eval/characterization.hpp"
 #include "resipe/eval/comparison.hpp"
 #include "resipe/eval/yield.hpp"
@@ -26,6 +36,7 @@
 #include "resipe/resipe/chip.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/resipe/tile.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace {
 
@@ -150,34 +161,136 @@ int cmd_yield(int argc, char** argv) {
   return 0;
 }
 
+// End-to-end mini-workload: weight mapping (crossbar), cell programming
+// (device), a single-spiking MVM (resipe_core) and a small
+// characterization sweep (eval).  Mirrors examples/quickstart.cpp so
+// `resipe_cli --trace out.json quickstart` yields spans from every
+// subsystem.
+int cmd_quickstart() {
+  std::puts("=== quickstart workload ===\n");
+  const circuits::CircuitParams params =
+      circuits::CircuitParams::paper_defaults();
+  const device::ReramSpec spec = device::ReramSpec::nn_mapping();
+
+  const std::vector<double> weights = {0.8, -0.2, 0.6, 0.4,
+                                       -0.3, 0.9, -0.7, 0.1};
+  const auto mapped = crossbar::map_weights(
+      weights, 4, 2, spec, crossbar::SignedMapping::kDifferentialPair);
+  resipe_core::ResipeTile tile(params, mapped.rows, mapped.cols, spec);
+  Rng rng(2020);
+  tile.program(mapped.g_targets, rng);
+
+  const resipe_core::SpikeCodec codec(params);
+  const std::vector<double> values = {0.8, 0.6, 0.3, 0.1};
+  std::vector<circuits::Spike> inputs;
+  for (double v : values) inputs.push_back(codec.encode(v));
+  const auto outputs = tile.execute(inputs);
+  TextTable t({"bitline", "spike arrival", "decoded"});
+  for (std::size_t c = 0; c < outputs.size(); ++c) {
+    t.add_row({std::to_string(c),
+               outputs[c].valid()
+                   ? format_si(outputs[c].arrival_time, "s")
+                   : "(silent)",
+               format_fixed(codec.decode(outputs[c]), 4)});
+  }
+  std::puts(t.str().c_str());
+
+  eval::CharacterizationConfig cfg;
+  cfg.rows = 8;
+  cfg.samples = 16;
+  const auto result = eval::characterize(cfg);
+  std::printf("characterized %zu samples; curve1(80 ps*S) = %s\n",
+              result.random_samples.size(),
+              format_si(result.curve1(80e-12), "s").c_str());
+  return 0;
+}
+
 void usage() {
   std::puts(
-      "usage: resipe_cli <command> [options]\n"
+      "usage: resipe_cli [--trace FILE] [--metrics FILE] <command> "
+      "[options]\n"
       "  characterize [--rows N] [--samples N] [--csv FILE]\n"
       "  compare\n"
       "  chip --net mlp1|mlp2|cnn1|cnn2|cnn3|cnn4\n"
       "  mvm --rows N --cols N [--sigma S] [--seed K]\n"
-      "  yield [--bound R]");
+      "  yield [--bound R]\n"
+      "  quickstart\n"
+      "global options:\n"
+      "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
+      "  --metrics FILE  dump metrics (.csv -> CSV, else JSON)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // Pull the global --trace / --metrics options out of argv; the
+  // remaining arguments keep their order for the subcommand parsers.
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = argv[++i];
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 2) {
     usage();
     return 2;
   }
-  const std::string cmd = argv[1];
+
+  if (!trace_path.empty()) telemetry::TraceSession::instance().start();
+  if (!metrics_path.empty()) telemetry::set_enabled(true);
+
+  const std::string cmd = args[1];
+  int rc = 2;
+  bool known = true;
   try {
-    if (cmd == "characterize") return cmd_characterize(argc, argv);
-    if (cmd == "compare") return cmd_compare();
-    if (cmd == "chip") return cmd_chip(argc, argv);
-    if (cmd == "mvm") return cmd_mvm(argc, argv);
-    if (cmd == "yield") return cmd_yield(argc, argv);
+    if (cmd == "characterize") rc = cmd_characterize(nargs, args.data());
+    else if (cmd == "compare") rc = cmd_compare();
+    else if (cmd == "chip") rc = cmd_chip(nargs, args.data());
+    else if (cmd == "mvm") rc = cmd_mvm(nargs, args.data());
+    else if (cmd == "yield") rc = cmd_yield(nargs, args.data());
+    else if (cmd == "quickstart") rc = cmd_quickstart();
+    else known = false;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
-  return 2;
+  if (!known) {
+    usage();
+    return 2;
+  }
+
+  try {
+    if (!trace_path.empty()) {
+      auto& session = telemetry::TraceSession::instance();
+      session.stop();
+      session.write_chrome_trace_file(trace_path);
+      std::printf("wrote trace with %zu events to %s\n",
+                  session.snapshot().size(), trace_path.c_str());
+      if (session.dropped() > 0) {
+        std::printf("  (%zu events dropped at capacity)\n",
+                    session.dropped());
+      }
+    }
+    if (!metrics_path.empty()) {
+      if (metrics_path.size() >= 4 &&
+          metrics_path.rfind(".csv") == metrics_path.size() - 4) {
+        telemetry::write_metrics_csv_file(metrics_path);
+      } else {
+        telemetry::write_metrics_json_file(metrics_path);
+      }
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry export error: %s\n", e.what());
+    return 1;
+  }
+  return rc;
 }

@@ -93,6 +93,19 @@ class ReramCell {
   /// variation draw.
   void program(const ReramSpec& spec, double target_g, Rng& rng);
 
+  /// Same as program() but without any telemetry bookkeeping or the
+  /// per-call enabled check.  Batch programmers (Crossbar::program)
+  /// hoist the telemetry decision out of their cell loop and call this
+  /// on the disabled path so programming stays at seed-build speed.
+  void program_untracked(const ReramSpec& spec, double target_g, Rng& rng);
+
+ private:
+  /// The programming body, templated so the telemetry bookkeeping is
+  /// absent from the runtime-disabled path (one branch in program()).
+  template <bool kInstrumented>
+  void program_impl(const ReramSpec& spec, double target_g, Rng& rng);
+
+ public:
   /// The conductance requested (post-clamp, pre-quantization).
   double target_g() const { return target_g_; }
 

@@ -58,6 +58,11 @@ class SpikeCodec {
   double t_full_;
   double v_full_;
   bool quantize_;
+  // Snapshot of telemetry::enabled() taken at construction: encode and
+  // decode run in ns-scale loops, and a plain bool member is the only
+  // check the compiler can hoist out of them.  Codecs built before
+  // telemetry is switched on do not record codec counters.
+  bool telemetry_;
 };
 
 }  // namespace resipe::resipe_core

@@ -1,0 +1,149 @@
+// Process-wide metric registry: named counters, gauges and fixed-bucket
+// histograms.
+//
+// Metrics follow the `subsystem.component.metric` naming scheme (e.g.
+// "device.reram.program_ops").  Instrumentation sites use the macros in
+// telemetry.hpp, which compile to nothing when RESIPE_TELEMETRY_DISABLED
+// is defined and to a cached-pointer fast path otherwise.  At runtime the
+// whole subsystem is gated by `telemetry::enabled()`: off by default,
+// switched on programmatically (set_enabled) or via the RESIPE_TELEMETRY
+// environment variable ("1"/"on" enables, "0"/"off" disables).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resipe::telemetry {
+
+namespace detail {
+/// -1 = unresolved, 0 = disabled, 1 = enabled.
+extern std::atomic<int> g_enabled;
+/// Resolves the RESIPE_TELEMETRY environment variable (slow path, runs
+/// at most a handful of times under races).
+bool resolve_enabled() noexcept;
+}  // namespace detail
+
+/// True when instrumentation should record.  First call resolves the
+/// RESIPE_TELEMETRY environment variable; subsequent calls are a single
+/// relaxed atomic load, cheap enough for ns-scale hot paths.
+inline bool enabled() noexcept {
+  const int state = detail::g_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  return detail::resolve_enabled();
+}
+
+/// Overrides the environment toggle for this process.
+void set_enabled(bool on) noexcept;
+
+/// Monotonically increasing event count.  Thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.  Thread-safe.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram.  Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket catches the rest.  Thread-safe.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, for export.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Process-wide registry.  Lookup registers on first use and returns a
+/// reference whose address stays valid for the life of the process, so
+/// call sites may cache it.  reset_values() zeroes every metric but never
+/// removes entries (cached references stay safe).
+class MetricRegistry {
+ public:
+  static MetricRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` is only consulted on first registration of `name`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+  void reset_values();
+
+ private:
+  MetricRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Writes the registry snapshot as a flat JSON document.
+void write_metrics_json(std::ostream& os);
+void write_metrics_json_file(const std::string& path);
+
+/// Writes the registry snapshot as CSV (metric,type,value rows) through
+/// common::CsvWriter.  Histograms flatten to `<name>.le_<bound>` rows
+/// plus `<name>.count` / `<name>.sum`.
+void write_metrics_csv(std::ostream& os);
+void write_metrics_csv_file(const std::string& path);
+
+}  // namespace resipe::telemetry

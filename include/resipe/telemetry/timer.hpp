@@ -1,0 +1,81 @@
+// RAII scoped timers that nest into a per-thread call-tree profile.
+//
+// A ScopedTimer costs nothing when telemetry is disabled (one relaxed
+// atomic load in the constructor).  When enabled it reads the steady
+// clock twice, aggregates {count, total time} into the calling thread's
+// call tree keyed by the nesting path, and — if a TraceSession is active
+// — records a Chrome-trace complete event.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resipe/telemetry/metrics.hpp"
+
+namespace resipe::telemetry {
+
+/// Steady-clock timestamp in nanoseconds (arbitrary epoch).
+std::uint64_t now_ns() noexcept;
+
+/// One node of the aggregated call tree.  `name` points at the string
+/// literal passed to ScopedTimer and must outlive the profile.
+struct ProfileNode {
+  const char* name = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  /// Finds or creates the child with this name.
+  ProfileNode& child(const char* child_name);
+};
+
+/// Per-thread aggregated call-tree profile.
+class CallProfile {
+ public:
+  /// The calling thread's profile (created on first use).
+  static CallProfile& this_thread();
+
+  const ProfileNode& root() const { return root_; }
+  void reset();
+
+  /// Indented text rendering: name, call count, total and mean time.
+  std::string render() const;
+
+  // Internal: nesting state used by ScopedTimer.
+  ProfileNode* current() { return current_; }
+  void set_current(ProfileNode* node) { current_ = node; }
+
+ private:
+  CallProfile() { current_ = &root_; }
+
+  ProfileNode root_;
+  ProfileNode* current_;
+};
+
+/// RAII span.  Construct with a string literal; the pointer is retained.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept : name_(name) {
+    if (enabled()) enter();
+  }
+  ~ScopedTimer() {
+    if (active_) leave();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  void enter() noexcept;
+  void leave();
+
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  ProfileNode* node_ = nullptr;
+  ProfileNode* parent_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace resipe::telemetry

@@ -1,0 +1,69 @@
+// Trace recording with Chrome trace-event JSON export.
+//
+// A TraceSession collects completed spans (from ScopedTimer) and instant
+// markers, then serializes them in the Chrome trace-event format so the
+// file loads directly in chrome://tracing or https://ui.perfetto.dev.
+// The event's `cat` field is the `subsystem` prefix of the span name
+// (everything before the first '.').
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace resipe::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';        // 'X' complete span, 'i' instant
+  std::uint64_t ts_ns = 0;  // relative to session start
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+class TraceSession {
+ public:
+  static TraceSession& instance();
+
+  /// Clears previous events and begins recording.  Also flips the global
+  /// telemetry enable so spans fire without a separate set_enabled call.
+  void start();
+  void stop();
+  bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a completed span.  `start_abs_ns` is a now_ns() timestamp.
+  void record_complete(const char* name, std::uint64_t start_abs_ns,
+                       std::uint64_t dur_ns);
+  /// Records an instant marker at the current time.
+  void instant(const char* name);
+
+  /// Caps the in-memory event buffer; further events are counted as
+  /// dropped instead of stored.  Default: 1 << 20 events.
+  void set_capacity(std::size_t max_events);
+  std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Writes `{"traceEvents": [...]}` with events sorted by timestamp.
+  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  TraceSession() = default;
+
+  std::atomic<bool> active_{false};
+  std::uint64_t t0_ns_ = 0;
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = std::size_t{1} << 20;
+};
+
+}  // namespace resipe::telemetry

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::crossbar {
 
@@ -29,11 +30,21 @@ device::ReramCell& Crossbar::cell(std::size_t row, std::size_t col) {
 }
 
 void Crossbar::program(std::span<const double> g_targets, Rng& rng) {
+  RESIPE_TELEM_SCOPE("crossbar.program");
   RESIPE_REQUIRE(g_targets.size() == rows_ * cols_,
                  "conductance matrix size " << g_targets.size()
                                             << " != " << rows_ * cols_);
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i].program(spec_, g_targets[i], rng);
+  // One telemetry decision for the whole matrix keeps the disabled
+  // per-cell cost identical to an uninstrumented build.
+  if (RESIPE_TELEM_ACTIVE()) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].program(spec_, g_targets[i], rng);
+    }
+    RESIPE_TELEM_COUNT("crossbar.cells_programmed", cells_.size());
+  } else {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].program_untracked(spec_, g_targets[i], rng);
+    }
   }
 }
 
@@ -73,6 +84,7 @@ circuits::ColumnDrive Crossbar::column_drive(
 
 std::vector<circuits::ColumnDrive> Crossbar::drives(
     std::span<const double> v_wl) const {
+  RESIPE_TELEM_COUNT("crossbar.drive_solves", 1);
   std::vector<circuits::ColumnDrive> out(cols_);
   for (std::size_t c = 0; c < cols_; ++c) out[c] = column_drive(c, v_wl);
   return out;

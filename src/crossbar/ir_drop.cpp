@@ -1,6 +1,7 @@
 #include "resipe/crossbar/ir_drop.hpp"
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::crossbar {
 
@@ -17,6 +18,7 @@ double WireModel::effective_g(double g_cell, std::size_t row,
 std::vector<circuits::ColumnDrive> drives_with_ir_drop(
     const Crossbar& xbar, std::span<const double> v_wl,
     const WireModel& wires) {
+  RESIPE_TELEM_SCOPE("crossbar.ir_drop.solve");
   RESIPE_REQUIRE(v_wl.size() == xbar.rows(), "wordline vector size mismatch");
   std::vector<circuits::ColumnDrive> out(xbar.cols());
   for (std::size_t c = 0; c < xbar.cols(); ++c) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::crossbar {
 
@@ -37,6 +38,7 @@ MappedWeights map_weights(std::span<const double> weights, std::size_t rows,
                           std::size_t logical_cols,
                           const device::ReramSpec& spec,
                           SignedMapping strategy, double w_clip) {
+  RESIPE_TELEM_SCOPE("crossbar.mapping.map_weights");
   RESIPE_REQUIRE(rows > 0 && logical_cols > 0, "empty weight matrix");
   RESIPE_REQUIRE(weights.size() == rows * logical_cols,
                  "weight matrix size mismatch");
@@ -46,7 +48,14 @@ MappedWeights map_weights(std::span<const double> weights, std::size_t rows,
   if (scale <= 0.0) {
     for (double w : weights) scale = std::max(scale, std::abs(w));
     if (scale <= 0.0) scale = 1.0;  // all-zero matrix
+  } else if (telemetry::enabled()) {
+    std::size_t clipped = 0;
+    for (double w : weights) {
+      if (std::abs(w) > scale) ++clipped;
+    }
+    RESIPE_TELEM_COUNT("crossbar.mapping.clipped_weights", clipped);
   }
+  RESIPE_TELEM_COUNT("crossbar.mapping.mapped_weights", weights.size());
 
   const double g_min = spec.g_min();
   const double g_span = spec.g_max() - spec.g_min();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::device {
 
@@ -38,27 +39,64 @@ ReramSpec ReramSpec::nn_mapping() {
 }
 
 void ReramCell::program(const ReramSpec& spec, double target_g, Rng& rng) {
+  // Crossbars program cells in tight loops; the disabled-telemetry path
+  // must stay at this one predicted branch.
+  if (RESIPE_TELEM_ACTIVE()) {
+    RESIPE_TELEM_SCOPE("device.reram.program_cell");
+    program_impl<true>(spec, target_g, rng);
+    return;
+  }
+  program_impl<false>(spec, target_g, rng);
+}
+
+void ReramCell::program_untracked(const ReramSpec& spec, double target_g,
+                                  Rng& rng) {
+  program_impl<false>(spec, target_g, rng);
+}
+
+template <bool kInstrumented>
+void ReramCell::program_impl(const ReramSpec& spec, double target_g,
+                             Rng& rng) {
   spec.validate();
   const ConductanceQuantizer quant(spec);
   target_g_ = std::clamp(target_g, spec.g_min(), spec.g_max());
+  if constexpr (kInstrumented) {
+    RESIPE_TELEM_COUNT("device.reram.program_ops", 1);
+  }
   // Stuck-at faults win over everything: the write-verify loop cannot
   // move a stuck cell.
   stuck_ = false;
   if (spec.stuck_lrs_rate > 0.0 && rng.bernoulli(spec.stuck_lrs_rate)) {
     programmed_g_ = spec.g_max();
     stuck_ = true;
+    if constexpr (kInstrumented) {
+      RESIPE_TELEM_COUNT("device.reram.stuck_lrs_faults", 1);
+    }
     return;
   }
   if (spec.stuck_hrs_rate > 0.0 && rng.bernoulli(spec.stuck_hrs_rate)) {
     programmed_g_ = spec.g_min();
     stuck_ = true;
+    if constexpr (kInstrumented) {
+      RESIPE_TELEM_COUNT("device.reram.stuck_hrs_faults", 1);
+    }
     return;
   }
   // Snap to the nearest programmable level.
   const double w = quant.g_to_weight(target_g_);
   double g = quant.weight_to_g_quantized(w);
-  // Write-verify residue: uniform within the verify window.
+  if constexpr (kInstrumented) {
+    if (g != target_g_) {
+      RESIPE_TELEM_COUNT("device.reram.quantized_writes", 1);
+    }
+  }
+  // Write-verify residue: uniform within the verify window.  The model
+  // folds the whole retry loop into one residue draw; count it as one
+  // verify attempt so fault-injection work can track the budget.
   if (spec.write_verify_tolerance > 0.0) {
+    if constexpr (kInstrumented) {
+      RESIPE_TELEM_COUNT("device.reram.write_verify_attempts", 1);
+    }
     g *= 1.0 + rng.uniform(-spec.write_verify_tolerance,
                            spec.write_verify_tolerance);
   }
@@ -69,7 +107,13 @@ void ReramCell::program(const ReramSpec& spec, double target_g, Rng& rng) {
   // A cell cannot be programmed outside its physical window by much;
   // keep it non-negative and bounded by 2x G_max as a sanity envelope
   // (strongly-varied devices can overshoot the nominal window [21]).
-  programmed_g_ = std::clamp(g, 0.0, 2.0 * spec.g_max());
+  const double clamped = std::clamp(g, 0.0, 2.0 * spec.g_max());
+  if constexpr (kInstrumented) {
+    if (clamped != g) {
+      RESIPE_TELEM_COUNT("device.reram.clamped_writes", 1);
+    }
+  }
+  programmed_g_ = clamped;
 }
 
 double ReramCell::read_g(const ReramSpec& spec, Rng& rng) const {

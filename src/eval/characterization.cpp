@@ -4,6 +4,7 @@
 
 #include "resipe/common/error.hpp"
 #include "resipe/common/rng.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
 
 namespace resipe::eval {
@@ -72,6 +73,7 @@ PolyFit fit_points(const std::vector<CharacterizationPoint>& pts,
 }  // namespace
 
 CharacterizationResult characterize(const CharacterizationConfig& cfg) {
+  RESIPE_TELEM_SCOPE("eval.characterization.characterize");
   RESIPE_REQUIRE(cfg.samples >= 4 && cfg.sweep_points >= 4,
                  "too few characterization points");
   Rng rng(cfg.seed);

@@ -8,10 +8,12 @@
 #include "resipe/common/error.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/resipe/design.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::eval {
 
 ComparisonResult compare_designs(std::size_t rows, std::size_t cols) {
+  RESIPE_TELEM_SCOPE("eval.comparison.compare_designs");
   const device::ReramSpec spec = device::ReramSpec::nn_mapping();
 
   resipe_core::ResipeDesign resipe({}, spec, rows, cols);

@@ -4,12 +4,14 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::eval {
 
 FidelityScore mvm_fidelity(const resipe_core::EngineConfig& config,
                            std::size_t in, std::size_t out,
                            std::size_t samples, std::uint64_t seed) {
+  RESIPE_TELEM_SCOPE("eval.fidelity.mvm_fidelity");
   RESIPE_REQUIRE(in > 0 && out > 0 && samples > 0, "empty fidelity run");
   Rng rng(seed);
 

@@ -7,6 +7,7 @@
 #include "resipe/common/stats.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/comparison.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::eval {
 
@@ -19,6 +20,7 @@ double replicated_throughput(const energy::DesignPoint& p,
 
 ThroughputResult throughput_tradeoff(double min_budget, double max_budget,
                                      std::size_t steps) {
+  RESIPE_TELEM_SCOPE("eval.throughput.tradeoff");
   RESIPE_REQUIRE(min_budget > 0.0 && max_budget > min_budget && steps >= 2,
                  "bad throughput sweep bounds");
   const ComparisonResult cmp = compare_designs();

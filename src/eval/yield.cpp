@@ -6,11 +6,13 @@
 #include "resipe/common/error.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/fidelity.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::eval {
 
 std::vector<YieldPoint> mvm_yield(const resipe_core::EngineConfig& base,
                                   const YieldConfig& config) {
+  RESIPE_TELEM_SCOPE("eval.yield.mvm_yield");
   RESIPE_REQUIRE(!config.sigmas.empty() && config.chips_per_sigma > 0,
                  "empty yield sweep");
   Rng seeder(config.seed);

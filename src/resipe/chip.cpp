@@ -5,6 +5,7 @@
 
 #include "resipe/common/error.hpp"
 #include "resipe/common/table.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 #include "resipe/resipe/design.hpp"
 #include "resipe/resipe/pipeline.hpp"
 
@@ -21,6 +22,7 @@ std::size_t ceil_div(std::size_t a, std::size_t b) {
 ChipReport map_network(nn::Sequential& model,
                        const std::vector<std::size_t>& input_shape,
                        const ChipConfig& config) {
+  RESIPE_TELEM_SCOPE("resipe_core.chip.map_network");
   RESIPE_REQUIRE(input_shape.size() == 3,
                  "input shape must be {channels, height, width}");
   RESIPE_REQUIRE(config.tile_rows > 0 && config.tile_cols > 0 &&

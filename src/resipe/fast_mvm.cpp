@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
 
@@ -53,6 +54,7 @@ void FastMvm::set_column_offsets(std::vector<double> offsets) {
 
 void FastMvm::mvm_times(std::span<const double> t_in,
                         std::span<double> t_out) const {
+  RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times");
   RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
                  "FastMvm vector size mismatch");
   const double tau_gd = params_.tau_gd();
@@ -69,6 +71,7 @@ void FastMvm::mvm_times(std::span<const double> t_in,
   }
 
   // Computation stage + S2 per column.
+  std::size_t silent = 0;
   for (std::size_t c = 0; c < cols_; ++c) {
     if (g_total_[c] <= 0.0) {
       // An unprogrammed column never charges: the ramp crosses 0 at t=0.
@@ -95,7 +98,10 @@ void FastMvm::mvm_times(std::span<const double> t_in,
     }
     const double t = crossing + params_.comparator_delay;
     t_out[c] = t <= params_.slice_length ? t : kNoSpike;
+    if (t_out[c] == kNoSpike) ++silent;
   }
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops", rows_ * cols_);
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
 }
 
 void FastMvm::ideal_times(std::span<const double> t_in,

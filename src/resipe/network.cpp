@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
 
@@ -29,6 +30,7 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
       in_(in),
       out_(out),
       bias_(bias.begin(), bias.end()) {
+  RESIPE_TELEM_SCOPE("resipe_core.matrix.program");
   RESIPE_REQUIRE(weights.size() == in * out, "weight matrix size mismatch");
   RESIPE_REQUIRE(bias.size() == out, "bias size mismatch");
   RESIPE_REQUIRE(config_.tile_rows > 0 && config_.tile_cols > 0,
@@ -114,6 +116,7 @@ void ProgrammedMatrix::encode_input(std::span<const double> x,
 
 void ProgrammedMatrix::accumulate(std::span<const double> t_in,
                                   std::span<double> recovered) const {
+  RESIPE_TELEM_COUNT("resipe_core.matrix.block_mvms", blocks_.size());
   std::fill(recovered.begin(), recovered.end(), 0.0);
   const auto& params = config_.circuit;
   thread_local std::vector<double> t_block_out;
@@ -153,6 +156,7 @@ void ProgrammedMatrix::decode(std::span<const double> recovered,
 
 void ProgrammedMatrix::forward(std::span<const double> x,
                                std::span<double> y) const {
+  RESIPE_TELEM_SCOPE("resipe_core.matrix.forward");
   RESIPE_REQUIRE(x.size() == in_ && y.size() == out_,
                  "forward vector size mismatch");
   thread_local std::vector<double> t_in;
@@ -203,6 +207,7 @@ double ProgrammedMatrix::forward_analytic(std::span<const double> x,
 
 void ProgrammedMatrix::calibrate_alpha(std::span<const double> x_batch,
                                        std::size_t n) {
+  RESIPE_TELEM_SCOPE("resipe_core.matrix.calibrate_alpha");
   RESIPE_REQUIRE(x_batch.size() == n * in_, "calibration batch size");
   set_time_scale(1.0);
   double v_max = 0.0;

@@ -1,5 +1,6 @@
 #include "resipe/resipe/pipeline.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "resipe/common/error.hpp"
@@ -38,26 +39,51 @@ double TwoSlicePipeline::pipeline_speedup(std::size_t n) const {
   return sequential / stream_latency(n);
 }
 
+namespace {
+
+std::size_t digit_count(std::size_t n) {
+  std::size_t digits = 1;
+  while (n >= 10) {
+    n /= 10;
+    ++digits;
+  }
+  return digits;
+}
+
+std::string pad_to(std::string s, std::size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace
+
 std::string TwoSlicePipeline::diagram(std::size_t inputs,
                                       std::size_t max_slices) const {
   const std::size_t slices =
       std::min(max_slices, inputs + layers_ + 1);
+  // Column widths scale with the largest indices so slice/input labels
+  // of any magnitude (>= 100 included) stay aligned.
+  const std::size_t cell_width = std::max<std::size_t>(
+      {3, digit_count(slices > 0 ? slices - 1 : 0) + 1,
+       inputs > 0 ? digit_count(inputs - 1) + 2 : 3});
+  const std::size_t label_width =
+      std::max<std::size_t>(9, 6 + digit_count(layers_ - 1) + 2);
   std::ostringstream os;
-  os << "slice    ";
+  os << pad_to("slice", label_width);
   for (std::size_t s = 0; s < slices; ++s) {
-    os << "|" << s << (s < 10 ? "  " : " ");
+    os << "|" << pad_to(std::to_string(s), cell_width);
   }
   os << "|\n";
   for (std::size_t l = 0; l < layers_; ++l) {
-    os << "layer " << l << (l < 10 ? "  " : " ");
+    os << pad_to("layer " + std::to_string(l), label_width);
     for (std::size_t s = 0; s < slices; ++s) {
       // Layer l processes input i during slice i + l (its S1) and
       // emits during i + l + 1 (its S2).
       os << "|";
       if (s >= l && s - l < inputs) {
-        os << "i" << (s - l) << (s - l < 10 ? " " : "");
+        os << pad_to("i" + std::to_string(s - l), cell_width);
       } else {
-        os << "   ";
+        os << std::string(cell_width, ' ');
       }
     }
     os << "|\n";

@@ -4,14 +4,39 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
+
+namespace {
+
+// Cold bookkeeping paths: encode/decode run in ns-scale loops, so the
+// disabled-telemetry cost must stay at one predicted branch per call.
+[[gnu::noinline]] void record_encode(bool clipped, bool snapped) {
+  RESIPE_TELEM_COUNT("resipe_core.spike_codec.encoded", 1);
+  if (clipped) {
+    RESIPE_TELEM_COUNT("resipe_core.spike_codec.input_clipped", 1);
+  }
+  if (snapped) {
+    RESIPE_TELEM_COUNT("resipe_core.spike_codec.quantization_snaps", 1);
+  }
+}
+
+[[gnu::noinline]] void record_decode(bool silent) {
+  RESIPE_TELEM_COUNT("resipe_core.spike_codec.decoded", 1);
+  if (silent) {
+    RESIPE_TELEM_COUNT("resipe_core.spike_codec.silent_decodes", 1);
+  }
+}
+
+}  // namespace
 
 SpikeCodec::SpikeCodec(const circuits::CircuitParams& params, bool quantize)
     : params_(params),
       t_full_(params.slice_length - params.comp_stage),
       v_full_(0.0),
-      quantize_(quantize) {
+      quantize_(quantize),
+      telemetry_(RESIPE_TELEM_ACTIVE()) {
   params_.validate();
   RESIPE_ASSERT(t_full_ > 0.0, "no usable input window");
   v_full_ = params_.ramp_voltage(t_full_);
@@ -19,18 +44,27 @@ SpikeCodec::SpikeCodec(const circuits::CircuitParams& params, bool quantize)
 }
 
 circuits::Spike SpikeCodec::encode(double x) const {
+  const bool clipped = x < 0.0 || x > 1.0;
   x = std::clamp(x, 0.0, 1.0);
   double t = params_.ramp_crossing(x * v_full_);
   t = std::min(t, t_full_);
+  bool snapped = false;
   if (quantize_) {
+    const double exact = t;
     t = std::round(t / params_.clock_period) * params_.clock_period;
     t = std::min(t, t_full_);
+    snapped = t != exact;
   }
+  if (telemetry_) record_encode(clipped, snapped);
   return circuits::Spike::at(t, params_.spike_width);
 }
 
 double SpikeCodec::decode(const circuits::Spike& spike) const {
-  if (!spike.valid()) return 1.0;
+  if (!spike.valid()) {
+    if (telemetry_) record_decode(/*silent=*/true);
+    return 1.0;
+  }
+  if (telemetry_) record_decode(/*silent=*/false);
   const double v =
       params_.ramp_voltage(std::min(spike.arrival_time, t_full_));
   return std::clamp(v / v_full_, 0.0, 1.0);

@@ -6,6 +6,7 @@
 #include "resipe/circuits/rc_stage.hpp"
 #include "resipe/common/error.hpp"
 #include "resipe/energy/components.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
 
@@ -22,6 +23,7 @@ void ResipeTile::program(std::span<const double> g_targets, Rng& rng) {
 
 std::vector<circuits::Spike> ResipeTile::execute(
     const std::vector<circuits::Spike>& inputs, Rng* read_noise) const {
+  RESIPE_TELEM_SCOPE("resipe_core.tile.execute");
   RESIPE_REQUIRE(inputs.size() == rows(),
                  "input spike count " << inputs.size() << " != rows "
                                       << rows());
@@ -29,9 +31,14 @@ std::vector<circuits::Spike> ResipeTile::execute(
   const auto drives = read_noise ? xbar_.drives_noisy(v_wl, *read_noise)
                                  : xbar_.drives(v_wl);
   std::vector<circuits::Spike> out(cols());
+  std::size_t fired = 0;
   for (std::size_t c = 0; c < cols(); ++c) {
     out[c] = cog_.convert(drives[c], gd_);
+    if (out[c].valid()) ++fired;
   }
+  RESIPE_TELEM_COUNT("resipe_core.tile.mvms", 1);
+  RESIPE_TELEM_COUNT("resipe_core.tile.output_spikes", fired);
+  RESIPE_TELEM_COUNT("resipe_core.tile.silent_columns", cols() - fired);
   return out;
 }
 
@@ -65,6 +72,7 @@ std::vector<double> ResipeTile::ideal_times(
 void ResipeTile::trace(const std::vector<circuits::Spike>& inputs,
                        std::size_t column, circuits::WaveformRecorder& rec,
                        std::size_t samples_per_slice) const {
+  RESIPE_TELEM_SCOPE("resipe_core.tile.transient_trace");
   RESIPE_REQUIRE(column < cols(), "traced column out of range");
   RESIPE_REQUIRE(samples_per_slice >= 8, "too few trace samples");
   const double slice = params_.slice_length;
@@ -127,6 +135,7 @@ void ResipeTile::trace(const std::vector<circuits::Spike>& inputs,
 
 energy::EnergyReport ResipeTile::energy_report(
     const std::vector<circuits::Spike>& inputs) const {
+  RESIPE_TELEM_SCOPE("resipe_core.tile.energy_report");
   RESIPE_REQUIRE(inputs.size() == rows(), "input spike count mismatch");
   const energy::ComponentLibrary lib;
   energy::EnergyReport report;

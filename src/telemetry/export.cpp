@@ -1,0 +1,122 @@
+// Flat metric dumps: JSON for machines, CSV (via common::CsvWriter) for
+// spreadsheets and the repo's re-plot scripts.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "resipe/common/csv.hpp"
+#include "resipe/common/error.hpp"
+#include "resipe/telemetry/metrics.hpp"
+
+namespace resipe::telemetry {
+
+namespace {
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os) {
+  const MetricsSnapshot snap = MetricRegistry::instance().snapshot();
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    json_string(os, name);
+    os << ":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    json_string(os, name);
+    os << ":" << number(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    json_string(os, name);
+    os << ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) os << ",";
+      os << number(h.bounds[i]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ",";
+      os << h.buckets[i];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << number(h.sum) << "}";
+  }
+  os << "}}\n";
+}
+
+void write_metrics_json_file(const std::string& path) {
+  std::ofstream os(path);
+  RESIPE_REQUIRE(os.good(), "cannot open metrics file " << path);
+  write_metrics_json(os);
+  RESIPE_REQUIRE(os.good(), "failed writing metrics file " << path);
+}
+
+void write_metrics_csv(std::ostream& os) {
+  const MetricsSnapshot snap = MetricRegistry::instance().snapshot();
+  std::vector<std::string> names;
+  std::vector<std::string> types;
+  std::vector<double> values;
+  for (const auto& [name, value] : snap.counters) {
+    names.push_back(name);
+    types.push_back("counter");
+    values.push_back(static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    names.push_back(name);
+    types.push_back("gauge");
+    values.push_back(value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      const std::string tag =
+          i < h.bounds.size() ? "le_" + number(h.bounds[i]) : "overflow";
+      names.push_back(name + "." + tag);
+      types.push_back("histogram_bucket");
+      values.push_back(static_cast<double>(h.buckets[i]));
+    }
+    names.push_back(name + ".count");
+    types.push_back("histogram");
+    values.push_back(static_cast<double>(h.count));
+    names.push_back(name + ".sum");
+    types.push_back("histogram");
+    values.push_back(h.sum);
+  }
+  CsvWriter csv;
+  csv.add_text_column("metric", std::move(names));
+  csv.add_text_column("type", std::move(types));
+  csv.add_column("value", std::move(values));
+  csv.write(os);
+}
+
+void write_metrics_csv_file(const std::string& path) {
+  std::ofstream os(path);
+  RESIPE_REQUIRE(os.good(), "cannot open metrics file " << path);
+  write_metrics_csv(os);
+  RESIPE_REQUIRE(os.good(), "failed writing metrics file " << path);
+}
+
+}  // namespace resipe::telemetry

@@ -1,0 +1,143 @@
+#include "resipe/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::telemetry {
+
+namespace {
+
+int resolve_from_env() {
+  const char* env = std::getenv("RESIPE_TELEMETRY");
+  if (env == nullptr) return 0;  // off by default
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "false") == 0) {
+    return 0;
+  }
+  return 1;  // any other non-empty value enables
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+bool resolve_enabled() noexcept {
+  int state = resolve_from_env();
+  int expected = -1;
+  // Another thread may have resolved (or set_enabled) concurrently; its
+  // value wins.
+  if (!g_enabled.compare_exchange_strong(expected, state,
+                                         std::memory_order_relaxed)) {
+    state = expected;
+  }
+  return state > 0;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  RESIPE_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  RESIPE_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.buckets = h->bucket_counts();
+    data.count = h->count();
+    data.sum = h->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace resipe::telemetry

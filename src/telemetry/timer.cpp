@@ -1,0 +1,84 @@
+#include "resipe/telemetry/timer.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "resipe/common/table.hpp"
+#include "resipe/telemetry/metrics.hpp"
+#include "resipe/telemetry/trace.hpp"
+
+namespace resipe::telemetry {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ProfileNode& ProfileNode::child(const char* child_name) {
+  for (auto& c : children) {
+    // Span names are string literals, so pointer equality catches the
+    // common case; strcmp handles distinct literals with equal text.
+    if (c->name == child_name || std::strcmp(c->name, child_name) == 0) {
+      return *c;
+    }
+  }
+  children.push_back(std::make_unique<ProfileNode>());
+  children.back()->name = child_name;
+  return *children.back();
+}
+
+CallProfile& CallProfile::this_thread() {
+  thread_local CallProfile profile;
+  return profile;
+}
+
+void CallProfile::reset() {
+  root_.children.clear();
+  root_.count = 0;
+  root_.total_ns = 0;
+  current_ = &root_;
+}
+
+namespace {
+
+void render_node(const ProfileNode& node, std::size_t depth,
+                 std::ostringstream& os) {
+  const double total_s = static_cast<double>(node.total_ns) * 1e-9;
+  const double mean_s =
+      node.count > 0 ? total_s / static_cast<double>(node.count) : 0.0;
+  os << std::string(2 * depth, ' ') << node.name << "  x" << node.count
+     << "  total " << format_si(total_s, "s") << "  mean "
+     << format_si(mean_s, "s") << "\n";
+  for (const auto& c : node.children) render_node(*c, depth + 1, os);
+}
+
+}  // namespace
+
+std::string CallProfile::render() const {
+  std::ostringstream os;
+  for (const auto& c : root_.children) render_node(*c, 0, os);
+  return os.str();
+}
+
+void ScopedTimer::enter() noexcept {
+  CallProfile& profile = CallProfile::this_thread();
+  parent_ = profile.current();
+  node_ = &parent_->child(name_);
+  profile.set_current(node_);
+  active_ = true;
+  start_ns_ = now_ns();
+}
+
+void ScopedTimer::leave() {
+  const std::uint64_t dur = now_ns() - start_ns_;
+  node_->count += 1;
+  node_->total_ns += dur;
+  CallProfile::this_thread().set_current(parent_);
+  TraceSession& session = TraceSession::instance();
+  if (session.active()) session.record_complete(name_, start_ns_, dur);
+}
+
+}  // namespace resipe::telemetry

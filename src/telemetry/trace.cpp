@@ -1,0 +1,145 @@
+#include "resipe/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/telemetry/metrics.hpp"
+#include "resipe/telemetry/timer.hpp"
+
+namespace resipe::telemetry {
+
+namespace {
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession& TraceSession::instance() {
+  static TraceSession session;
+  return session;
+}
+
+void TraceSession::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  t0_ns_ = now_ns();
+  active_.store(true, std::memory_order_relaxed);
+  set_enabled(true);
+}
+
+void TraceSession::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void TraceSession::record_complete(const char* name,
+                                   std::uint64_t start_abs_ns,
+                                   std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.ts_ns = start_abs_ns >= t0_ns_ ? start_abs_ns - t0_ns_ : 0;
+  e.dur_ns = dur_ns;
+  e.tid = this_thread_id();
+  events_.push_back(std::move(e));
+}
+
+void TraceSession::instant(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.ts_ns = now_ns() - t0_ns_;
+  e.tid = this_thread_id();
+  events_.push_back(std::move(e));
+}
+
+void TraceSession::set_capacity(std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_events;
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  std::vector<TraceEvent> events = snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    const auto dot = e.name.find('.');
+    const std::string cat =
+        dot == std::string::npos ? e.name : e.name.substr(0, dot);
+    os << "{\"name\":\"";
+    json_escape(os, e.name);
+    os << "\",\"cat\":\"";
+    json_escape(os, cat);
+    os << "\",\"ph\":\"" << e.phase << "\"";
+    // Chrome expects microseconds; emit fractional us to keep ns detail.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(e.ts_ns) * 1e-3);
+    os << ",\"ts\":" << buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(e.dur_ns) * 1e-3);
+      os << ",\"dur\":" << buf;
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void TraceSession::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  RESIPE_REQUIRE(os.good(), "cannot open trace file " << path);
+  write_chrome_trace(os);
+  RESIPE_REQUIRE(os.good(), "failed writing trace file " << path);
+}
+
+}  // namespace resipe::telemetry

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "resipe/common/error.hpp"
 #include "resipe/common/units.hpp"
 
@@ -54,6 +58,66 @@ TEST(TwoSlicePipeline, DiagramShowsSkewedOccupancy) {
   EXPECT_NE(d.find("layer 1"), std::string::npos);
   EXPECT_NE(d.find("i0"), std::string::npos);
   EXPECT_NE(d.find("i2"), std::string::npos);
+}
+
+namespace {
+
+std::vector<std::string> diagram_lines(const std::string& d) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < d.size()) {
+    const std::size_t nl = d.find('\n', pos);
+    lines.push_back(d.substr(pos, nl - pos));
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+}  // namespace
+
+TEST(TwoSlicePipeline, DiagramColumnsStayAlignedForSmallIndices) {
+  const TwoSlicePipeline pipe(2, 100.0 * ns);
+  const auto lines = diagram_lines(pipe.diagram(3));
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size()) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), '|'),
+              std::count(lines[0].begin(), lines[0].end(), '|'))
+        << line;
+  }
+}
+
+TEST(TwoSlicePipeline, DiagramColumnsStayAlignedBeyondIndex100) {
+  // Regression: the original renderer only padded 0-99, so slice and
+  // input labels >= 100 skewed every later column.
+  const TwoSlicePipeline pipe(2, 100.0 * ns);
+  const std::string d = pipe.diagram(120, 130);
+  const auto lines = diagram_lines(d);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size()) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), '|'),
+              std::count(lines[0].begin(), lines[0].end(), '|'))
+        << line;
+  }
+  // The three-digit labels must still be present and whole.
+  EXPECT_NE(d.find("|100"), std::string::npos);
+  EXPECT_NE(d.find("i100"), std::string::npos);
+  EXPECT_NE(d.find("i119"), std::string::npos);
+  // '|' separators must land at identical offsets on every line.
+  std::vector<std::size_t> bars0;
+  for (std::size_t i = 0; i < lines[0].size(); ++i) {
+    if (lines[0][i] == '|') bars0.push_back(i);
+  }
+  for (const auto& line : lines) {
+    std::vector<std::size_t> bars;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '|') bars.push_back(i);
+    }
+    EXPECT_EQ(bars, bars0);
+  }
 }
 
 TEST(TwoSlicePipeline, RejectsDegenerateConfigs) {

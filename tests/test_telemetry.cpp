@@ -1,0 +1,429 @@
+// Telemetry subsystem tests: metric aggregation, nested timer
+// accounting, disabled-mode no-op behavior, and Chrome-trace export.
+#include "resipe/telemetry/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resipe/common/error.hpp"
+#include "resipe/crossbar/mapping.hpp"
+#include "resipe/device/reram.hpp"
+#include "resipe/eval/characterization.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "resipe/resipe/tile.hpp"
+
+namespace resipe::telemetry {
+namespace {
+
+// Restores the enable flag and stops any trace session around each test
+// so tests stay order-independent.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::instance().stop();
+    set_enabled(true);
+    MetricRegistry::instance().reset_values();
+    CallProfile::this_thread().reset();
+  }
+  void TearDown() override {
+    TraceSession::instance().stop();
+    set_enabled(false);
+    MetricRegistry::instance().reset_values();
+    CallProfile::this_thread().reset();
+  }
+};
+
+// --- minimal JSON validator --------------------------------------------
+// Just enough of a recursive-descent parser to prove the exported trace
+// is well-formed JSON; values are not retained.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_lit();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string_lit()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string_lit() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<double> extract_ts(const std::string& json) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    out.push_back(std::stod(json.substr(pos)));
+  }
+  return out;
+}
+
+// --- counters / gauges / histograms ------------------------------------
+
+// Tests below that exercise the RESIPE_TELEM_* macros only run when the
+// instrumentation is compiled in (-DRESIPE_TELEMETRY=ON, the default).
+#ifndef RESIPE_TELEMETRY_DISABLED
+TEST_F(TelemetryTest, CounterAggregatesAcrossCallSites) {
+  Counter& c = MetricRegistry::instance().counter("test.unit.counter");
+  c.reset();
+  RESIPE_TELEM_COUNT("test.unit.counter", 3);
+  RESIPE_TELEM_COUNT("test.unit.counter", 4);
+  EXPECT_EQ(c.value(), 7u);
+  const auto snap = MetricRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("test.unit.counter"), 7u);
+}
+#endif  // !RESIPE_TELEMETRY_DISABLED
+
+TEST_F(TelemetryTest, CounterIsThreadSafe) {
+  Counter& c = MetricRegistry::instance().counter("test.unit.mt_counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&c] {
+      for (int j = 0; j < kAdds; ++j) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+#ifndef RESIPE_TELEMETRY_DISABLED
+TEST_F(TelemetryTest, GaugeKeepsLastValue) {
+  RESIPE_TELEM_GAUGE("test.unit.gauge", 1.5);
+  RESIPE_TELEM_GAUGE("test.unit.gauge", -2.25);
+  EXPECT_DOUBLE_EQ(MetricRegistry::instance().gauge("test.unit.gauge").value(),
+                   -2.25);
+}
+#endif  // !RESIPE_TELEMETRY_DISABLED
+
+TEST_F(TelemetryTest, HistogramBucketsObservations) {
+  Histogram& h =
+      MetricRegistry::instance().histogram("test.unit.hist", {1.0, 10.0});
+  h.reset();
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive upper bound)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0); // overflow
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+}
+
+TEST_F(TelemetryTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+}
+
+TEST_F(TelemetryTest, ResetValuesKeepsRegisteredEntries) {
+  Counter& c = MetricRegistry::instance().counter("test.unit.reset");
+  c.add(5);
+  MetricRegistry::instance().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  // The same reference must stay valid and reusable after reset.
+  c.add(2);
+  EXPECT_EQ(MetricRegistry::instance().counter("test.unit.reset").value(),
+            2u);
+}
+
+// --- disabled mode ------------------------------------------------------
+
+TEST_F(TelemetryTest, DisabledModeRecordsNothing) {
+  Counter& c = MetricRegistry::instance().counter("test.unit.disabled");
+  c.reset();
+  set_enabled(false);
+  RESIPE_TELEM_COUNT("test.unit.disabled", 1);
+  EXPECT_EQ(c.value(), 0u);
+  {
+    RESIPE_TELEM_SCOPE("test.unit.disabled_scope");
+  }
+  for (const auto& child : CallProfile::this_thread().root().children) {
+    EXPECT_STRNE(child->name, "test.unit.disabled_scope");
+  }
+}
+
+TEST_F(TelemetryTest, DisabledCodecPathsStayPure) {
+  set_enabled(false);
+  const resipe_core::SpikeCodec codec(circuits::CircuitParams{});
+  const auto spike = codec.encode(0.5);
+  EXPECT_NEAR(codec.decode(spike), 0.5, 0.05);
+  const auto snap = MetricRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.count("resipe_core.spike_codec.encoded"), 0u);
+}
+
+// --- nested timers ------------------------------------------------------
+
+#ifndef RESIPE_TELEMETRY_DISABLED
+TEST_F(TelemetryTest, NestedTimersBuildParentChildTree) {
+  CallProfile::this_thread().reset();
+  {
+    RESIPE_TELEM_SCOPE("test.outer");
+    {
+      RESIPE_TELEM_SCOPE("test.inner");
+    }
+    {
+      RESIPE_TELEM_SCOPE("test.inner");
+    }
+  }
+  const ProfileNode& root = CallProfile::this_thread().root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& outer = *root.children[0];
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_EQ(outer.count, 1u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const ProfileNode& inner = *outer.children[0];
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_EQ(inner.count, 2u);
+  // A parent span covers its children's time.
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  const std::string rendered = CallProfile::this_thread().render();
+  EXPECT_NE(rendered.find("test.outer"), std::string::npos);
+  EXPECT_NE(rendered.find("test.inner"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SiblingScopesDoNotNest) {
+  CallProfile::this_thread().reset();
+  {
+    RESIPE_TELEM_SCOPE("test.first");
+  }
+  {
+    RESIPE_TELEM_SCOPE("test.second");
+  }
+  const ProfileNode& root = CallProfile::this_thread().root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_TRUE(root.children[0]->children.empty());
+  EXPECT_TRUE(root.children[1]->children.empty());
+}
+#endif  // !RESIPE_TELEMETRY_DISABLED
+
+// --- trace export -------------------------------------------------------
+
+#ifndef RESIPE_TELEMETRY_DISABLED
+TEST_F(TelemetryTest, ChromeTraceParsesAndTimestampsAreOrdered) {
+  TraceSession& session = TraceSession::instance();
+  session.start();
+  {
+    RESIPE_TELEM_SCOPE("test.trace.outer");
+    {
+      RESIPE_TELEM_SCOPE("test.trace.inner");
+    }
+    RESIPE_TELEM_INSTANT("test.trace.marker");
+  }
+  session.stop();
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.parse()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.trace.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.trace.inner"), std::string::npos);
+  EXPECT_NE(json.find("test.trace.marker"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+
+  const auto ts = extract_ts(json);
+  ASSERT_EQ(ts.size(), 3u);
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_LE(ts[i - 1], ts[i]) << "trace ts not monotonically ordered";
+  }
+}
+
+TEST_F(TelemetryTest, TraceCapacityDropsInsteadOfGrowing) {
+  TraceSession& session = TraceSession::instance();
+  session.set_capacity(2);
+  session.start();
+  for (int i = 0; i < 5; ++i) {
+    RESIPE_TELEM_SCOPE("test.trace.capped");
+  }
+  session.stop();
+  EXPECT_EQ(session.snapshot().size(), 2u);
+  EXPECT_EQ(session.dropped(), 3u);
+  session.set_capacity(std::size_t{1} << 20);
+}
+
+TEST_F(TelemetryTest, InstrumentedWorkloadCoversFourSubsystems) {
+  // End-to-end: a small workload touching the device, crossbar,
+  // resipe_core and eval layers must leave spans from all four in the
+  // trace (the CLI acceptance path relies on this).
+  TraceSession& session = TraceSession::instance();
+  session.start();
+
+  const circuits::CircuitParams params;
+  const device::ReramSpec spec = device::ReramSpec::nn_mapping();
+  const std::vector<double> w = {0.5, -0.25, 0.75, -1.0};
+  const auto mapped =
+      crossbar::map_weights(w, 2, 2, spec,
+                            crossbar::SignedMapping::kDifferentialPair);
+  resipe_core::ResipeTile tile(params, mapped.rows, mapped.cols, spec);
+  Rng rng(7);
+  tile.program(mapped.g_targets, rng);
+  const resipe_core::SpikeCodec codec(params);
+  const std::vector<circuits::Spike> in = {codec.encode(0.25),
+                                           codec.encode(0.75)};
+  (void)tile.execute(in);
+  eval::CharacterizationConfig cfg;
+  cfg.rows = 4;
+  cfg.samples = 4;
+  (void)eval::characterize(cfg);
+
+  session.stop();
+  const std::string json = [&session] {
+    std::ostringstream os;
+    session.write_chrome_trace(os);
+    return os.str();
+  }();
+  EXPECT_NE(json.find("\"cat\":\"device\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"crossbar\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"resipe_core\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"eval\""), std::string::npos);
+}
+#endif  // !RESIPE_TELEMETRY_DISABLED
+
+// --- metric export ------------------------------------------------------
+
+TEST_F(TelemetryTest, MetricsJsonAndCsvExport) {
+  MetricRegistry::instance().counter("test.export.counter").add(9);
+  MetricRegistry::instance().gauge("test.export.gauge").set(3.5);
+  MetricRegistry::instance()
+      .histogram("test.export.hist", {1.0})
+      .observe(0.5);
+
+  std::ostringstream js;
+  write_metrics_json(js);
+  const std::string json = js.str();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.parse()) << json;
+  EXPECT_NE(json.find("\"test.export.counter\":9"), std::string::npos);
+  EXPECT_NE(json.find("test.export.gauge"), std::string::npos);
+  EXPECT_NE(json.find("test.export.hist"), std::string::npos);
+
+  std::ostringstream cs;
+  write_metrics_csv(cs);
+  const std::string csv = cs.str();
+  EXPECT_NE(csv.find("metric,type,value"), std::string::npos);
+  EXPECT_NE(csv.find("test.export.counter,counter,9"), std::string::npos);
+  EXPECT_NE(csv.find("test.export.hist.count,histogram,1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace resipe::telemetry
