@@ -12,6 +12,10 @@
 //       decoded outputs.
 //   yield [--bound R]
 //       Monte-Carlo chip yield across the Fig. 7 sigma sweep.
+//   reliability [--net NAME] [--rates R1,R2,...] [--spares N]
+//               [--cluster F] [--seeds N]
+//       Stuck-at defect-rate sweep: accuracy with the mitigation
+//       pipeline OFF vs ON on identical fault realizations.
 //   quickstart
 //       End-to-end mini-workload touching every subsystem; pairs well
 //       with --trace / --metrics.
@@ -31,6 +35,7 @@
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/eval/characterization.hpp"
 #include "resipe/eval/comparison.hpp"
+#include "resipe/eval/fault_tolerance.hpp"
 #include "resipe/eval/yield.hpp"
 #include "resipe/nn/zoo.hpp"
 #include "resipe/resipe/chip.hpp"
@@ -161,6 +166,55 @@ int cmd_yield(int argc, char** argv) {
   return 0;
 }
 
+int cmd_reliability(int argc, char** argv) {
+  eval::FaultToleranceConfig cfg;
+  const std::string tag = arg_value(argc, argv, "--net", "mlp1");
+  if (tag == "mlp1") cfg.net = nn::BenchmarkNet::kMlp1;
+  else if (tag == "mlp2") cfg.net = nn::BenchmarkNet::kMlp2;
+  else if (tag == "cnn1") cfg.net = nn::BenchmarkNet::kCnn1;
+  else if (tag == "cnn2") cfg.net = nn::BenchmarkNet::kCnn2;
+  else if (tag == "cnn3") cfg.net = nn::BenchmarkNet::kCnn3;
+  else if (tag == "cnn4") cfg.net = nn::BenchmarkNet::kCnn4;
+  else {
+    std::fprintf(stderr, "unknown network '%s'\n", tag.c_str());
+    return 2;
+  }
+  const std::string rates = arg_value(argc, argv, "--rates", "");
+  if (!rates.empty()) {
+    cfg.defect_rates.clear();
+    std::size_t pos = 0;
+    while (pos < rates.size()) {
+      std::size_t next = rates.find(',', pos);
+      if (next == std::string::npos) next = rates.size();
+      const double r = std::atof(rates.substr(pos, next - pos).c_str());
+      if (r < 0.0 || r > 1.0) {
+        std::fprintf(stderr, "defect rate out of [0, 1]: %f\n", r);
+        return 2;
+      }
+      cfg.defect_rates.push_back(r);
+      pos = next + 1;
+    }
+    if (cfg.defect_rates.empty()) {
+      std::fprintf(stderr, "--rates parsed to an empty list\n");
+      return 2;
+    }
+  }
+  cfg.spare_cols = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--spares", "4")));
+  cfg.cluster_fraction =
+      std::atof(arg_value(argc, argv, "--cluster", "0.25"));
+  cfg.mc_seeds = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--seeds", "2")));
+  if (cfg.mc_seeds == 0) {
+    std::fprintf(stderr, "--seeds must be positive\n");
+    return 2;
+  }
+  cfg.verbose = true;
+  const auto result = eval::evaluate_fault_tolerance(cfg);
+  std::cout << "\n" << eval::render_fault_tolerance(result);
+  return 0;
+}
+
 // End-to-end mini-workload: weight mapping (crossbar), cell programming
 // (device), a single-spiking MVM (resipe_core) and a small
 // characterization sweep (eval).  Mirrors examples/quickstart.cpp so
@@ -214,6 +268,8 @@ void usage() {
       "  chip --net mlp1|mlp2|cnn1|cnn2|cnn3|cnn4\n"
       "  mvm --rows N --cols N [--sigma S] [--seed K]\n"
       "  yield [--bound R]\n"
+      "  reliability [--net NAME] [--rates R1,R2,...] [--spares N]\n"
+      "              [--cluster F] [--seeds N]\n"
       "  quickstart\n"
       "global options:\n"
       "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
@@ -256,6 +312,7 @@ int main(int argc, char** argv) {
     else if (cmd == "chip") rc = cmd_chip(nargs, args.data());
     else if (cmd == "mvm") rc = cmd_mvm(nargs, args.data());
     else if (cmd == "yield") rc = cmd_yield(nargs, args.data());
+    else if (cmd == "reliability") rc = cmd_reliability(nargs, args.data());
     else if (cmd == "quickstart") rc = cmd_quickstart();
     else known = false;
   } catch (const std::exception& e) {

@@ -15,6 +15,16 @@
 
 namespace resipe {
 
+/// Deterministically mixes a base seed with up to two stream indices
+/// (SplitMix64 finalizer per mixing round).  Used wherever one user
+/// seed must fan out into decorrelated per-trial streams — e.g. yield
+/// sweeps hash (seed, sigma_index, chip_index) so every chip gets an
+/// independent generator regardless of sweep order, and the engine
+/// hashes (fault_seed, layer_index) so layers see independent defect
+/// realizations.
+std::uint64_t hash_seed(std::uint64_t seed, std::uint64_t stream_a,
+                        std::uint64_t stream_b = 0);
+
 /// xoshiro256++ pseudo-random generator with explicit seeding and
 /// deterministic distribution transforms.
 class Rng {

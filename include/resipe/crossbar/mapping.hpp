@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "resipe/device/reram.hpp"
+#include "resipe/reliability/fault_model.hpp"
 
 namespace resipe::crossbar {
 
@@ -79,5 +80,44 @@ MappedWeights map_weights(std::span<const double> weights, std::size_t rows,
 /// conductances).  Used in tests to bound mapping error.
 std::vector<double> unmap_weights(const MappedWeights& mapping,
                                   std::span<const double> g_programmed);
+
+/// Fault-aware column placement inside one tile.
+///
+/// A tile provides `detected.cols()` physical column slots; the first
+/// `data_cols` are home slots of the mapped weight columns, the rest
+/// are spares.  Given a detected fault map, the planner
+///  1. remaps faulty data columns onto clean spare slots (most
+///     important columns first) — classic spare-column redundancy;
+///  2. when spares run out, swaps remaining high-importance faulty
+///     columns with clean low-importance data columns so the damage
+///     lands on the weights that matter least;
+///  3. reports the data columns left on faulty slots as `unrepaired`
+///     so the MVM path can flag their results (graceful degradation).
+///
+/// `group` is the remap granularity in physical columns: 2 for paired
+/// mappings (a (G+, G-) pair moves together), 1 otherwise.
+struct ColumnRemapPlan {
+  std::size_t group = 1;
+  std::size_t data_cols = 0;
+  std::size_t total_cols = 0;
+  /// Physical slot assigned to each data column (size data_cols);
+  /// identity when nothing needed remapping.
+  std::vector<std::size_t> slot_of_col;
+  /// Data columns whose assigned slot still contains detected faults.
+  std::vector<std::size_t> unrepaired;
+  std::size_t spares_used = 0;    ///< spare columns consumed
+  std::size_t remapped_cols = 0;  ///< data columns moved off their home slot
+
+  bool identity() const { return remapped_cols == 0; }
+};
+
+/// Plans the remap.  `col_importance` (size data_cols, optional) is the
+/// weight magnitude carried by each data column; when empty, columns
+/// are treated as equally important and only spare replacement (no
+/// swapping) happens.  `allow_swaps` disables step 2.
+ColumnRemapPlan plan_column_remap(const reliability::FaultMap& detected,
+                                  std::size_t data_cols, std::size_t group,
+                                  std::span<const double> col_importance = {},
+                                  bool allow_swaps = true);
 
 }  // namespace resipe::crossbar

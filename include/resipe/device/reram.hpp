@@ -17,6 +17,13 @@
 
 namespace resipe::device {
 
+/// Power-law retention drift closed form:
+///   G(t) = G0 * (t / t0)^(-nu)   for t > t0,
+///   G(t) = G0                    for t <= t0 (or nu <= 0).
+/// Shared by ReramCell::drifted_g and the reliability subsystem so the
+/// two never disagree.
+double drift_conductance(double g0, double elapsed, double t0, double nu);
+
 /// Static parameters of a ReRAM technology corner.
 struct ReramSpec {
   /// Low / high resistance state bounds (ohm).  The usable conductance
@@ -80,6 +87,33 @@ struct ReramSpec {
   static ReramSpec nn_mapping();
 };
 
+/// Outcome of an explicit write-verify programming attempt sequence.
+enum class ProgramStatus : std::uint8_t {
+  kOk = 0,        ///< landed within tolerance inside the budget
+  kGaveUp,        ///< budget exhausted; best attempt kept (flagged, not silent)
+  kWriteFailed,   ///< endurance wear-out turned the write into a hard fault
+  kHardFault,     ///< cell already carries an injected hard fault
+};
+
+/// Budget of the bounded write-verify loop (reliability path).  The
+/// legacy single-draw model in `program()` folds the whole loop into
+/// one residue draw; `program_verified()` models the attempts
+/// explicitly so give-ups and endurance wear are observable.
+struct ProgramBudget {
+  int max_attempts = 5;            ///< verify iterations before giving up
+  double endurance_cycles = 0.0;   ///< device endurance (0 = not modelled)
+  double wear_cycles = 0.0;        ///< write cycles already consumed
+  /// Shape of the wear-out failure law: p_fail = (wear/endurance)^shape.
+  double failure_shape = 2.0;
+};
+
+/// Result of `program_verified()`.
+struct ProgramResult {
+  ProgramStatus status = ProgramStatus::kOk;
+  int attempts = 0;               ///< write pulses issued
+  double relative_error = 0.0;    ///< |landed - target| / target (pre-variation)
+};
+
 /// A single programmed cell: target conductance, the value actually
 /// landed after quantization + write-verify + process variation, and a
 /// read accessor that adds read noise.
@@ -106,6 +140,29 @@ class ReramCell {
   void program_impl(const ReramSpec& spec, double target_g, Rng& rng);
 
  public:
+  /// Explicit bounded write-verify loop: issues up to
+  /// `budget.max_attempts` write pulses, accepting the first landing
+  /// within the spec's verify tolerance of the (clamped, quantized)
+  /// target.  When the budget runs out the *best* attempt is kept and
+  /// the result says `kGaveUp` — an explicit status instead of the
+  /// silent best-effort of the folded model.  When
+  /// `budget.endurance_cycles` is set, every pulse can wear the cell
+  /// out into a permanent stuck-at-HRS hard fault (`kWriteFailed`).
+  /// Terminates for any finite `target_g` (the target is clamped to
+  /// the spec window first — see the out-of-range regression tests).
+  ProgramResult program_verified(const ReramSpec& spec, double target_g,
+                                 Rng& rng, const ProgramBudget& budget);
+
+  /// Injects a permanent hard fault: the cell is pinned at G_max
+  /// (stuck-at-LRS) or G_min (stuck-at-HRS) and later `program*` calls
+  /// cannot move it (re-programming a defective cell has no effect).
+  void force_stuck_lrs(const ReramSpec& spec);
+  void force_stuck_hrs(const ReramSpec& spec);
+
+  /// True when the cell carries an injected/worn-out permanent fault
+  /// (as opposed to a per-programming stochastic stuck draw).
+  bool hard_faulted() const { return hard_fault_; }
+
   /// The conductance requested (post-clamp, pre-quantization).
   double target_g() const { return target_g_; }
 
@@ -132,6 +189,7 @@ class ReramCell {
   double target_g_ = 0.0;
   double programmed_g_ = 0.0;
   bool stuck_ = false;
+  bool hard_fault_ = false;
 };
 
 /// Maps abstract weights in [0, 1] onto the conductance window of a

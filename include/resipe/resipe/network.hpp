@@ -37,6 +37,7 @@
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/device/reram.hpp"
 #include "resipe/nn/model.hpp"
+#include "resipe/reliability/config.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
 #include "resipe/resipe/spike_code.hpp"
 
@@ -73,6 +74,12 @@ struct EngineConfig {
   /// Retention time applied to every programmed cell before inference
   /// (power-law drift per the device spec); 0 = fresh arrays.
   double retention_time = 0.0;
+
+  /// Hard-fault injection + mitigation (stuck-at cells, read disturb,
+  /// endurance, spare-column remapping, differential compensation).
+  /// Disabled by default: the engine then takes the exact legacy
+  /// programming path and outputs are bit-identical to before.
+  reliability::ReliabilityConfig reliability;
 
   /// "Ideal" configuration: linearized transfers, continuous timing,
   /// noiseless devices — the reference accuracy in Fig. 7.
@@ -119,12 +126,36 @@ class ProgrammedMatrix {
   /// the headroom fraction of the slice.
   void calibrate_alpha(std::span<const double> x_batch, std::size_t n);
 
+  /// Reliability roll-up for this matrix (all zero when the
+  /// reliability config is disabled).
+  struct ReliabilityStats {
+    std::size_t cells_faulty = 0;        ///< injected hard faults
+    std::size_t cells_detected = 0;      ///< faults the mapper flagged
+    std::size_t columns_remapped = 0;    ///< physical columns moved
+    std::size_t spares_used = 0;         ///< spare columns consumed
+    std::size_t columns_unrepairable = 0;///< left computing over faults
+    std::size_t cells_compensated = 0;   ///< pair-compensated stuck cells
+    std::size_t write_giveups = 0;       ///< verify budget exhausted
+    std::size_t write_wearouts = 0;      ///< endurance-induced hard faults
+  };
+  const ReliabilityStats& reliability_stats() const { return rstats_; }
+
+  /// Per-logical-output trust flags (graceful degradation): false when
+  /// the output is decoded from a column left unrepaired on defective
+  /// cells.  All true when reliability is disabled.
+  const std::vector<bool>& output_ok() const { return output_ok_; }
+  std::size_t degraded_outputs() const;
+
  private:
   struct Block {
     std::size_t row0 = 0;
     std::size_t rows = 0;
     std::size_t col0 = 0;  // physical column offset
-    std::size_t cols = 0;  // physical columns in this block
+    std::size_t cols = 0;  // data columns in this block
+    std::size_t slots = 0; // physical columns incl. spares (== cols
+                           // when reliability is off)
+    /// Physical slot of each data column (empty = identity).
+    std::vector<std::size_t> slot_of_col;
     std::unique_ptr<FastMvm> mvm;
   };
 
@@ -137,6 +168,12 @@ class ProgrammedMatrix {
   /// Converts accumulated recovered sums + bias into outputs.
   void decode(std::span<const double> recovered, std::span<double> y) const;
 
+  /// Fault-injecting programming path (config_.reliability.enabled):
+  /// draws per-block defect maps from the dedicated fault stream,
+  /// detects + remaps + compensates per the mitigation policy, and
+  /// programs through the bounded write-verify loop.
+  void program_blocks_with_faults(Rng& rng);
+
   EngineConfig config_;
   SpikeCodec codec_;
   std::size_t in_ = 0;
@@ -147,6 +184,8 @@ class ProgrammedMatrix {
   std::vector<double> bias_;
   double input_scale_ = 1.0;
   double alpha_ = 1.0;
+  ReliabilityStats rstats_;
+  std::vector<bool> output_ok_;
 };
 
 /// Extracts one im2col patch (layout matching conv_weight_matrix) for
@@ -181,6 +220,14 @@ class ResipeNetwork {
 
   /// Matrix layers lowered.
   std::size_t programmed_layers() const { return matrices_.size(); }
+
+  /// Reliability roll-up summed over every programmed layer (all zero
+  /// when the reliability config is disabled).
+  ProgrammedMatrix::ReliabilityStats reliability_stats() const;
+
+  /// Logical outputs flagged untrusted across all layers (graceful
+  /// degradation: they still compute, but over known defects).
+  std::size_t degraded_outputs() const;
 
   const EngineConfig& config() const { return config_; }
 

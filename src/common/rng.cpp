@@ -21,6 +21,18 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t hash_seed(std::uint64_t seed, std::uint64_t stream_a,
+                        std::uint64_t stream_b) {
+  // One splitmix64 advance per mixed word; the golden-ratio increment
+  // inside splitmix64 keeps (seed, a, b) and (seed, b, a) distinct.
+  std::uint64_t x = seed;
+  (void)splitmix64(x);
+  x ^= stream_a;
+  (void)splitmix64(x);
+  x ^= stream_b;
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "resipe/common/error.hpp"
 #include "resipe/telemetry/telemetry.hpp"
@@ -110,6 +111,129 @@ MappedWeights map_weights(std::span<const double> weights, std::size_t rows,
     }
   }
   return out;
+}
+
+ColumnRemapPlan plan_column_remap(const reliability::FaultMap& detected,
+                                  std::size_t data_cols, std::size_t group,
+                                  std::span<const double> col_importance,
+                                  bool allow_swaps) {
+  RESIPE_TELEM_SCOPE("crossbar.mapping.plan_column_remap");
+  RESIPE_REQUIRE(group >= 1, "remap group must be >= 1");
+  RESIPE_REQUIRE(data_cols >= 1 && data_cols % group == 0,
+                 "data columns must be a whole number of groups");
+  RESIPE_REQUIRE(detected.cols() >= data_cols,
+                 "fault map narrower than the data columns");
+  RESIPE_REQUIRE(col_importance.empty() ||
+                     col_importance.size() == data_cols,
+                 "importance vector size mismatch");
+
+  ColumnRemapPlan plan;
+  plan.group = group;
+  plan.data_cols = data_cols;
+  plan.total_cols = detected.cols();
+  plan.slot_of_col.resize(data_cols);
+  std::iota(plan.slot_of_col.begin(), plan.slot_of_col.end(), 0u);
+
+  const std::size_t data_units = data_cols / group;
+  // Partial trailing spare groups cannot host a whole unit; ignore them.
+  const std::size_t total_units = detected.cols() / group;
+
+  const auto unit_faults = [&](std::size_t unit) {
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < group; ++k) {
+      n += detected.column_faults(unit * group + k);
+    }
+    return n;
+  };
+  const auto unit_importance = [&](std::size_t unit) {
+    if (col_importance.empty()) return 1.0;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < group; ++k) {
+      sum += col_importance[unit * group + k];
+    }
+    return sum;
+  };
+
+  // unit_slot[u] = slot unit occupied by data unit u.
+  std::vector<std::size_t> unit_slot(data_units);
+  std::iota(unit_slot.begin(), unit_slot.end(), 0u);
+
+  // Faulty data units, most important (then most damaged) first.
+  std::vector<std::size_t> faulty;
+  for (std::size_t u = 0; u < data_units; ++u) {
+    if (unit_faults(u) > 0) faulty.push_back(u);
+  }
+  std::sort(faulty.begin(), faulty.end(), [&](std::size_t a, std::size_t b) {
+    const double ia = unit_importance(a);
+    const double ib = unit_importance(b);
+    if (ia != ib) return ia > ib;
+    const std::size_t fa = unit_faults(a);
+    const std::size_t fb = unit_faults(b);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+
+  // Stage 1: clean spare slots absorb faulty units.
+  std::vector<std::size_t> clean_spares;
+  for (std::size_t s = data_units; s < total_units; ++s) {
+    if (unit_faults(s) == 0) clean_spares.push_back(s);
+  }
+  std::size_t next_spare = 0;
+  std::vector<std::size_t> unrepaired_units;
+  for (std::size_t u : faulty) {
+    if (next_spare < clean_spares.size()) {
+      unit_slot[u] = clean_spares[next_spare++];
+      plan.spares_used += group;
+      plan.remapped_cols += group;
+    } else {
+      unrepaired_units.push_back(u);
+    }
+  }
+
+  // Stage 2: weight-aware swaps.  Remaining faulty units trade places
+  // with the least important clean data units, but only when that
+  // strictly lowers the importance parked on the faulty slot.
+  if (allow_swaps && !col_importance.empty() && !unrepaired_units.empty()) {
+    std::vector<std::size_t> clean_data;
+    for (std::size_t u = 0; u < data_units; ++u) {
+      if (unit_faults(u) == 0) clean_data.push_back(u);
+    }
+    std::sort(clean_data.begin(), clean_data.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double ia = unit_importance(a);
+                const double ib = unit_importance(b);
+                if (ia != ib) return ia < ib;
+                return a < b;
+              });
+    std::size_t next_victim = 0;
+    for (std::size_t& u : unrepaired_units) {
+      if (next_victim >= clean_data.size()) break;
+      const std::size_t v = clean_data[next_victim];
+      if (unit_importance(v) >= unit_importance(u)) break;
+      std::swap(unit_slot[u], unit_slot[v]);
+      plan.remapped_cols += 2 * group;
+      ++next_victim;
+      u = v;  // the victim now sits on the faulty slot
+    }
+  }
+
+  for (std::size_t u : unrepaired_units) {
+    for (std::size_t k = 0; k < group; ++k) {
+      // Report the *data column* left computing over faults.
+      plan.unrepaired.push_back(u * group + k);
+    }
+  }
+  std::sort(plan.unrepaired.begin(), plan.unrepaired.end());
+
+  for (std::size_t u = 0; u < data_units; ++u) {
+    for (std::size_t k = 0; k < group; ++k) {
+      plan.slot_of_col[u * group + k] = unit_slot[u] * group + k;
+    }
+  }
+  RESIPE_TELEM_COUNT("reliability.columns_remapped", plan.remapped_cols);
+  RESIPE_TELEM_COUNT("reliability.columns_unrepairable",
+                     plan.unrepaired.size());
+  return plan;
 }
 
 std::vector<double> unmap_weights(const MappedWeights& mapping,

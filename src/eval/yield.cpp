@@ -15,22 +15,21 @@ std::vector<YieldPoint> mvm_yield(const resipe_core::EngineConfig& base,
   RESIPE_TELEM_SCOPE("eval.yield.mvm_yield");
   RESIPE_REQUIRE(!config.sigmas.empty() && config.chips_per_sigma > 0,
                  "empty yield sweep");
-  Rng seeder(config.seed);
-  // One seed list shared across sigmas: common random numbers keep the
-  // sweep monotone instead of noisy.
-  std::vector<std::uint64_t> chip_seeds(config.chips_per_sigma);
-  for (auto& s : chip_seeds) s = seeder.next_u64();
-
   std::vector<YieldPoint> points;
-  for (double sigma : config.sigmas) {
+  for (std::size_t si = 0; si < config.sigmas.size(); ++si) {
+    const double sigma = config.sigmas[si];
     YieldPoint p;
     p.sigma = sigma;
     std::size_t pass = 0;
     double sum = 0.0;
-    for (std::uint64_t chip_seed : chip_seeds) {
+    for (std::size_t chip = 0; chip < config.chips_per_sigma; ++chip) {
       resipe_core::EngineConfig cfg = base;
       cfg.device.variation_sigma = sigma;
-      cfg.program_seed = chip_seed;
+      // Every (sigma, chip) cell hashes to its own decorrelated stream:
+      // reordering/extending the sigma list or the chip count never
+      // changes the draws of another cell, so sweep results compose and
+      // reruns are bit-identical point by point.
+      cfg.program_seed = hash_seed(config.seed, si, chip);
       const FidelityScore score =
           mvm_fidelity(cfg, config.matrix_rows, config.matrix_cols,
                        config.samples_per_chip, config.seed);

@@ -1,0 +1,20 @@
+#include "resipe/reliability/config.hpp"
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::reliability {
+
+void ReliabilityConfig::validate() const {
+  faults.validate();
+  mapper.validate();
+  RESIPE_REQUIRE(read_disturb_rate >= 0.0 && expected_mvms >= 0.0,
+                 "read-disturb parameters must be non-negative");
+  RESIPE_REQUIRE(endurance_cycles >= 0.0 && wear_cycles >= 0.0,
+                 "endurance parameters must be non-negative");
+  RESIPE_REQUIRE(mitigation.write_verify_retries >= 1,
+                 "write-verify budget needs at least one attempt");
+  RESIPE_REQUIRE(mitigation.degrade_threshold >= 0.0,
+                 "negative degrade threshold");
+}
+
+}  // namespace resipe::reliability

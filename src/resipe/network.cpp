@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "resipe/common/error.hpp"
+#include "resipe/reliability/fault_mapper.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
@@ -46,6 +48,12 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
   const std::size_t col_blocks =
       (mapping_.cols + config_.tile_cols - 1) / config_.tile_cols;
 
+  output_ok_.assign(out_, true);
+  if (config_.reliability.enabled) {
+    program_blocks_with_faults(rng);
+    return;
+  }
+
   // Program every block cell-by-cell through the full device model.
   for (std::size_t rb = 0; rb < row_blocks_; ++rb) {
     const std::size_t row0 = rb * config_.tile_rows;
@@ -59,6 +67,7 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
       block.rows = rows;
       block.col0 = col0;
       block.cols = cols;
+      block.slots = cols;
       std::vector<double> g_eff(rows * cols, 0.0);
       device::ReramCell cell;
       for (std::size_t r = 0; r < rows; ++r) {
@@ -95,6 +104,239 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
   }
 }
 
+void ProgrammedMatrix::program_blocks_with_faults(Rng& rng) {
+  RESIPE_TELEM_SCOPE("resipe_core.matrix.program_with_faults");
+  const auto& rel = config_.reliability;
+  rel.validate();
+  const auto& mit = rel.mitigation;
+  const device::ReramSpec& spec = config_.device;
+  const double g_min = spec.g_min();
+  const double g_max = spec.g_max();
+  const double g_span = g_max - g_min;
+  const bool paired =
+      config_.mapping != crossbar::SignedMapping::kOffsetColumn;
+  const std::size_t group = paired ? 2 : 1;
+  // Spare columns are physical silicon: they exist (and are defective
+  // at the same rates) whether or not the mitigation policy uses them,
+  // so the OFF/ON comparison sees identical fault realizations.
+  const std::size_t spare = mit.spare_cols;
+
+  // Defects come from their own stream: toggling mitigation changes how
+  // many *programming* draws happen, never which cells are broken.
+  Rng fault_rng(rel.fault_seed);
+  const reliability::FaultMapper mapper(rel.mapper);
+
+  device::ProgramBudget budget;
+  budget.max_attempts = std::max(1, mit.write_verify_retries);
+  budget.endurance_cycles = rel.endurance_cycles;
+  budget.wear_cycles = rel.wear_cycles;
+
+  std::vector<bool> col_degraded(mapping_.cols, false);
+
+  const std::size_t col_blocks =
+      (mapping_.cols + config_.tile_cols - 1) / config_.tile_cols;
+  for (std::size_t rb = 0; rb < row_blocks_; ++rb) {
+    const std::size_t row0 = rb * config_.tile_rows;
+    const std::size_t rows = std::min(config_.tile_rows, in_ - row0);
+    for (std::size_t cb = 0; cb < col_blocks; ++cb) {
+      const std::size_t col0 = cb * config_.tile_cols;
+      const std::size_t cols =
+          std::min(config_.tile_cols, mapping_.cols - col0);
+      const std::size_t slots = cols + spare;
+      Block block;
+      block.row0 = row0;
+      block.rows = rows;
+      block.col0 = col0;
+      block.cols = cols;
+      block.slots = slots;
+
+      // --- Defect realization and (imperfect) march-test detection.
+      const reliability::FaultMap truth =
+          reliability::generate_fault_map(rows, slots, rel.faults,
+                                          fault_rng);
+      // The march test always burns its rng draws so the defect stream
+      // stays aligned across arms, but a blind (mitigation-off) chip
+      // never looks at the result.
+      const reliability::FaultMap detected =
+          mapper.from_truth(truth, fault_rng);
+      rstats_.cells_faulty += truth.fault_count();
+      if (mit.enabled) rstats_.cells_detected += detected.fault_count();
+
+      // --- Column placement.  Importance = conductance mass above
+      // G_min, i.e. the weight magnitude the column carries.
+      crossbar::ColumnRemapPlan plan;
+      plan.group = group;
+      plan.data_cols = cols;
+      plan.total_cols = slots;
+      plan.slot_of_col.resize(cols);
+      std::iota(plan.slot_of_col.begin(), plan.slot_of_col.end(),
+                std::size_t{0});
+      if (mit.enabled) {
+        std::vector<double> importance;
+        if (mit.remap_columns) {
+          importance.assign(cols, 0.0);
+          for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+              importance[c] +=
+                  mapping_.g_targets[(row0 + r) * mapping_.cols +
+                                     (col0 + c)] -
+                  g_min;
+            }
+          }
+        }
+        plan = crossbar::plan_column_remap(detected, cols, group,
+                                           importance,
+                                           mit.remap_columns);
+        rstats_.columns_remapped += plan.remapped_cols;
+        rstats_.spares_used += plan.spares_used;
+        rstats_.columns_unrepairable += plan.unrepaired.size();
+      }
+
+      // --- Per-slot conductance targets; unused slots idle at HRS.
+      std::vector<double> targets(rows * slots, g_min);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          targets[r * slots + plan.slot_of_col[c]] =
+              mapping_.g_targets[(row0 + r) * mapping_.cols + (col0 + c)];
+        }
+      }
+
+      // --- Differential compensation: a single detected-stuck cell of
+      // a (G+, G-) pair is cancelled by re-targeting its healthy
+      // partner to preserve the pair difference.  Residuals beyond the
+      // degrade threshold (and both-stuck rows) flag the pair.
+      std::vector<bool> data_degraded(cols, false);
+      const bool compensate = mit.enabled && mit.compensate_pairs && paired;
+      if (compensate) {
+        for (std::size_t c0 = 0; c0 + 1 < cols; c0 += 2) {
+          const std::size_t c1 = c0 + 1;
+          const std::size_t s0 = plan.slot_of_col[c0];
+          const std::size_t s1 = plan.slot_of_col[c1];
+          bool degraded = false;
+          for (std::size_t r = 0; r < rows; ++r) {
+            const reliability::FaultType f0 = detected.at(r, s0);
+            const reliability::FaultType f1 = detected.at(r, s1);
+            const bool b0 = f0 != reliability::FaultType::kNone;
+            const bool b1 = f1 != reliability::FaultType::kNone;
+            if (!b0 && !b1) continue;
+            if (b0 && b1) {
+              degraded = true;  // both cells pinned: nothing to re-target
+              continue;
+            }
+            const bool plus_stuck = b0;
+            const std::size_t healthy = plus_stuck ? s1 : s0;
+            const reliability::FaultType fault = plus_stuck ? f0 : f1;
+            const double g_stuck =
+                fault == reliability::FaultType::kStuckLrs ? g_max : g_min;
+            const double diff =
+                targets[r * slots + s0] - targets[r * slots + s1];
+            const double want =
+                plus_stuck ? g_stuck - diff : g_stuck + diff;
+            const double retarget = std::clamp(want, g_min, g_max);
+            targets[r * slots + healthy] = retarget;
+            ++rstats_.cells_compensated;
+            if (std::abs(want - retarget) >
+                mit.degrade_threshold * g_span) {
+              degraded = true;
+            }
+          }
+          if (degraded) {
+            data_degraded[c0] = true;
+            data_degraded[c1] = true;
+          }
+        }
+      } else {
+        for (std::size_t c : plan.unrepaired) data_degraded[c] = true;
+      }
+
+      // --- Pin the true defects, then program every slot through the
+      // bounded write-verify loop (endurance wear can add new hard
+      // faults mid-write; the explicit status makes that observable).
+      std::vector<double> g_eff(rows * slots, 0.0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t s = 0; s < slots; ++s) {
+          device::ReramCell cell;
+          switch (truth.at(r, s)) {
+            case reliability::FaultType::kStuckLrs:
+              cell.force_stuck_lrs(spec);
+              break;
+            case reliability::FaultType::kStuckHrs:
+              cell.force_stuck_hrs(spec);
+              break;
+            case reliability::FaultType::kNone:
+              break;
+          }
+          const device::ProgramResult res =
+              cell.program_verified(spec, targets[r * slots + s], rng,
+                                    budget);
+          if (res.status == device::ProgramStatus::kGaveUp) {
+            ++rstats_.write_giveups;
+          } else if (res.status == device::ProgramStatus::kWriteFailed) {
+            ++rstats_.write_wearouts;
+          }
+
+          // Effective conductance: retention drift + accumulated read
+          // disturb act on the device filament, then the 1T1R series
+          // transistor, then position-dependent wire IR drop.
+          double g_dev = cell.programmed_g();
+          if (config_.retention_time > 0.0) {
+            g_dev = cell.drifted_g(spec, config_.retention_time);
+          }
+          if (rel.read_disturb_rate > 0.0 && rel.expected_mvms > 0.0 &&
+              !cell.hard_faulted()) {
+            g_dev = reliability::read_disturbed_conductance(
+                g_dev, rel.expected_mvms, rel.read_disturb_rate, g_min);
+          }
+          double g = g_dev > 0.0
+                         ? 1.0 / (1.0 / g_dev + spec.transistor_r_on)
+                         : 0.0;
+          if (config_.model_wire_ir_drop) {
+            g = config_.wires.effective_g(g, r, s);
+          }
+          g_eff[r * slots + s] = g;
+        }
+      }
+
+      block.mvm = std::make_unique<FastMvm>(config_.circuit, rows, slots,
+                                            std::move(g_eff));
+      if (config_.circuit.comparator_offset_sigma > 0.0) {
+        std::vector<double> offsets(slots, 0.0);
+        for (double& o : offsets) {
+          o = rng.normal(0.0, config_.circuit.comparator_offset_sigma);
+        }
+        block.mvm->set_column_offsets(std::move(offsets));
+      }
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (data_degraded[c]) col_degraded[col0 + c] = true;
+      }
+      if (!plan.identity()) {
+        block.slot_of_col = std::move(plan.slot_of_col);
+      }
+      blocks_.push_back(std::move(block));
+    }
+  }
+
+  std::size_t degraded = 0;
+  for (std::size_t j = 0; j < out_; ++j) {
+    if (col_degraded[mapping_.plus_col(j)] ||
+        col_degraded[mapping_.minus_col(j)]) {
+      output_ok_[j] = false;
+      ++degraded;
+    }
+  }
+  RESIPE_TELEM_COUNT("reliability.cells_compensated",
+                     rstats_.cells_compensated);
+  RESIPE_TELEM_COUNT("reliability.degraded_outputs", degraded);
+}
+
+std::size_t ProgrammedMatrix::degraded_outputs() const {
+  std::size_t n = 0;
+  for (bool ok : output_ok_) {
+    if (!ok) ++n;
+  }
+  return n;
+}
+
 void ProgrammedMatrix::set_input_scale(double scale) {
   RESIPE_REQUIRE(scale > 0.0, "input scale must be positive");
   input_scale_ = scale;
@@ -121,18 +363,22 @@ void ProgrammedMatrix::accumulate(std::span<const double> t_in,
   const auto& params = config_.circuit;
   thread_local std::vector<double> t_block_out;
   for (const Block& block : blocks_) {
-    t_block_out.assign(block.cols, 0.0);
+    t_block_out.assign(block.slots, 0.0);
     const std::span<const double> t_rows(t_in.data() + block.row0,
                                          block.rows);
     block.mvm->mvm_times(t_rows, t_block_out);
+    const bool remapped = !block.slot_of_col.empty();
     for (std::size_t c = 0; c < block.cols; ++c) {
-      double t = t_block_out[c];
+      // Fault-aware placement may have moved this data column onto a
+      // spare slot; read the bitline it actually lives on.
+      const std::size_t s = remapped ? block.slot_of_col[c] : c;
+      double t = t_block_out[s];
       // A silent output line encodes "beyond full scale": the readout
       // books the slice-boundary value.
       if (t == FastMvm::kNoSpike) t = params.slice_length;
       const double v_cog = params.ramp_voltage(t);
-      const double k = block.mvm->k(c);
-      const double g_total = block.mvm->g_total(c);
+      const double k = block.mvm->k(s);
+      const double g_total = block.mvm->g_total(s);
       if (k > 0.0) {
         recovered[block.col0 + c] += v_cog * g_total / k;
       }
@@ -183,8 +429,10 @@ double ProgrammedMatrix::forward_analytic(std::span<const double> x,
   recovered.assign(mapping_.cols, 0.0);
   double v_max = 0.0;
   for (const Block& block : blocks_) {
+    const bool remapped = !block.slot_of_col.empty();
     for (std::size_t c = 0; c < block.cols; ++c) {
-      const double g_total = block.mvm->g_total(c);
+      const std::size_t s = remapped ? block.slot_of_col[c] : c;
+      const double g_total = block.mvm->g_total(s);
       if (g_total <= 0.0) continue;
       double sum = 0.0;
       for (std::size_t r = 0; r < block.rows; ++r) {
@@ -196,7 +444,7 @@ double ProgrammedMatrix::forward_analytic(std::span<const double> x,
       }
       // The analytic pass uses target conductances (pre-variation);
       // close enough for range calibration.
-      const double k = block.mvm->k(c);
+      const double k = block.mvm->k(s);
       v_max = std::max(v_max, k * sum / g_total);
       recovered[block.col0 + c] += sum;
     }
@@ -291,12 +539,25 @@ ResipeNetwork::ResipeNetwork(nn::Sequential& model,
   nn::Tensor h = calibration;
   constexpr std::size_t kMaxCalibVectors = 512;
 
+  // Each layer gets its own defect realization: hash the fault seed
+  // with the matrix index so two same-shaped layers never share a
+  // fault map.  With reliability disabled `layer_cfg` is an exact copy
+  // and the legacy path stays bit-identical.
+  EngineConfig layer_cfg = config_;
+  const auto next_layer_cfg = [&]() -> const EngineConfig& {
+    if (config_.reliability.enabled) {
+      layer_cfg.reliability.fault_seed = hash_seed(
+          config_.reliability.fault_seed, matrices_.size());
+    }
+    return layer_cfg;
+  };
+
   for (std::size_t li = 0; li < model_.layer_count(); ++li) {
     nn::Layer& layer = model_.layer(li);
     Step step;
     if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
       auto pm = std::make_unique<ProgrammedMatrix>(
-          config_, dense->weights().data(), dense->bias().data(),
+          next_layer_cfg(), dense->weights().data(), dense->bias().data(),
           dense->in_features(), dense->out_features(), rng);
       pm->set_input_scale(batch_abs_max(h, config_.input_scale_margin));
       const std::size_t n =
@@ -312,7 +573,8 @@ ResipeNetwork::ResipeNetwork(nn::Sequential& model,
       const std::size_t in = conv->in_channels() * conv->kernel() *
                              conv->kernel();
       auto pm = std::make_unique<ProgrammedMatrix>(
-          config_, wm, conv->bias().data(), in, conv->out_channels(), rng);
+          next_layer_cfg(), wm, conv->bias().data(), in,
+          conv->out_channels(), rng);
       pm->set_input_scale(batch_abs_max(h, config_.input_scale_margin));
       // Calibrate on a subsample of im2col patches.
       const std::size_t oh = conv->out_size(h.dim(2));
@@ -406,6 +668,28 @@ nn::Tensor ResipeNetwork::forward(const nn::Tensor& batch) const {
     }
   }
   return h;
+}
+
+ProgrammedMatrix::ReliabilityStats ResipeNetwork::reliability_stats() const {
+  ProgrammedMatrix::ReliabilityStats total;
+  for (const auto& m : matrices_) {
+    const auto& s = m->reliability_stats();
+    total.cells_faulty += s.cells_faulty;
+    total.cells_detected += s.cells_detected;
+    total.columns_remapped += s.columns_remapped;
+    total.spares_used += s.spares_used;
+    total.columns_unrepairable += s.columns_unrepairable;
+    total.cells_compensated += s.cells_compensated;
+    total.write_giveups += s.write_giveups;
+    total.write_wearouts += s.write_wearouts;
+  }
+  return total;
+}
+
+std::size_t ResipeNetwork::degraded_outputs() const {
+  std::size_t n = 0;
+  for (const auto& m : matrices_) n += m->degraded_outputs();
+  return n;
 }
 
 std::size_t ResipeNetwork::tile_count() const {

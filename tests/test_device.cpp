@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "resipe/common/error.hpp"
 #include "resipe/common/stats.hpp"
@@ -97,6 +98,56 @@ TEST(ReramCell, TargetClampedToWindow) {
   EXPECT_DOUBLE_EQ(cell.target_g(), spec.g_max());
   cell.program(spec, 0.0, rng);  // below G_min
   EXPECT_DOUBLE_EQ(cell.target_g(), spec.g_min());
+}
+
+TEST(ReramCell, ProgramRejectsNonFiniteTargets) {
+  const ReramSpec spec = ReramSpec::characterization();
+  Rng rng(1);
+  ReramCell cell;
+  EXPECT_THROW(
+      cell.program(spec, std::numeric_limits<double>::quiet_NaN(), rng),
+      Error);
+  EXPECT_THROW(
+      cell.program(spec, std::numeric_limits<double>::infinity(), rng),
+      Error);
+  ProgramBudget budget;
+  EXPECT_THROW(cell.program_verified(
+                   spec, -std::numeric_limits<double>::infinity(), rng,
+                   budget),
+               Error);
+}
+
+TEST(ReramCell, WriteVerifyResidueStaysWithinWindow) {
+  // The folded write-verify model accepts only residues inside the
+  // verify window; no draw may escape +-tolerance around the level.
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.05;
+  spec.variation_sigma = 0.0;
+  Rng rng(3);
+  const ConductanceQuantizer q(spec);
+  const double level = q.weight_to_g_quantized(q.g_to_weight(5e-5));
+  ReramCell cell;
+  for (int i = 0; i < 5000; ++i) {
+    cell.program(spec, 5e-5, rng);
+    EXPECT_LE(std::abs(cell.programmed_g() - level) / level,
+              spec.write_verify_tolerance + 1e-12);
+  }
+}
+
+TEST(ReramCell, ExtremeVariationIsClampedToPhysicalEnvelope) {
+  // Heavy-tailed variation draws must terminate inside the physical
+  // envelope [0, 2 G_max] rather than producing negative or runaway
+  // conductances.
+  ReramSpec spec = ReramSpec::characterization();
+  spec.write_verify_tolerance = 0.0;
+  spec.variation_sigma = 3.0;
+  Rng rng(7);
+  ReramCell cell;
+  for (int i = 0; i < 5000; ++i) {
+    cell.program(spec, spec.g_max(), rng);
+    EXPECT_GE(cell.programmed_g(), 0.0);
+    EXPECT_LE(cell.programmed_g(), 2.0 * spec.g_max());
+  }
 }
 
 TEST(ReramCell, VariationSigmaIsRespected) {

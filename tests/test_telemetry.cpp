@@ -14,6 +14,7 @@
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/device/reram.hpp"
 #include "resipe/eval/characterization.hpp"
+#include "resipe/resipe/network.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/resipe/tile.hpp"
 
@@ -267,6 +268,51 @@ TEST_F(TelemetryTest, DisabledCodecPathsStayPure) {
   const auto snap = MetricRegistry::instance().snapshot();
   EXPECT_EQ(snap.counters.count("resipe_core.spike_codec.encoded"), 0u);
 }
+
+// --- reliability instrumentation ---------------------------------------
+
+namespace {
+resipe_core::ProgrammedMatrix make_faulty_matrix() {
+  resipe_core::EngineConfig ec;
+  ec.reliability.enabled = true;
+  ec.reliability.faults.stuck_lrs_rate = 0.02;
+  ec.reliability.faults.stuck_hrs_rate = 0.02;
+  ec.reliability.mitigation.enabled = true;
+  ec.reliability.mitigation.spare_cols = 2;
+  std::vector<double> w(16 * 4);
+  Rng wrng(23);
+  for (double& x : w) x = wrng.uniform(-1.0, 1.0);
+  const std::vector<double> bias(4, 0.0);
+  Rng rng(29);
+  return resipe_core::ProgrammedMatrix(ec, w, bias, 16, 4, rng);
+}
+}  // namespace
+
+// Compiles in BOTH telemetry build modes: with instrumentation compiled
+// out (-DRESIPE_TELEMETRY=OFF) or runtime-disabled, the fault-injection
+// and mitigation path must leave the registry untouched while its own
+// statistics keep working.
+TEST_F(TelemetryTest, DisabledReliabilityPathStaysPure) {
+  set_enabled(false);
+  const auto m = make_faulty_matrix();
+  EXPECT_GT(m.reliability_stats().cells_faulty, 0u);
+  const auto snap = MetricRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.count("reliability.cells_faulty"), 0u);
+  EXPECT_EQ(snap.counters.count("reliability.write_verify_attempts"), 0u);
+  EXPECT_EQ(snap.counters.count("reliability.cells_compensated"), 0u);
+}
+
+#ifndef RESIPE_TELEMETRY_DISABLED
+TEST_F(TelemetryTest, ReliabilityCountersAggregateWhenEnabled) {
+  const auto m = make_faulty_matrix();
+  const auto snap = MetricRegistry::instance().snapshot();
+  ASSERT_EQ(snap.counters.count("reliability.cells_faulty"), 1u);
+  EXPECT_EQ(snap.counters.at("reliability.cells_faulty"),
+            m.reliability_stats().cells_faulty);
+  ASSERT_EQ(snap.counters.count("reliability.write_verify_attempts"), 1u);
+  EXPECT_GT(snap.counters.at("reliability.write_verify_attempts"), 0u);
+}
+#endif  // !RESIPE_TELEMETRY_DISABLED
 
 // --- nested timers ------------------------------------------------------
 
