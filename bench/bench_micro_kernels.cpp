@@ -44,6 +44,34 @@ void BM_FastMvm(benchmark::State& state) {
 }
 BENCHMARK(BM_FastMvm)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
+// Batched MVM over one reusable scratch.  Per-iteration allocations are
+// zero by construction (BatchScratch only grows on first use and the
+// column-major conductance layout is baked into the FastMvm): if this
+// bench ever shows per-batch mallocs under a profiler, mvm_times_batch
+// has regressed.  Throughput here should be >= the per-sample BM_FastMvm
+// figure at equal n — the batch path amortizes the wordline-voltage
+// precompute and walks conductances column-contiguously.
+void BM_FastMvmBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 32;
+  const circuits::CircuitParams params;
+  const auto xbar = crossbar::make_representative(
+      n, n, device::ReramSpec::nn_mapping(), 7);
+  const resipe_core::FastMvm mvm(params, xbar);
+  std::vector<double> t_in(kBatch * n), t_out(kBatch * n);
+  for (std::size_t i = 0; i < t_in.size(); ++i)
+    t_in[i] = 10e-9 + 80e-9 * static_cast<double>(i % n) /
+                          static_cast<double>(n);
+  resipe_core::FastMvm::BatchScratch scratch;
+  for (auto _ : state) {
+    mvm.mvm_times_batch(t_in, kBatch, t_out, scratch);
+    benchmark::DoNotOptimize(t_out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch * n * n));
+}
+BENCHMARK(BM_FastMvmBatch)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
 void BM_TileExecute(benchmark::State& state) {
   const circuits::CircuitParams params;
   resipe_core::ResipeTile tile(params, 32, 32,

@@ -1,0 +1,96 @@
+// Parallel-runtime scaling: wall time of the accuracy sweep and the
+// yield sweep at 1/2/4/8 worker threads.
+//
+// Both sweeps are embarrassingly parallel Monte-Carlo fans with
+// bit-identical results at any thread count (see DESIGN.md "Parallel
+// runtime"), so the interesting figure is pure speedup.  On a 1-core
+// container the curve is flat (~1x) — the BENCH_JSON records
+// hardware_threads so readers can tell a scheduler problem from a
+// hardware ceiling.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "resipe/common/parallel.hpp"
+#include "resipe/eval/accuracy.hpp"
+#include "resipe/eval/yield.hpp"
+
+namespace {
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace resipe;
+  bench::BenchReport report("parallel_scaling", argc, argv);
+  report.add("hardware_threads", static_cast<double>(hardware_threads()));
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  // Accuracy sweep: MLP-1, 2 sigmas x 4 Monte-Carlo seeds = 8 arms.
+  // Training runs inside the timed region (serial, identical across
+  // thread counts); the config keeps it small so the arm fan dominates
+  // the measurement.
+  eval::AccuracyConfig acc_cfg;
+  acc_cfg.sigmas = {0.0, 0.10};
+  acc_cfg.train_samples = 600;
+  acc_cfg.test_samples = 120;
+  acc_cfg.epochs = 1;
+  acc_cfg.mc_seeds = 4;
+
+  std::printf("accuracy sweep (mlp1, %zu arms):\n",
+              acc_cfg.sigmas.size() * acc_cfg.mc_seeds);
+  double acc_t1 = 0.0;
+  for (const std::size_t t : thread_counts) {
+    eval::AccuracyConfig cfg = acc_cfg;
+    cfg.threads = t;
+    const double s = seconds_of([&] {
+      const auto row =
+          eval::evaluate_network_accuracy(nn::BenchmarkNet::kMlp1, cfg);
+      if (row.accuracy.empty()) std::abort();
+    });
+    if (t == 1) acc_t1 = s;
+    const double speedup = acc_t1 / s;
+    std::printf("  threads=%zu: %7.3f s  (%.2fx)\n", t, s, speedup);
+    report.add("accuracy_eval_s_t" + std::to_string(t), s);
+    report.add("accuracy_eval_speedup_t" + std::to_string(t), speedup);
+  }
+
+  // Yield sweep: 3 sigmas x 16 chips = 48 independent cells.
+  eval::YieldConfig yld_cfg;
+  yld_cfg.sigmas = {0.0, 0.10, 0.20};
+  yld_cfg.chips_per_sigma = 16;
+  yld_cfg.matrix_rows = 48;
+  yld_cfg.matrix_cols = 12;
+  yld_cfg.samples_per_chip = 48;
+
+  std::printf("yield sweep (%zu cells):\n",
+              yld_cfg.sigmas.size() * yld_cfg.chips_per_sigma);
+  double yld_t1 = 0.0;
+  for (const std::size_t t : thread_counts) {
+    eval::YieldConfig cfg = yld_cfg;
+    cfg.threads = t;
+    const double s = seconds_of([&] {
+      const auto points = eval::mvm_yield(resipe_core::EngineConfig{}, cfg);
+      if (points.empty()) std::abort();
+    });
+    if (t == 1) yld_t1 = s;
+    const double speedup = yld_t1 / s;
+    std::printf("  threads=%zu: %7.3f s  (%.2fx)\n", t, s, speedup);
+    report.add("yield_sweep_s_t" + std::to_string(t), s);
+    report.add("yield_sweep_speedup_t" + std::to_string(t), speedup);
+  }
+
+  return report.emit();
+}

@@ -24,6 +24,10 @@
 //   --trace FILE     record a Chrome trace (chrome://tracing, Perfetto)
 //   --metrics FILE   dump the metric registry (.csv extension -> CSV,
 //                    anything else -> JSON)
+//   --threads N      worker threads for parallel sweeps (beats the
+//                    RESIPE_THREADS environment variable; 1 = serial;
+//                    default = RESIPE_THREADS, else hardware threads).
+//                    Results are bit-identical for every value.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "resipe/common/csv.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/eval/characterization.hpp"
@@ -273,7 +278,10 @@ void usage() {
       "  quickstart\n"
       "global options:\n"
       "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
-      "  --metrics FILE  dump metrics (.csv -> CSV, else JSON)");
+      "  --metrics FILE  dump metrics (.csv -> CSV, else JSON)\n"
+      "  --threads N     worker threads for parallel sweeps (overrides\n"
+      "                  RESIPE_THREADS; 1 = serial; results are\n"
+      "                  bit-identical for every N)");
 }
 
 }  // namespace
@@ -290,6 +298,17 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (i + 1 < argc && std::strcmp(argv[i], "--metrics") == 0) {
       metrics_path = argv[++i];
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--threads") == 0) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
+      // Process-wide default: every sweep config leaves its `threads`
+      // knob at 0 ("use the default"), so this one call covers all
+      // subcommands and outranks the RESIPE_THREADS environment
+      // variable.
+      resipe::set_default_threads(static_cast<std::size_t>(n));
     } else {
       args.push_back(argv[i]);
     }

@@ -29,6 +29,11 @@ struct AccuracyConfig {
   std::string weight_cache_dir;      ///< empty = no caching
   bool verbose = false;
   std::uint64_t data_seed = 11;
+  /// Worker threads for the Monte-Carlo arms (0 = default_threads(),
+  /// i.e. RESIPE_THREADS or the hardware count; 1 = serial).  Results
+  /// are bit-identical for every value — see DESIGN.md "Parallel
+  /// runtime".
+  std::size_t threads = 0;
 };
 
 /// Accuracy of one network across the sigma sweep.

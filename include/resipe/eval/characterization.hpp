@@ -48,6 +48,11 @@ struct CharacterizationConfig {
   std::size_t sweep_points = 40;
   int fit_degree = 2;
   std::uint64_t seed = 2020;
+  /// Worker threads for the sample/sweep measurements (0 =
+  /// default_threads(), 1 = serial).  All randomness is drawn up front
+  /// on the calling thread, so results are bit-identical for every
+  /// value.
+  std::size_t threads = 0;
 };
 
 /// Runs the characterization.

@@ -36,6 +36,9 @@ struct FaultToleranceConfig {
   bool verbose = false;
   std::uint64_t data_seed = 11;
   std::uint64_t fault_seed = 0xFA117u;
+  /// Worker threads for the (rate, seed) Monte-Carlo arms (0 =
+  /// default_threads(), 1 = serial).  Bit-identical for every value.
+  std::size_t threads = 0;
 };
 
 /// One sweep point: paired accuracies plus the mitigation-arm health

@@ -19,10 +19,14 @@ struct FidelityScore {
 
 /// Programs a random `in x out` signed matrix under `config`, runs
 /// `samples` random non-negative inputs through the circuit model, and
-/// scores the outputs against the exact y = W^T x.
+/// scores the outputs against the exact y = W^T x.  The sample loop
+/// runs on `threads` workers (0 = default_threads(), 1 = serial) with
+/// bit-identical results for every value; inputs are all drawn up
+/// front from the single `seed` stream.
 FidelityScore mvm_fidelity(const resipe_core::EngineConfig& config,
                            std::size_t in = 32, std::size_t out = 8,
                            std::size_t samples = 64,
-                           std::uint64_t seed = 99);
+                           std::uint64_t seed = 99,
+                           std::size_t threads = 0);
 
 }  // namespace resipe::eval

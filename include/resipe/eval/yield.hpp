@@ -32,6 +32,9 @@ struct YieldConfig {
   std::size_t matrix_cols = 8;
   std::size_t samples_per_chip = 32;
   std::uint64_t seed = 4242;
+  /// Worker threads for the (sigma, chip) cells (0 = default_threads(),
+  /// 1 = serial).  Bit-identical results for every value.
+  std::size_t threads = 0;
 };
 
 /// Runs the sweep on top of `base` (its sigma field is overridden).

@@ -59,6 +59,23 @@ class FastMvm {
   /// `kNoSpike`.
   void mvm_times(std::span<const double> t_in, std::span<double> t_out) const;
 
+  /// Reusable scratch for mvm_times_batch.  Hoist one per worker (e.g.
+  /// thread_local) so steady-state batched MVMs never touch the heap.
+  struct BatchScratch {
+    std::vector<double> v_wl;      // [n, rows] wordline voltages
+    std::vector<double> weighted;  // [n] per-column current sums
+  };
+
+  /// Batched mvm_times: `t_in` is row-major [n, rows], `t_out` is
+  /// row-major [n, cols].  Bit-identical per sample to n calls of
+  /// mvm_times — same summation order, same recovery chain — but the
+  /// per-column inner loops run across samples over contiguous
+  /// column-major scratch, so the dot products and the exp/log
+  /// inversion chain vectorize instead of re-walking the matrix per
+  /// sample.
+  void mvm_times_batch(std::span<const double> t_in, std::size_t n,
+                       std::span<double> t_out, BatchScratch& scratch) const;
+
   /// The ideal Eq.(6) linear-model times for the same inputs.
   void ideal_times(std::span<const double> t_in,
                    std::span<double> t_out) const;
@@ -69,10 +86,22 @@ class FastMvm {
  private:
   void precompute();
 
+  /// Fills v_wl[0, rows) with the S1 wordline voltages for one sample.
+  void wordline_voltages(std::span<const double> t_in, double* v_wl) const;
+
+  /// Shared S2 recovery: current-sum -> threshold -> crossing -> spike
+  /// time (or kNoSpike).  `silent` counts suppressed outputs.
+  double recover_time(double weighted, std::size_t col,
+                      std::size_t* silent) const;
+
   circuits::CircuitParams params_;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> g_;        // row-major effective conductances
+  std::vector<double> g_cm_;     // column-major effective conductances:
+                                 // g_cm_[c * rows_ + r].  Column-major
+                                 // keeps each column's weights
+                                 // contiguous for the per-column dot
+                                 // products (single and batched paths).
   std::vector<double> g_total_;  // per column
   std::vector<double> k_;        // per-column saturation factor
   std::vector<double> offsets_;  // per-column comparator mismatch

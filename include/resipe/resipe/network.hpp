@@ -115,6 +115,24 @@ class ProgrammedMatrix {
   /// x must be non-negative (spike times cannot encode sign).
   void forward(std::span<const double> x, std::span<double> y) const;
 
+  /// Reusable scratch for forward_batch.  Hoist one per worker (e.g.
+  /// thread_local) so steady-state batched inference never allocates.
+  struct BatchWorkspace {
+    std::vector<double> t_in;       // [n, in] encoded spike times
+    std::vector<double> t_rows;     // [n, block.rows] staged block input
+    std::vector<double> t_out;      // [n, block.slots] block spike times
+    std::vector<double> recovered;  // [n, physical cols] current-sums
+    FastMvm::BatchScratch mvm;
+  };
+
+  /// Batched forward: x is row-major [n, in], y row-major [n, out].
+  /// Bit-identical per sample to n forward() calls — same encode,
+  /// same block order, same recovery arithmetic — but each block runs
+  /// once over the whole batch through FastMvm::mvm_times_batch and
+  /// all scratch lives in `ws`.
+  void forward_batch(std::span<const double> x, std::size_t n,
+                     std::span<double> y, BatchWorkspace& ws) const;
+
   /// Analytic voltage-domain forward (no time quantization, no slice
   /// clamping) — the noise-free reference used by calibration; also
   /// returns the largest COG voltage observed.
@@ -159,8 +177,7 @@ class ProgrammedMatrix {
     std::unique_ptr<FastMvm> mvm;
   };
 
-  void encode_input(std::span<const double> x,
-                    std::vector<double>& t) const;
+  void encode_input(std::span<const double> x, std::span<double> t) const;
   /// Runs every block and accumulates recovered current-sums
   /// (sum_i V_i G_ij) per physical column.
   void accumulate(std::span<const double> t_in,

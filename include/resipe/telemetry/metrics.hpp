@@ -56,6 +56,67 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Thread-local batch of pending counter increments.  The parallel
+/// runtime installs one per worker around each parallel region (via
+/// resipe::set_parallel_hooks); RESIPE_TELEM_COUNT then accumulates
+/// into plain non-atomic cells and the shard drains into the shared
+/// atomics exactly once, at pool join.  The hot path stays free of
+/// cross-thread cache traffic and totals are independent of how work
+/// was scheduled.
+class CounterShard {
+ public:
+  /// Accumulates locally.  Regions touch a handful of distinct
+  /// counters, so a linear pointer scan beats hashing.
+  void add(Counter& c, std::uint64_t n) {
+    for (Cell& cell : cells_) {
+      if (cell.counter == &c) {
+        cell.pending += n;
+        return;
+      }
+    }
+    cells_.push_back(Cell{&c, n});
+  }
+
+  /// Adds every pending cell to its shared counter and zeroes it.
+  void flush() noexcept {
+    for (Cell& cell : cells_) {
+      if (cell.pending > 0) cell.counter->add(cell.pending);
+      cell.pending = 0;
+    }
+  }
+
+ private:
+  struct Cell {
+    Counter* counter;
+    std::uint64_t pending;
+  };
+  std::vector<Cell> cells_;
+};
+
+namespace detail {
+/// Shard installed on the calling thread while it participates in a
+/// parallel region; nullptr otherwise.
+extern thread_local CounterShard* t_counter_shard;
+}  // namespace detail
+
+/// Hot-path counter increment: routes through the thread's shard when
+/// one is installed (inside a parallel region), else hits the shared
+/// atomic directly.
+inline void counter_add(Counter& c, std::uint64_t n) {
+  if (CounterShard* shard = detail::t_counter_shard) {
+    shard->add(c, n);
+  } else {
+    c.add(n);
+  }
+}
+
+/// Registers the parallel-runtime hooks that install/flush per-thread
+/// counter shards around every parallel region.  Runs automatically at
+/// static-initialization time in instrumented builds; exposed for
+/// builds compiled with RESIPE_TELEMETRY_DISABLED that still want
+/// sharding for hand-rolled counter_add call sites.
+void install_parallel_counter_shards();
+
 /// Last-write-wins instantaneous value.  Thread-safe.
 class Gauge {
  public:

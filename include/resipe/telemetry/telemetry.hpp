@@ -59,7 +59,8 @@
     if (::resipe::telemetry::enabled()) {                                  \
       static ::resipe::telemetry::Counter& resipe_telem_counter_ =         \
           ::resipe::telemetry::MetricRegistry::instance().counter(name);   \
-      resipe_telem_counter_.add(static_cast<std::uint64_t>(n));            \
+      ::resipe::telemetry::counter_add(resipe_telem_counter_,              \
+                                       static_cast<std::uint64_t>(n));     \
     }                                                                      \
   } while (false)
 

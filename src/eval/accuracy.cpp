@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/nn/data.hpp"
 #include "resipe/nn/serialize.hpp"
@@ -108,24 +109,41 @@ NetworkAccuracy evaluate_network_accuracy(nn::BenchmarkNet net,
   auto [calib, calib_labels] = train.gather(calib_idx);
   (void)calib_labels;
 
-  for (double sigma : cfg.sigmas) {
+  // Each (sigma, seed) arm is an independent Monte-Carlo chip: it
+  // derives all randomness from its own program seed and only reads
+  // the shared trained model, so the arms parallelize freely.  Each
+  // arm writes an index-addressed slot and the reduction below folds
+  // them in the original (sigma-outer, seed-inner) order, making the
+  // sweep bit-identical for any thread count.
+  const std::size_t n_arms = cfg.sigmas.size() * cfg.mc_seeds;
+  std::vector<double> arm_acc(n_arms, 0.0);
+  parallel_for(
+      n_arms,
+      [&](std::size_t a) {
+        const std::size_t si = a / cfg.mc_seeds;
+        const std::size_t seed = a % cfg.mc_seeds;
+        resipe_core::EngineConfig ec;
+        ec.device.variation_sigma = cfg.sigmas[si];
+        // Common random numbers across the sigma sweep: the same
+        // underlying Gaussian draws scale with sigma, so each
+        // Monte-Carlo chip degrades monotonically and the sweep is not
+        // drowned in sampling noise.
+        ec.program_seed = 1000 + 77 * seed;
+        const resipe_core::ResipeNetwork hw(model, ec, calib);
+        arm_acc[a] = nn::evaluate_with(
+            test, [&hw](const nn::Tensor& b) { return hw.forward(b); });
+      },
+      cfg.threads);
+
+  for (std::size_t si = 0; si < cfg.sigmas.size(); ++si) {
     double acc_sum = 0.0;
     for (std::size_t seed = 0; seed < cfg.mc_seeds; ++seed) {
-      resipe_core::EngineConfig ec;
-      ec.device.variation_sigma = sigma;
-      // Common random numbers across the sigma sweep: the same
-      // underlying Gaussian draws scale with sigma, so each
-      // Monte-Carlo chip degrades monotonically and the sweep is not
-      // drowned in sampling noise.
-      ec.program_seed = 1000 + 77 * seed;
-      const resipe_core::ResipeNetwork hw(model, ec, calib);
-      acc_sum += nn::evaluate_with(
-          test, [&hw](const nn::Tensor& b) { return hw.forward(b); });
+      acc_sum += arm_acc[si * cfg.mc_seeds + seed];
     }
     row.accuracy.push_back(acc_sum / static_cast<double>(cfg.mc_seeds));
     if (cfg.verbose) {
       std::printf("  [%s] sigma %.0f%%: accuracy %.3f\n", row.name.c_str(),
-                  sigma * 100.0, row.accuracy.back());
+                  cfg.sigmas[si] * 100.0, row.accuracy.back());
     }
   }
   return row;

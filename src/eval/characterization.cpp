@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/common/rng.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
@@ -82,17 +83,32 @@ CharacterizationResult characterize(const CharacterizationConfig& cfg) {
   // 100 random samples ("with different t_in and G", Sec. III-D):
   // each sample draws a mean arrival time and a column conductance;
   // the rows jitter around the mean as they would for one MVM of a
-  // real workload.
-  std::vector<double> t(cfg.rows, 0.0);
+  // real workload.  All draws happen here, serially, in the original
+  // per-sample order (t_bar, row jitters, g_total); the deterministic
+  // measurements then fan out over the pool into per-sample slots, so
+  // the result is bit-identical for any thread count.
+  std::vector<double> sample_t(cfg.samples * cfg.rows, 0.0);
+  std::vector<double> sample_g(cfg.samples, 0.0);
   for (std::size_t i = 0; i < cfg.samples; ++i) {
     const double t_bar = rng.uniform(cfg.t_in_min, cfg.t_in_max);
-    for (double& ti : t) {
-      ti = std::clamp(t_bar * (1.0 + rng.normal(0.0, 0.2)), cfg.t_in_min,
-                      cfg.t_in_max);
+    for (std::size_t r = 0; r < cfg.rows; ++r) {
+      sample_t[i * cfg.rows + r] =
+          std::clamp(t_bar * (1.0 + rng.normal(0.0, 0.2)), cfg.t_in_min,
+                     cfg.t_in_max);
     }
-    const double g_total = rng.uniform(cfg.g_total_min, cfg.g_total_max);
-    result.random_samples.push_back(measure(cfg, t, g_total));
+    sample_g[i] = rng.uniform(cfg.g_total_min, cfg.g_total_max);
   }
+  result.random_samples.resize(cfg.samples);
+  parallel_for(
+      cfg.samples,
+      [&](std::size_t i) {
+        result.random_samples[i] = measure(
+            cfg,
+            std::span<const double>(sample_t.data() + i * cfg.rows,
+                                    cfg.rows),
+            sample_g[i]);
+      },
+      cfg.threads);
 
   // Fixed-G sweeps for Curves 2 and 3: a frozen per-row jitter pattern
   // scaled so the mean arrival sweeps the full input range.
@@ -100,14 +116,20 @@ CharacterizationResult characterize(const CharacterizationConfig& cfg) {
   for (double& z : jitter) z = rng.normal(0.0, 0.25);
   const auto t_sweep = linspace(cfg.t_in_min, cfg.t_in_max,
                                 cfg.sweep_points);
-  for (double t_bar : t_sweep) {
-    for (std::size_t r = 0; r < cfg.rows; ++r) {
-      t[r] = std::clamp(t_bar * (1.0 + jitter[r]), cfg.t_in_min,
-                        cfg.t_in_max);
-    }
-    result.sweep_2_5ms.push_back(measure(cfg, t, 2.5e-3));
-    result.sweep_3_2ms.push_back(measure(cfg, t, 3.2e-3));
-  }
+  result.sweep_2_5ms.resize(t_sweep.size());
+  result.sweep_3_2ms.resize(t_sweep.size());
+  parallel_for(
+      t_sweep.size(),
+      [&](std::size_t p) {
+        std::vector<double> t(cfg.rows, 0.0);
+        for (std::size_t r = 0; r < cfg.rows; ++r) {
+          t[r] = std::clamp(t_sweep[p] * (1.0 + jitter[r]), cfg.t_in_min,
+                            cfg.t_in_max);
+        }
+        result.sweep_2_5ms[p] = measure(cfg, t, 2.5e-3);
+        result.sweep_3_2ms[p] = measure(cfg, t, 3.2e-3);
+      },
+      cfg.threads);
 
   std::vector<CharacterizationPoint> curve1_pts;
   for (const auto& p : result.random_samples) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/nn/data.hpp"
 #include "resipe/nn/serialize.hpp"
@@ -75,7 +76,6 @@ FaultToleranceResult evaluate_fault_tolerance(
   (void)calib_labels;
 
   const auto run_arm = [&](double rate, std::size_t seed, bool mitigate,
-                           resipe_core::ResipeNetwork** out_hw,
                            std::unique_ptr<resipe_core::ResipeNetwork>&
                                holder) {
     resipe_core::EngineConfig ec;
@@ -90,21 +90,30 @@ FaultToleranceResult evaluate_fault_tolerance(
     // depends on the Monte-Carlo seed only, never on the arm.
     ec.reliability.fault_seed = hash_seed(cfg.fault_seed, seed);
     holder = std::make_unique<resipe_core::ResipeNetwork>(model, ec, calib);
-    *out_hw = holder.get();
     return nn::evaluate_with(test, [&](const nn::Tensor& b) {
       return holder->forward(b);
     });
   };
 
-  // Zero-defect circuit baseline: reliability disabled entirely.
+  // Zero-defect circuit baseline: reliability disabled entirely.  Each
+  // Monte-Carlo seed is an independent arm writing its own slot; the
+  // fold below runs in seed order, so results are bit-identical for
+  // any thread count (likewise for the sweep arms further down).
   {
+    std::vector<double> base_acc(cfg.mc_seeds, 0.0);
+    parallel_for(
+        cfg.mc_seeds,
+        [&](std::size_t seed) {
+          resipe_core::EngineConfig ec;
+          ec.program_seed = 1000 + 77 * seed;
+          const resipe_core::ResipeNetwork hw(model, ec, calib);
+          base_acc[seed] = nn::evaluate_with(
+              test, [&hw](const nn::Tensor& b) { return hw.forward(b); });
+        },
+        cfg.threads);
     double acc_sum = 0.0;
     for (std::size_t seed = 0; seed < cfg.mc_seeds; ++seed) {
-      resipe_core::EngineConfig ec;
-      ec.program_seed = 1000 + 77 * seed;
-      const resipe_core::ResipeNetwork hw(model, ec, calib);
-      acc_sum += nn::evaluate_with(
-          test, [&hw](const nn::Tensor& b) { return hw.forward(b); });
+      acc_sum += base_acc[seed];
     }
     result.baseline_accuracy =
         acc_sum / static_cast<double>(cfg.mc_seeds);
@@ -114,29 +123,50 @@ FaultToleranceResult evaluate_fault_tolerance(
     }
   }
 
-  for (double rate : cfg.defect_rates) {
+  // One work item per (rate, seed) pair; the paired OFF/ON arms stay
+  // together inside the item because they share a fault realization.
+  struct ArmResult {
+    double off = 0.0;
+    double on = 0.0;
+    resipe_core::ProgrammedMatrix::ReliabilityStats stats;
+    std::size_t degraded = 0;
+  };
+  const std::size_t n_arms = cfg.defect_rates.size() * cfg.mc_seeds;
+  std::vector<ArmResult> arms(n_arms);
+  parallel_for(
+      n_arms,
+      [&](std::size_t a) {
+        const double rate = cfg.defect_rates[a / cfg.mc_seeds];
+        const std::size_t seed = a % cfg.mc_seeds;
+        std::unique_ptr<resipe_core::ResipeNetwork> holder;
+        arms[a].off = run_arm(rate, seed, /*mitigate=*/false, holder);
+        arms[a].on = run_arm(rate, seed, /*mitigate=*/true, holder);
+        arms[a].stats = holder->reliability_stats();
+        arms[a].degraded = holder->degraded_outputs();
+      },
+      cfg.threads);
+
+  for (std::size_t ri = 0; ri < cfg.defect_rates.size(); ++ri) {
     FaultTolerancePoint point;
-    point.defect_rate = rate;
+    point.defect_rate = cfg.defect_rates[ri];
     double off_sum = 0.0;
     double on_sum = 0.0;
     for (std::size_t seed = 0; seed < cfg.mc_seeds; ++seed) {
-      std::unique_ptr<resipe_core::ResipeNetwork> holder;
-      resipe_core::ResipeNetwork* hw = nullptr;
-      off_sum += run_arm(rate, seed, /*mitigate=*/false, &hw, holder);
-      on_sum += run_arm(rate, seed, /*mitigate=*/true, &hw, holder);
-      const auto stats = hw->reliability_stats();
-      point.cells_faulty += stats.cells_faulty;
-      point.columns_remapped += stats.columns_remapped;
-      point.spares_used += stats.spares_used;
-      point.columns_unrepairable += stats.columns_unrepairable;
-      point.cells_compensated += stats.cells_compensated;
-      point.degraded_outputs += hw->degraded_outputs();
+      const ArmResult& arm = arms[ri * cfg.mc_seeds + seed];
+      off_sum += arm.off;
+      on_sum += arm.on;
+      point.cells_faulty += arm.stats.cells_faulty;
+      point.columns_remapped += arm.stats.columns_remapped;
+      point.spares_used += arm.stats.spares_used;
+      point.columns_unrepairable += arm.stats.columns_unrepairable;
+      point.cells_compensated += arm.stats.cells_compensated;
+      point.degraded_outputs += arm.degraded;
     }
     point.accuracy_off = off_sum / static_cast<double>(cfg.mc_seeds);
     point.accuracy_on = on_sum / static_cast<double>(cfg.mc_seeds);
     if (cfg.verbose) {
       std::printf("  [%s] defect rate %.2f%%: off %.3f, on %.3f\n",
-                  result.network.c_str(), rate * 100.0,
+                  result.network.c_str(), point.defect_rate * 100.0,
                   point.accuracy_off, point.accuracy_on);
     }
     RESIPE_TELEM_COUNT("eval.fault_tolerance.points", 1);

@@ -4,13 +4,15 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::eval {
 
 FidelityScore mvm_fidelity(const resipe_core::EngineConfig& config,
                            std::size_t in, std::size_t out,
-                           std::size_t samples, std::uint64_t seed) {
+                           std::size_t samples, std::uint64_t seed,
+                           std::size_t threads) {
   RESIPE_TELEM_SCOPE("eval.fidelity.mvm_fidelity");
   RESIPE_REQUIRE(in > 0 && out > 0 && samples > 0, "empty fidelity run");
   Rng rng(seed);
@@ -27,21 +29,40 @@ FidelityScore mvm_fidelity(const resipe_core::EngineConfig& config,
   for (double& v : xs) v = rng.uniform(0.0, 1.0);
   pm.calibrate_alpha(xs, samples);
 
-  std::vector<double> y_hw(out), y_ref(out);
+  // Samples are pure functions of the pre-drawn inputs and the (const)
+  // programmed matrix: each records its own partial error statistics
+  // and the fold below runs sample-ascending, so the score is
+  // bit-identical for any thread count.
+  std::vector<double> ss_arr(samples, 0.0);
+  std::vector<double> worst_arr(samples, 0.0);
+  std::vector<double> ref_arr(samples, 0.0);
+  parallel_for_chunked(
+      samples, 0,
+      [&](std::size_t b, std::size_t e) {
+        std::vector<double> y_hw(out), y_ref(out);
+        for (std::size_t s = b; s < e; ++s) {
+          const std::span<const double> x(xs.data() + s * in, in);
+          pm.forward(x, y_hw);
+          for (std::size_t j = 0; j < out; ++j) {
+            y_ref[j] = 0.0;
+            for (std::size_t i = 0; i < in; ++i)
+              y_ref[j] += x[i] * w[i * out + j];
+            const double err = y_hw[j] - y_ref[j];
+            ss_arr[s] += err * err;
+            worst_arr[s] = std::max(worst_arr[s], std::abs(err));
+            ref_arr[s] = std::max(ref_arr[s], std::abs(y_ref[j]));
+          }
+        }
+      },
+      threads);
+
   double ss = 0.0;
   double worst = 0.0;
   double ref_scale = 0.0;
   for (std::size_t s = 0; s < samples; ++s) {
-    const std::span<const double> x(xs.data() + s * in, in);
-    pm.forward(x, y_hw);
-    for (std::size_t j = 0; j < out; ++j) {
-      y_ref[j] = 0.0;
-      for (std::size_t i = 0; i < in; ++i) y_ref[j] += x[i] * w[i * out + j];
-      const double err = y_hw[j] - y_ref[j];
-      ss += err * err;
-      worst = std::max(worst, std::abs(err));
-      ref_scale = std::max(ref_scale, std::abs(y_ref[j]));
-    }
+    ss += ss_arr[s];
+    worst = std::max(worst, worst_arr[s]);
+    ref_scale = std::max(ref_scale, ref_arr[s]);
   }
   RESIPE_ASSERT(ref_scale > 0.0, "degenerate fidelity reference");
   FidelityScore score;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/common/table.hpp"
 #include "resipe/eval/fidelity.hpp"
 #include "resipe/telemetry/telemetry.hpp"
@@ -15,27 +16,40 @@ std::vector<YieldPoint> mvm_yield(const resipe_core::EngineConfig& base,
   RESIPE_TELEM_SCOPE("eval.yield.mvm_yield");
   RESIPE_REQUIRE(!config.sigmas.empty() && config.chips_per_sigma > 0,
                  "empty yield sweep");
+  // Every (sigma, chip) cell hashes to its own decorrelated stream:
+  // reordering/extending the sigma list or the chip count never changes
+  // the draws of another cell, so sweep results compose, reruns are
+  // bit-identical point by point, and the cells parallelize freely.
+  // Each cell writes its own slot; the fold below runs chip-ascending
+  // per sigma, so thread count never changes the reduction order.
+  const std::size_t n_cells = config.sigmas.size() * config.chips_per_sigma;
+  std::vector<double> cell_rmse(n_cells, 0.0);
+  parallel_for(
+      n_cells,
+      [&](std::size_t cell) {
+        const std::size_t si = cell / config.chips_per_sigma;
+        const std::size_t chip = cell % config.chips_per_sigma;
+        resipe_core::EngineConfig cfg = base;
+        cfg.device.variation_sigma = config.sigmas[si];
+        cfg.program_seed = hash_seed(config.seed, si, chip);
+        cell_rmse[cell] =
+            mvm_fidelity(cfg, config.matrix_rows, config.matrix_cols,
+                         config.samples_per_chip, config.seed)
+                .rmse;
+      },
+      config.threads);
+
   std::vector<YieldPoint> points;
   for (std::size_t si = 0; si < config.sigmas.size(); ++si) {
-    const double sigma = config.sigmas[si];
     YieldPoint p;
-    p.sigma = sigma;
+    p.sigma = config.sigmas[si];
     std::size_t pass = 0;
     double sum = 0.0;
     for (std::size_t chip = 0; chip < config.chips_per_sigma; ++chip) {
-      resipe_core::EngineConfig cfg = base;
-      cfg.device.variation_sigma = sigma;
-      // Every (sigma, chip) cell hashes to its own decorrelated stream:
-      // reordering/extending the sigma list or the chip count never
-      // changes the draws of another cell, so sweep results compose and
-      // reruns are bit-identical point by point.
-      cfg.program_seed = hash_seed(config.seed, si, chip);
-      const FidelityScore score =
-          mvm_fidelity(cfg, config.matrix_rows, config.matrix_cols,
-                       config.samples_per_chip, config.seed);
-      sum += score.rmse;
-      p.worst_rmse = std::max(p.worst_rmse, score.rmse);
-      if (score.rmse <= config.rmse_bound) ++pass;
+      const double rmse = cell_rmse[si * config.chips_per_sigma + chip];
+      sum += rmse;
+      p.worst_rmse = std::max(p.worst_rmse, rmse);
+      if (rmse <= config.rmse_bound) ++pass;
     }
     p.mean_rmse = sum / static_cast<double>(config.chips_per_sigma);
     p.yield = static_cast<double>(pass) /

@@ -32,7 +32,9 @@ Dropout::Dropout(double rate, std::uint64_t seed)
 
 Tensor Dropout::forward(const Tensor& x, bool train) {
   if (!train || rate_ == 0.0) {
-    mask_.clear();
+    // Eval-mode forwards run concurrently on a shared model; only a
+    // training pass (always single-threaded) may touch layer state.
+    if (train) mask_.clear();
     return x;
   }
   Tensor y = x;
@@ -64,8 +66,10 @@ std::string Dropout::describe() const {
 }
 
 Tensor Flatten::forward(const Tensor& x, bool train) {
+  // Only the training pass records the input shape (backward's only
+  // consumer): eval-mode forwards run concurrently on a shared model
+  // and must not write layer state.
   if (train) in_shape_ = x.shape();
-  else in_shape_ = x.shape();  // needed for shape queries either way
   const std::size_t n = x.dim(0);
   return x.reshaped({n, x.size() / n});
 }

@@ -11,10 +11,10 @@ FastMvm::FastMvm(const circuits::CircuitParams& params,
                  const crossbar::Crossbar& xbar)
     : params_(params), rows_(xbar.rows()), cols_(xbar.cols()) {
   params_.validate();
-  g_.resize(rows_ * cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      g_[r * cols_ + c] = xbar.effective_g(r, c);
+  g_cm_.resize(rows_ * cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      g_cm_[c * rows_ + r] = xbar.effective_g(r, c);
     }
   }
   precompute();
@@ -22,17 +22,26 @@ FastMvm::FastMvm(const circuits::CircuitParams& params,
 
 FastMvm::FastMvm(const circuits::CircuitParams& params, std::size_t rows,
                  std::size_t cols, std::vector<double> g_effective)
-    : params_(params), rows_(rows), cols_(cols), g_(std::move(g_effective)) {
+    : params_(params), rows_(rows), cols_(cols) {
   params_.validate();
   RESIPE_REQUIRE(rows_ > 0 && cols_ > 0, "empty FastMvm");
-  RESIPE_REQUIRE(g_.size() == rows_ * cols_, "conductance matrix size");
+  RESIPE_REQUIRE(g_effective.size() == rows_ * cols_,
+                 "conductance matrix size");
+  g_cm_.resize(rows_ * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      g_cm_[c * rows_ + r] = g_effective[r * cols_ + c];
+    }
+  }
   precompute();
 }
 
 void FastMvm::precompute() {
   g_total_.assign(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) g_total_[c] += g_[r * cols_ + c];
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double* gc = g_cm_.data() + c * rows_;
+    // Row-ascending sum, matching ResipeTile's accumulation order.
+    for (std::size_t r = 0; r < rows_; ++r) g_total_[c] += gc[r];
   }
   k_.assign(cols_, 0.0);
   for (std::size_t c = 0; c < cols_; ++c) {
@@ -52,23 +61,55 @@ void FastMvm::set_column_offsets(std::vector<double> offsets) {
   offsets_ = std::move(offsets);
 }
 
+void FastMvm::wordline_voltages(std::span<const double> t_in,
+                                double* v_wl) const {
+  const double tau_gd = params_.tau_gd();
+  const double v_s = params_.v_s;
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double t = t_in[r];
+    if (!(t >= 0.0) || t == kNoSpike || t > params_.slice_length) {
+      v_wl[r] = 0.0;
+      continue;
+    }
+    v_wl[r] = linear ? v_s * t / tau_gd : v_s * (1.0 - std::exp(-t / tau_gd));
+  }
+}
+
+double FastMvm::recover_time(double weighted, std::size_t col,
+                             std::size_t* silent) const {
+  const double tau_gd = params_.tau_gd();
+  const double v_s = params_.v_s;
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+  const double v_eq = weighted / g_total_[col];
+  const double v_cog = v_eq * k_[col];
+  double threshold = v_cog + params_.comparator_offset;
+  if (!offsets_.empty()) threshold += offsets_[col];
+  double crossing;
+  if (threshold <= 0.0) {
+    crossing = 0.0;
+  } else if (linear) {
+    crossing = threshold * tau_gd / v_s;
+  } else if (threshold >= v_s) {
+    crossing = kNoSpike;
+  } else {
+    crossing = -tau_gd * std::log(1.0 - threshold / v_s);
+  }
+  const double t = crossing + params_.comparator_delay;
+  if (t <= params_.slice_length) return t;
+  ++*silent;
+  return kNoSpike;
+}
+
 void FastMvm::mvm_times(std::span<const double> t_in,
                         std::span<double> t_out) const {
   RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times");
   RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
                  "FastMvm vector size mismatch");
-  const double tau_gd = params_.tau_gd();
-  const double v_s = params_.v_s;
-  const bool linear = params_.model == circuits::TransferModel::kLinear;
-
   // S1: wordline voltages from the GD ramp.
   thread_local std::vector<double> v_wl;
-  v_wl.assign(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double t = t_in[r];
-    if (!(t >= 0.0) || t == kNoSpike || t > params_.slice_length) continue;
-    v_wl[r] = linear ? v_s * t / tau_gd : v_s * (1.0 - std::exp(-t / tau_gd));
-  }
+  v_wl.resize(rows_);
+  wordline_voltages(t_in, v_wl.data());
 
   // Computation stage + S2 per column.
   std::size_t silent = 0;
@@ -78,29 +119,58 @@ void FastMvm::mvm_times(std::span<const double> t_in,
       t_out[c] = params_.comparator_delay;
       continue;
     }
+    const double* gc = g_cm_.data() + c * rows_;
     double weighted = 0.0;
     for (std::size_t r = 0; r < rows_; ++r) {
-      weighted += v_wl[r] * g_[r * cols_ + c];
+      weighted += v_wl[r] * gc[r];
     }
-    const double v_eq = weighted / g_total_[c];
-    const double v_cog = v_eq * k_[c];
-    double threshold = v_cog + params_.comparator_offset;
-    if (!offsets_.empty()) threshold += offsets_[c];
-    double crossing;
-    if (threshold <= 0.0) {
-      crossing = 0.0;
-    } else if (linear) {
-      crossing = threshold * tau_gd / v_s;
-    } else if (threshold >= v_s) {
-      crossing = kNoSpike;
-    } else {
-      crossing = -tau_gd * std::log(1.0 - threshold / v_s);
-    }
-    const double t = crossing + params_.comparator_delay;
-    t_out[c] = t <= params_.slice_length ? t : kNoSpike;
-    if (t_out[c] == kNoSpike) ++silent;
+    t_out[c] = recover_time(weighted, c, &silent);
   }
   RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops", rows_ * cols_);
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
+}
+
+void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
+                              std::span<double> t_out,
+                              BatchScratch& scratch) const {
+  RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times_batch");
+  RESIPE_REQUIRE(t_in.size() == n * rows_ && t_out.size() == n * cols_,
+                 "FastMvm batch size mismatch");
+  if (n == 0) return;
+
+  // S1 for every sample up front.
+  scratch.v_wl.resize(n * rows_);
+  for (std::size_t s = 0; s < n; ++s) {
+    wordline_voltages(t_in.subspan(s * rows_, rows_),
+                      scratch.v_wl.data() + s * rows_);
+  }
+
+  // Computation stage + S2, column-outer so each column's weights are
+  // loaded once and the dot product / recovery chain runs contiguously
+  // across samples.
+  scratch.weighted.resize(n);
+  std::size_t silent = 0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (g_total_[c] <= 0.0) {
+      for (std::size_t s = 0; s < n; ++s) {
+        t_out[s * cols_ + c] = params_.comparator_delay;
+      }
+      continue;
+    }
+    const double* gc = g_cm_.data() + c * rows_;
+    for (std::size_t s = 0; s < n; ++s) {
+      const double* vs = scratch.v_wl.data() + s * rows_;
+      double weighted = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        weighted += vs[r] * gc[r];
+      }
+      scratch.weighted[s] = weighted;
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      t_out[s * cols_ + c] = recover_time(scratch.weighted[s], c, &silent);
+    }
+  }
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops", n * rows_ * cols_);
   RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
 }
 
@@ -110,11 +180,12 @@ void FastMvm::ideal_times(std::span<const double> t_in,
                  "FastMvm vector size mismatch");
   const double gain = params_.linear_gain();
   for (std::size_t c = 0; c < cols_; ++c) {
+    const double* gc = g_cm_.data() + c * rows_;
     double acc = 0.0;
     for (std::size_t r = 0; r < rows_; ++r) {
       const double t = t_in[r];
       if (!(t >= 0.0) || t == kNoSpike) continue;
-      acc += t * g_[r * cols_ + c];
+      acc += t * gc[r];
     }
     t_out[c] = gain * acc;
   }

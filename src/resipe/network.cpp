@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 #include "resipe/reliability/fault_mapper.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
@@ -348,8 +349,7 @@ void ProgrammedMatrix::set_time_scale(double alpha) {
 }
 
 void ProgrammedMatrix::encode_input(std::span<const double> x,
-                                    std::vector<double>& t) const {
-  t.assign(in_, 0.0);
+                                    std::span<double> t) const {
   for (std::size_t i = 0; i < in_; ++i) {
     const double xn = std::clamp(x[i] / input_scale_, 0.0, 1.0);
     t[i] = codec_.encode(alpha_ * xn).arrival_time;
@@ -407,10 +407,63 @@ void ProgrammedMatrix::forward(std::span<const double> x,
                  "forward vector size mismatch");
   thread_local std::vector<double> t_in;
   thread_local std::vector<double> recovered;
+  t_in.resize(in_);
   encode_input(x, t_in);
   recovered.assign(mapping_.cols, 0.0);
   accumulate(t_in, recovered);
   decode(recovered, y);
+}
+
+void ProgrammedMatrix::forward_batch(std::span<const double> x, std::size_t n,
+                                     std::span<double> y,
+                                     BatchWorkspace& ws) const {
+  RESIPE_TELEM_SCOPE("resipe_core.matrix.forward_batch");
+  RESIPE_REQUIRE(x.size() == n * in_ && y.size() == n * out_,
+                 "forward_batch size mismatch");
+  if (n == 0) return;
+  RESIPE_TELEM_COUNT("resipe_core.matrix.block_mvms", n * blocks_.size());
+  const auto& params = config_.circuit;
+
+  ws.t_in.resize(n * in_);
+  for (std::size_t s = 0; s < n; ++s) {
+    encode_input(x.subspan(s * in_, in_),
+                 std::span<double>(ws.t_in.data() + s * in_, in_));
+  }
+
+  // Same block order and same per-column recovery arithmetic as
+  // accumulate(); only the batching differs.
+  ws.recovered.assign(n * mapping_.cols, 0.0);
+  for (const Block& block : blocks_) {
+    ws.t_rows.resize(n * block.rows);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double* src = ws.t_in.data() + s * in_ + block.row0;
+      std::copy(src, src + block.rows, ws.t_rows.data() + s * block.rows);
+    }
+    ws.t_out.resize(n * block.slots);
+    block.mvm->mvm_times_batch(ws.t_rows, n, ws.t_out, ws.mvm);
+    const bool remapped = !block.slot_of_col.empty();
+    for (std::size_t s = 0; s < n; ++s) {
+      double* rec = ws.recovered.data() + s * mapping_.cols;
+      const double* t_blk = ws.t_out.data() + s * block.slots;
+      for (std::size_t c = 0; c < block.cols; ++c) {
+        const std::size_t slot = remapped ? block.slot_of_col[c] : c;
+        double t = t_blk[slot];
+        if (t == FastMvm::kNoSpike) t = params.slice_length;
+        const double v_cog = params.ramp_voltage(t);
+        const double k = block.mvm->k(slot);
+        const double g_total = block.mvm->g_total(slot);
+        if (k > 0.0) {
+          rec[block.col0 + c] += v_cog * g_total / k;
+        }
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    decode(std::span<const double>(ws.recovered.data() + s * mapping_.cols,
+                                   mapping_.cols),
+           y.subspan(s * out_, out_));
+  }
 }
 
 double ProgrammedMatrix::forward_analytic(std::span<const double> x,
@@ -622,12 +675,16 @@ nn::Tensor ResipeNetwork::run_dense(const Step& step,
   const std::size_t out = step.matrix->out_features();
   RESIPE_REQUIRE(x.dim(1) == in, "dense step input width mismatch");
   nn::Tensor y({n, out});
-  std::vector<double> row_out(out, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::span<const double> row(x.data().data() + i * in, in);
-    step.matrix->forward(row, row_out);
-    for (std::size_t j = 0; j < out; ++j) y.at(i, j) = row_out[j];
-  }
+  const double* x_data = x.data().data();
+  double* y_data = y.data().data();
+  // Images are independent and write disjoint output slices, so the
+  // decomposition (and thread count) cannot change the results.
+  parallel_for_chunked(n, 0, [&](std::size_t b, std::size_t e) {
+    thread_local ProgrammedMatrix::BatchWorkspace ws;
+    step.matrix->forward_batch(
+        std::span<const double>(x_data + b * in, (e - b) * in), e - b,
+        std::span<double>(y_data + b * out, (e - b) * out), ws);
+  });
   return y;
 }
 
@@ -642,19 +699,26 @@ nn::Tensor ResipeNetwork::run_conv(const Step& step,
   const std::size_t ow = (w + 2 * step.pad - step.k) / step.stride + 1;
   nn::Tensor y({n, step.cout, oh, ow});
   const std::size_t in = step.matrix->in_features();
-  std::vector<double> patch(in, 0.0);
-  std::vector<double> out_vec(step.cout, 0.0);
-  for (std::size_t img = 0; img < n; ++img) {
+  // One image per work item; each output row of ow patches runs as one
+  // batched MVM.  Images write disjoint y slices.
+  parallel_for(n, [&](std::size_t img) {
+    thread_local ProgrammedMatrix::BatchWorkspace ws;
+    thread_local std::vector<double> patches;
+    thread_local std::vector<double> out_row;
+    patches.resize(ow * in);
+    out_row.resize(ow * step.cout);
     for (std::size_t r = 0; r < oh; ++r) {
       for (std::size_t c = 0; c < ow; ++c) {
         gather_conv_patch(x, img, step.cin, step.k, step.stride, step.pad, r,
-                          c, patch);
-        step.matrix->forward(patch, out_vec);
+                          c, std::span<double>(patches.data() + c * in, in));
+      }
+      step.matrix->forward_batch(patches, ow, out_row, ws);
+      for (std::size_t c = 0; c < ow; ++c) {
         for (std::size_t oc = 0; oc < step.cout; ++oc)
-          y.at(img, oc, r, c) = out_vec[oc];
+          y.at(img, oc, r, c) = out_row[c * step.cout + oc];
       }
     }
-  }
+  });
   return y;
 }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
 
 namespace resipe::telemetry {
 
@@ -43,6 +44,41 @@ bool resolve_enabled() noexcept {
 void set_enabled(bool on) noexcept {
   detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
 }
+
+namespace detail {
+thread_local CounterShard* t_counter_shard = nullptr;
+}  // namespace detail
+
+namespace {
+
+thread_local CounterShard t_region_shard;
+
+void region_begin() noexcept { detail::t_counter_shard = &t_region_shard; }
+
+void region_end() noexcept {
+  t_region_shard.flush();
+  detail::t_counter_shard = nullptr;
+}
+
+}  // namespace
+
+void install_parallel_counter_shards() {
+  ParallelHooks hooks;
+  hooks.thread_begin = &region_begin;
+  hooks.thread_end = &region_end;
+  set_parallel_hooks(hooks);
+}
+
+#if !defined(RESIPE_TELEMETRY_DISABLED)
+namespace {
+// The hook slots in resipe_common are constant-initialized atomics, so
+// registering from a dynamic initializer is order-safe.
+const bool g_shards_installed = [] {
+  install_parallel_counter_shards();
+  return true;
+}();
+}  // namespace
+#endif
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)) {

@@ -1,0 +1,227 @@
+#include "resipe/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "resipe/eval/accuracy.hpp"
+#include "resipe/eval/fault_tolerance.hpp"
+#include "resipe/eval/yield.hpp"
+#include "resipe/telemetry/metrics.hpp"
+
+namespace resipe {
+namespace {
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for_chunked(
+      0, 4, [&](std::size_t, std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleElement) {
+  std::atomic<int> calls{0};
+  std::size_t seen = 99;
+  parallel_for(1, [&](std::size_t i) { ++calls; seen = i; }, 8);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { ++hits[i]; }, 8);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForChunked, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 997;  // not a multiple of any grain
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_chunked(
+      kN, 13,
+      [&](std::size_t b, std::size_t e) {
+        ASSERT_LT(b, e);
+        ASSERT_LE(e, kN);
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      },
+      8);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForChunked, AutoGrainCoversEverything) {
+  constexpr std::size_t kN = 321;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_chunked(
+      kN, 0,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      },
+      4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  constexpr std::size_t kOuter = 4;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  EXPECT_FALSE(in_parallel_region());
+  parallel_for(
+      kOuter,
+      [&](std::size_t o) {
+        EXPECT_TRUE(in_parallel_region());
+        // The nested loop must execute inline on this thread.
+        parallel_for(
+            kInner, [&](std::size_t i) { ++hits[o * kInner + i]; }, 8);
+      },
+      4);
+  EXPECT_FALSE(in_parallel_region());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("item 37 failed");
+          },
+          4),
+      std::runtime_error);
+
+  // The pool must survive a failed region.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(64, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(
+          10, [](std::size_t i) { if (i == 3) throw std::logic_error("x"); },
+          1),
+      std::logic_error);
+}
+
+TEST(ParallelRuntime, ThreadCountResolution) {
+  EXPECT_GE(hardware_threads(), 1u);
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3u);
+  set_default_threads(0);  // restore auto
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(ParallelTelemetry, CounterTotalsIndependentOfThreadCount) {
+  // With telemetry enabled, pool workers batch increments in
+  // thread-local shards merged at join — the totals must match the
+  // serial path exactly.  (In RESIPE_TELEMETRY_DISABLED builds the
+  // shard hooks are never installed and counter_add hits the shared
+  // atomic directly; the equality must hold there too.)
+  telemetry::set_enabled(true);
+  auto& c =
+      telemetry::MetricRegistry::instance().counter("test.parallel.shard");
+  const auto run = [&](std::size_t threads) {
+    c.reset();
+    parallel_for(
+        64, [&](std::size_t) { telemetry::counter_add(c, 3); }, threads);
+    return c.value();
+  };
+  const std::uint64_t serial = run(1);
+  EXPECT_EQ(serial, 64u * 3u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+  telemetry::set_enabled(false);
+}
+
+// --- Bit-identity of the parallel eval sweeps -------------------------
+//
+// The determinism contract (DESIGN.md "Parallel runtime"): every sweep
+// decomposes into work items that derive their randomness from
+// hash_seed streams keyed on the item index and reduce in index order
+// on the calling thread, so the thread count can never change the
+// result.  These tests pin that contract bit-for-bit at 1/2/8 threads.
+
+TEST(ParallelBitIdentity, YieldSweep) {
+  eval::YieldConfig cfg;
+  cfg.sigmas = {0.0, 0.10, 0.20};
+  cfg.chips_per_sigma = 6;
+  cfg.matrix_rows = 16;
+  cfg.matrix_cols = 4;
+  cfg.samples_per_chip = 8;
+  const auto run = [&](std::size_t threads) {
+    eval::YieldConfig c = cfg;
+    c.threads = threads;
+    return eval::mvm_yield(resipe_core::EngineConfig{}, c);
+  };
+  const auto serial = run(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto par = run(threads);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_DOUBLE_EQ(par[i].mean_rmse, serial[i].mean_rmse);
+      EXPECT_DOUBLE_EQ(par[i].worst_rmse, serial[i].worst_rmse);
+      EXPECT_DOUBLE_EQ(par[i].yield, serial[i].yield);
+    }
+  }
+}
+
+TEST(ParallelBitIdentity, AccuracySweep) {
+  eval::AccuracyConfig cfg;
+  cfg.sigmas = {0.0, 0.10};
+  cfg.train_samples = 300;
+  cfg.test_samples = 50;
+  cfg.epochs = 1;
+  cfg.mc_seeds = 2;
+  const auto run = [&](std::size_t threads) {
+    eval::AccuracyConfig c = cfg;
+    c.threads = threads;
+    return eval::evaluate_network_accuracy(nn::BenchmarkNet::kMlp1, c);
+  };
+  const auto serial = run(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto par = run(threads);
+    EXPECT_DOUBLE_EQ(par.software_accuracy, serial.software_accuracy);
+    ASSERT_EQ(par.accuracy.size(), serial.accuracy.size());
+    for (std::size_t i = 0; i < serial.accuracy.size(); ++i) {
+      EXPECT_DOUBLE_EQ(par.accuracy[i], serial.accuracy[i]);
+    }
+  }
+}
+
+TEST(ParallelBitIdentity, FaultToleranceSweep) {
+  eval::FaultToleranceConfig cfg;
+  cfg.net = nn::BenchmarkNet::kMlp1;
+  cfg.defect_rates = {0.01, 0.02};
+  cfg.train_samples = 300;
+  cfg.test_samples = 50;
+  cfg.epochs = 1;
+  cfg.mc_seeds = 2;
+  const auto run = [&](std::size_t threads) {
+    eval::FaultToleranceConfig c = cfg;
+    c.threads = threads;
+    return eval::evaluate_fault_tolerance(c);
+  };
+  const auto serial = run(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto par = run(threads);
+    EXPECT_DOUBLE_EQ(par.baseline_accuracy, serial.baseline_accuracy);
+    ASSERT_EQ(par.points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(par.points[i].accuracy_off,
+                       serial.points[i].accuracy_off);
+      EXPECT_DOUBLE_EQ(par.points[i].accuracy_on,
+                       serial.points[i].accuracy_on);
+      EXPECT_EQ(par.points[i].cells_faulty, serial.points[i].cells_faulty);
+      EXPECT_EQ(par.points[i].cells_compensated,
+                serial.points[i].cells_compensated);
+      EXPECT_EQ(par.points[i].degraded_outputs,
+                serial.points[i].degraded_outputs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resipe
