@@ -54,9 +54,13 @@ int main(int argc, char** argv) {
     for (char& ch : key) {
       if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
     }
-    report.add(key + "_software_acc", row.software_accuracy);
+    std::string acc_key = key;
+    acc_key += "_software_acc";
+    report.add(acc_key, row.software_accuracy);
     if (!row.accuracy.empty()) {
-      report.add(key + "_acc_sigma_max", row.accuracy.back());
+      std::string max_key = key;
+      max_key += "_acc_sigma_max";
+      report.add(max_key, row.accuracy.back());
     }
   }
   return report.emit();

@@ -65,12 +65,19 @@ class BenchReport {
       if (!first) json += ",";
       first = false;
       std::snprintf(buf, sizeof buf, "%.17g", value);
-      json += "\"" + escape(key) + "\":" + buf;
+      json += "\"";
+      json += escape(key);
+      json += "\":";
+      json += buf;
     }
     for (const auto& [key, value] : strings_) {
       if (!first) json += ",";
       first = false;
-      json += "\"" + escape(key) + "\":\"" + escape(value) + "\"";
+      json += "\"";
+      json += escape(key);
+      json += "\":\"";
+      json += escape(value);
+      json += "\"";
     }
     json += "}}";
     std::printf("BENCH_JSON %s\n", json.c_str());

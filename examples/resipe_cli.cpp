@@ -16,6 +16,11 @@
 //               [--cluster F] [--seeds N]
 //       Stuck-at defect-rate sweep: accuracy with the mitigation
 //       pipeline OFF vs ON on identical fault realizations.
+//   inspect [--net mlp1|mlp2|cnn1] [--images N] [--train N]
+//           [--epochs N] [--sigma S] [--seed K] [--out FILE]
+//       Trains a small benchmark on synthetic digits, lowers it with
+//       introspection enabled and prints the per-layer numerical-health
+//       dashboard; --out writes the machine-readable JSON report.
 //   quickstart
 //       End-to-end mini-workload touching every subsystem; pairs well
 //       with --trace / --metrics.
@@ -28,6 +33,7 @@
 //                    RESIPE_THREADS environment variable; 1 = serial;
 //                    default = RESIPE_THREADS, else hardware threads).
 //                    Results are bit-identical for every value.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -42,8 +48,12 @@
 #include "resipe/eval/comparison.hpp"
 #include "resipe/eval/fault_tolerance.hpp"
 #include "resipe/eval/yield.hpp"
+#include "resipe/introspect/inspect.hpp"
+#include "resipe/nn/data.hpp"
+#include "resipe/nn/train.hpp"
 #include "resipe/nn/zoo.hpp"
 #include "resipe/resipe/chip.hpp"
+#include "resipe/resipe/network.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/resipe/tile.hpp"
 #include "resipe/telemetry/telemetry.hpp"
@@ -220,6 +230,72 @@ int cmd_reliability(int argc, char** argv) {
   return 0;
 }
 
+// Trains a benchmark network on synthetic data, lowers it onto the
+// engine with every probe enabled, and prints / writes the per-layer
+// inspection report (spike health, fidelity-drift attribution, energy
+// ledger, provenance).
+int cmd_inspect(int argc, char** argv) {
+  const std::string tag = arg_value(argc, argv, "--net", "mlp1");
+  nn::BenchmarkNet net;
+  if (tag == "mlp1") net = nn::BenchmarkNet::kMlp1;
+  else if (tag == "mlp2") net = nn::BenchmarkNet::kMlp2;
+  else if (tag == "cnn1") net = nn::BenchmarkNet::kCnn1;
+  else {
+    std::fprintf(stderr, "inspect supports --net mlp1|mlp2|cnn1\n");
+    return 2;
+  }
+  const auto train_n = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--train", "256")));
+  const auto test_n = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--images", "64")));
+  const auto epochs = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--epochs", "3")));
+  const double sigma = std::atof(arg_value(argc, argv, "--sigma", "0.1"));
+  const auto seed = static_cast<std::uint64_t>(
+      std::atoll(arg_value(argc, argv, "--seed", "42")));
+  const std::string out = arg_value(argc, argv, "--out", "");
+  if (train_n == 0 || test_n == 0) {
+    std::fprintf(stderr, "--train/--images must be positive\n");
+    return 2;
+  }
+
+  Rng data_rng(7);
+  Rng train_rng = data_rng.split();
+  Rng test_rng = data_rng.split();
+  const nn::Dataset train = nn::synthetic_digits(train_n, train_rng);
+  const nn::Dataset test = nn::synthetic_digits(test_n, test_rng);
+
+  Rng model_rng(0xC0FFEEull + static_cast<std::uint64_t>(net));
+  nn::Sequential model = nn::build_benchmark(net, model_rng);
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 32;
+  tc.lr = 1e-3;
+  const auto tr = nn::fit(model, train, test, tc);
+  std::printf("trained %s: train acc %.3f, test acc %.3f\n",
+              model.name().c_str(), tr.train_accuracy, tr.test_accuracy);
+
+  resipe_core::EngineConfig ec;
+  ec.program_seed = seed;
+  ec.device.variation_sigma = sigma;
+  ec.introspect.enabled = true;
+  std::vector<std::size_t> calib_idx;
+  for (std::size_t i = 0; i < std::min<std::size_t>(48, train.size()); ++i)
+    calib_idx.push_back(i);
+  auto [calib, calib_labels] = train.gather(calib_idx);
+  (void)calib_labels;
+  const resipe_core::ResipeNetwork hw(model, ec, calib);
+
+  const introspect::InspectionReport report =
+      introspect::inspect(hw, test.images, test.labels);
+  std::fputs(report.render_ascii().c_str(), stdout);
+  if (!out.empty()) {
+    report.write_json_file(out);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 // End-to-end mini-workload: weight mapping (crossbar), cell programming
 // (device), a single-spiking MVM (resipe_core) and a small
 // characterization sweep (eval).  Mirrors examples/quickstart.cpp so
@@ -275,6 +351,8 @@ void usage() {
       "  yield [--bound R]\n"
       "  reliability [--net NAME] [--rates R1,R2,...] [--spares N]\n"
       "              [--cluster F] [--seeds N]\n"
+      "  inspect [--net mlp1|mlp2|cnn1] [--images N] [--train N]\n"
+      "          [--epochs N] [--sigma S] [--seed K] [--out FILE]\n"
       "  quickstart\n"
       "global options:\n"
       "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
@@ -332,6 +410,7 @@ int main(int argc, char** argv) {
     else if (cmd == "mvm") rc = cmd_mvm(nargs, args.data());
     else if (cmd == "yield") rc = cmd_yield(nargs, args.data());
     else if (cmd == "reliability") rc = cmd_reliability(nargs, args.data());
+    else if (cmd == "inspect") rc = cmd_inspect(nargs, args.data());
     else if (cmd == "quickstart") rc = cmd_quickstart();
     else known = false;
   } catch (const std::exception& e) {

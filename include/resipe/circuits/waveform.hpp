@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -22,13 +23,15 @@ struct Trace {
 /// A collection of traces sharing one experiment.
 class WaveformRecorder {
  public:
-  /// Creates (or finds) the trace with the given name.
+  /// Creates (or finds) the trace with the given name.  The returned
+  /// reference stays valid for the recorder's lifetime: traces live in
+  /// a deque, so creating further traces never relocates earlier ones.
   Trace& trace(const std::string& name);
 
   /// Appends one sample to the named trace.
   void record(const std::string& name, double t, double v);
 
-  const std::vector<Trace>& traces() const { return traces_; }
+  const std::deque<Trace>& traces() const { return traces_; }
 
   /// Value of the named trace at time t by linear interpolation
   /// (clamped to the trace's end points).  Throws on unknown/empty
@@ -42,7 +45,7 @@ class WaveformRecorder {
 
  private:
   const Trace* find(const std::string& name) const;
-  std::vector<Trace> traces_;
+  std::deque<Trace> traces_;
 };
 
 }  // namespace resipe::circuits

@@ -1,0 +1,54 @@
+// Knobs for the inference-introspection subsystem.
+//
+// This header is intentionally dependency-free so resipe_core can embed
+// the options in EngineConfig without a link-time dependency on the
+// introspect library: the engine itself never reads anything here except
+// through the inspector (src/introspect), which drives the probed
+// execution paths from outside the hot loop.  With `enabled == false`
+// (the default) inference takes the exact legacy code path and outputs
+// are bit-identical to a build without the subsystem.
+#pragma once
+
+#include <cstddef>
+
+namespace resipe::introspect {
+
+/// Configuration of the per-layer numerical-health probes.
+struct InspectOptions {
+  /// Master switch.  Off = the engine's forward paths are untouched.
+  bool enabled = false;
+
+  /// Per matrix layer, how many input vectors (dense rows / conv im2col
+  /// patches) the probed re-execution covers for spike-time, saturation
+  /// and neuron-activity statistics.  0 = all captured vectors.
+  std::size_t max_probe_vectors = 512;
+
+  /// Per matrix layer, how many vectors the fidelity-attribution arms
+  /// (quantization / variation / nonlinearity re-runs) process.  These
+  /// arms reprogram the layer twice, so they are the expensive part.
+  std::size_t max_attribution_vectors = 128;
+
+  /// Run the toggled-effect attribution arms (adds ~2 extra programmings
+  /// per layer).  When false the report still carries the total
+  /// per-layer deviation vs. the digital reference.
+  bool attribute_error = true;
+
+  /// Compute the per-layer accuracy-recovery attribution: re-evaluate
+  /// the batch with each matrix layer individually swapped for its
+  /// digital forward.  Costs one extra full inference per matrix layer.
+  bool accuracy_attribution = true;
+
+  /// Roll the energy model up per layer (tile-MVM counts x the
+  /// calibrated per-MVM energy report).
+  bool energy_ledger = true;
+
+  /// Bins of the normalized (t / slice) output spike-time histograms.
+  std::size_t spike_time_bins = 20;
+
+  /// An output neuron is "dead" when its post-layer activation never
+  /// exceeds this threshold over the probed batch, and "always firing"
+  /// when it exceeds it on every vector.
+  double activity_threshold = 0.0;
+};
+
+}  // namespace resipe::introspect

@@ -36,6 +36,7 @@
 #include "resipe/crossbar/ir_drop.hpp"
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/device/reram.hpp"
+#include "resipe/introspect/options.hpp"
 #include "resipe/nn/model.hpp"
 #include "resipe/reliability/config.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
@@ -81,6 +82,13 @@ struct EngineConfig {
   /// programming path and outputs are bit-identical to before.
   reliability::ReliabilityConfig reliability;
 
+  /// Inference-introspection knobs (see introspect/inspect.hpp).  The
+  /// regular forward paths never read these: with introspection off —
+  /// the default — inference is bit-identical to a build without the
+  /// subsystem, and the probes only run through the dedicated
+  /// forward_probed / forward_observed entry points.
+  introspect::InspectOptions introspect;
+
   /// "Ideal" configuration: linearized transfers, continuous timing,
   /// noiseless devices — the reference accuracy in Fig. 7.
   static EngineConfig ideal();
@@ -114,6 +122,37 @@ class ProgrammedMatrix {
   /// Circuit-model forward: y = W^T x + b for one input vector.
   /// x must be non-negative (spike times cannot encode sign).
   void forward(std::span<const double> x, std::span<double> y) const;
+
+  /// Numerical-health counters accumulated by forward_probed.  All
+  /// column events are counted per block MVM, over every physical data
+  /// column touched, so the saturation rates describe the analog
+  /// readout the paper's comparator actually sees.
+  struct ProbeStats {
+    /// Histogram of normalized output spike times t / slice_length over
+    /// [0, 1); only columns that spiked inside the slice contribute.
+    std::vector<std::uint64_t> spike_time_hist;
+    std::uint64_t spikes = 0;         ///< comparator fired in the slice
+    std::uint64_t no_spike = 0;       ///< comparator never fired (readout
+                                      ///< books the slice-boundary value)
+    std::uint64_t pinned_start = 0;   ///< spike in the first clock period
+                                      ///< (column at/over full scale)
+    std::uint64_t pinned_end = 0;     ///< spike in the last clock period
+                                      ///< (about to fall silent)
+    std::uint64_t inputs_clamped = 0; ///< encode clamp engaged (x outside
+                                      ///< [0, input_scale])
+    std::uint64_t vectors = 0;        ///< probed input vectors
+
+    explicit ProbeStats(std::size_t bins = 20)
+        : spike_time_hist(bins == 0 ? 1 : bins, 0) {}
+    void merge(const ProbeStats& other);
+  };
+
+  /// forward() plus probes: y is bit-identical to forward(x, y) — same
+  /// encode, same block order, same recovery arithmetic — and `stats`
+  /// accumulates across calls.  Not part of the hot path: the regular
+  /// forward entry points never consult the introspection options.
+  void forward_probed(std::span<const double> x, std::span<double> y,
+                      ProbeStats& stats) const;
 
   /// Reusable scratch for forward_batch.  Hoist one per worker (e.g.
   /// thread_local) so steady-state batched inference never allocates.
@@ -216,6 +255,19 @@ void gather_conv_patch(const nn::Tensor& x, std::size_t img,
 /// matrix the lowering maps onto tiles.
 std::vector<double> conv_weight_matrix(const nn::Conv2d& conv);
 
+/// Callback receiving every lowered-step boundary during
+/// ResipeNetwork::forward_observed.  `matrix` is null for functional
+/// steps (pooling / activation / flatten); `layer` is always the
+/// software layer the step was lowered from.
+class LayerObserver {
+ public:
+  virtual ~LayerObserver() = default;
+  virtual void on_step(std::size_t index, nn::Layer& layer,
+                       const ProgrammedMatrix* matrix, bool is_conv,
+                       const nn::Tensor& input,
+                       const nn::Tensor& output) = 0;
+};
+
 /// A whole trained network lowered onto ReSiPE hardware.
 class ResipeNetwork {
  public:
@@ -228,6 +280,25 @@ class ResipeNetwork {
 
   /// Circuit-model logits for an input batch.
   nn::Tensor forward(const nn::Tensor& batch) const;
+
+  /// forward() that additionally reports every step boundary to `obs`.
+  /// The returned logits are bit-identical to forward(batch); the only
+  /// extra cost is the tensor handoff to the observer.
+  nn::Tensor forward_observed(const nn::Tensor& batch,
+                              LayerObserver& obs) const;
+
+  /// Hybrid forward for accuracy-loss attribution: steps whose index
+  /// is flagged in `digital_steps` run through the original software
+  /// layer instead of the crossbars.  Indices beyond the mask (or
+  /// flags on functional steps) are ignored.
+  nn::Tensor forward_hybrid(const nn::Tensor& batch,
+                            const std::vector<bool>& digital_steps) const;
+
+  /// Lowered steps (matrix + functional), in execution order.
+  std::size_t step_count() const { return steps_.size(); }
+
+  /// The software model this network was lowered from.
+  nn::Sequential& model() const { return model_; }
 
   /// Total virtual 32x32-class tiles used by the mapping.
   std::size_t tile_count() const;

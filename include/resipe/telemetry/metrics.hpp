@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -131,7 +132,9 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram.  Bucket i counts observations <= bounds[i];
-/// one implicit overflow bucket catches the rest.  Thread-safe.
+/// one implicit overflow bucket catches the rest.  Tracks the exact
+/// min/max observed so percentile estimates can clamp the open-ended
+/// first and overflow buckets.  Thread-safe.
 class Histogram {
  public:
   /// `bounds` must be non-empty and strictly ascending.
@@ -146,6 +149,9 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest value observed; 0 when the histogram is empty.
+  double min() const noexcept;
+  double max() const noexcept;
   void reset() noexcept;
 
  private:
@@ -153,6 +159,8 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Point-in-time copy of every registered metric, for export.
@@ -162,6 +170,8 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> buckets;
     std::uint64_t count = 0;
     double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
@@ -197,9 +207,35 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
-/// Writes the registry snapshot as a flat JSON document.
+/// Estimates the q-th quantile (q in [0, 1]) of a bucketed histogram by
+/// linear interpolation inside the bucket holding the q-th observation.
+/// The open-ended first and overflow buckets are clamped to the exact
+/// observed min/max, so p0 == min and p100 == max.  Returns 0 for an
+/// empty histogram.
+double histogram_percentile(const MetricsSnapshot::HistogramData& h,
+                            double q);
+
+/// Percentile summary derived from a histogram snapshot.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+HistogramSummary summarize_histogram(const MetricsSnapshot::HistogramData& h);
+
+/// Writes the registry snapshot as a flat JSON document.  Histograms
+/// carry min/max and p50/p95/p99 percentile summaries next to their
+/// raw buckets.
 void write_metrics_json(std::ostream& os);
 void write_metrics_json_file(const std::string& path);
+
+/// Renders the registry snapshot as aligned ASCII tables (counters,
+/// gauges, histogram percentile summaries) via common/table.
+std::string render_metrics_ascii();
 
 /// Writes the registry snapshot as CSV (metric,type,value rows) through
 /// common::CsvWriter.  Histograms flatten to `<name>.le_<bound>` rows

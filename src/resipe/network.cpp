@@ -414,6 +414,84 @@ void ProgrammedMatrix::forward(std::span<const double> x,
   decode(recovered, y);
 }
 
+void ProgrammedMatrix::ProbeStats::merge(const ProbeStats& other) {
+  RESIPE_REQUIRE(spike_time_hist.size() == other.spike_time_hist.size(),
+                 "probe-stat bin count mismatch");
+  for (std::size_t i = 0; i < spike_time_hist.size(); ++i) {
+    spike_time_hist[i] += other.spike_time_hist[i];
+  }
+  spikes += other.spikes;
+  no_spike += other.no_spike;
+  pinned_start += other.pinned_start;
+  pinned_end += other.pinned_end;
+  inputs_clamped += other.inputs_clamped;
+  vectors += other.vectors;
+}
+
+void ProgrammedMatrix::forward_probed(std::span<const double> x,
+                                      std::span<double> y,
+                                      ProbeStats& stats) const {
+  RESIPE_REQUIRE(x.size() == in_ && y.size() == out_,
+                 "forward vector size mismatch");
+  const auto& params = config_.circuit;
+  // Encode exactly as encode_input() does, counting clamp engagements
+  // on the side.  `xn` is clamped with the identical expression, so the
+  // spike times — and therefore y — match forward() bit for bit.
+  std::vector<double> t_in(in_, 0.0);
+  for (std::size_t i = 0; i < in_; ++i) {
+    const double ratio = x[i] / input_scale_;
+    if (ratio < 0.0 || ratio > 1.0) ++stats.inputs_clamped;
+    const double xn = std::clamp(ratio, 0.0, 1.0);
+    t_in[i] = codec_.encode(alpha_ * xn).arrival_time;
+  }
+
+  // accumulate() with per-column health probes.  Saturation taxonomy:
+  // a silent column (kNoSpike) means the current-sum never pulled the
+  // COG across the ramp — the readout books the slice boundary and the
+  // true value is censored from above; a spike inside the first clock
+  // period means the column is pinned at the slice start (at/over full
+  // scale, censored from below); a spike in the last clock period is
+  // one LSB away from falling silent.
+  const std::size_t bins = stats.spike_time_hist.size();
+  std::vector<double> recovered(mapping_.cols, 0.0);
+  std::vector<double> t_block_out;
+  for (const Block& block : blocks_) {
+    t_block_out.assign(block.slots, 0.0);
+    const std::span<const double> t_rows(t_in.data() + block.row0,
+                                         block.rows);
+    block.mvm->mvm_times(t_rows, t_block_out);
+    const bool remapped = !block.slot_of_col.empty();
+    for (std::size_t c = 0; c < block.cols; ++c) {
+      const std::size_t s = remapped ? block.slot_of_col[c] : c;
+      double t = t_block_out[s];
+      if (t == FastMvm::kNoSpike) {
+        ++stats.no_spike;
+        t = params.slice_length;
+      } else {
+        ++stats.spikes;
+        if (t <= params.clock_period) ++stats.pinned_start;
+        if (t >= params.slice_length - params.clock_period) {
+          ++stats.pinned_end;
+        }
+        const double norm = t / params.slice_length;
+        const auto bin = std::min(
+            bins - 1,
+            static_cast<std::size_t>(std::max(
+                0.0, norm * static_cast<double>(bins))));
+        ++stats.spike_time_hist[bin];
+      }
+      const double v_cog = params.ramp_voltage(t);
+      const double k = block.mvm->k(s);
+      const double g_total = block.mvm->g_total(s);
+      if (k > 0.0) {
+        recovered[block.col0 + c] += v_cog * g_total / k;
+      }
+    }
+  }
+  decode(recovered, y);
+  ++stats.vectors;
+}
+
 void ProgrammedMatrix::forward_batch(std::span<const double> x, std::size_t n,
                                      std::span<double> y,
                                      BatchWorkspace& ws) const {
@@ -608,6 +686,10 @@ ResipeNetwork::ResipeNetwork(nn::Sequential& model,
   for (std::size_t li = 0; li < model_.layer_count(); ++li) {
     nn::Layer& layer = model_.layer(li);
     Step step;
+    // Matrix steps keep their software layer too: forward() dispatches
+    // on `matrix` first, and the layer pointer is what forward_hybrid
+    // and the introspection observer use as the digital reference.
+    step.layer = &layer;
     if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
       auto pm = std::make_unique<ProgrammedMatrix>(
           next_layer_cfg(), dense->weights().data(), dense->bias().data(),
@@ -659,8 +741,6 @@ ResipeNetwork::ResipeNetwork(nn::Sequential& model,
       step.stride = conv->stride();
       step.pad = conv->pad();
       matrices_.push_back(std::move(pm));
-    } else {
-      step.layer = &layer;
     }
     steps_.push_back(step);
     h = layer.forward(h, /*train=*/false);
@@ -726,6 +806,36 @@ nn::Tensor ResipeNetwork::forward(const nn::Tensor& batch) const {
   nn::Tensor h = batch;
   for (const Step& step : steps_) {
     if (step.matrix != nullptr) {
+      h = step.is_conv ? run_conv(step, h) : run_dense(step, h);
+    } else {
+      h = step.layer->forward(h, /*train=*/false);
+    }
+  }
+  return h;
+}
+
+nn::Tensor ResipeNetwork::forward_observed(const nn::Tensor& batch,
+                                           LayerObserver& obs) const {
+  nn::Tensor h = batch;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    nn::Tensor out =
+        step.matrix != nullptr
+            ? (step.is_conv ? run_conv(step, h) : run_dense(step, h))
+            : step.layer->forward(h, /*train=*/false);
+    obs.on_step(i, *step.layer, step.matrix, step.is_conv, h, out);
+    h = std::move(out);
+  }
+  return h;
+}
+
+nn::Tensor ResipeNetwork::forward_hybrid(
+    const nn::Tensor& batch, const std::vector<bool>& digital_steps) const {
+  nn::Tensor h = batch;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    const bool digital = i < digital_steps.size() && digital_steps[i];
+    if (step.matrix != nullptr && !digital) {
       h = step.is_conv ? run_conv(step, h) : run_dense(step, h);
     } else {
       h = step.layer->forward(h, /*train=*/false);

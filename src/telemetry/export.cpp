@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "resipe/common/csv.hpp"
 #include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
 #include "resipe/telemetry/metrics.hpp"
 
 namespace resipe::telemetry {
@@ -63,7 +65,11 @@ void write_metrics_json(std::ostream& os) {
       if (i > 0) os << ",";
       os << h.buckets[i];
     }
-    os << "],\"count\":" << h.count << ",\"sum\":" << number(h.sum) << "}";
+    const HistogramSummary s = summarize_histogram(h);
+    os << "],\"count\":" << h.count << ",\"sum\":" << number(h.sum)
+       << ",\"min\":" << number(s.min) << ",\"max\":" << number(s.max)
+       << ",\"p50\":" << number(s.p50) << ",\"p95\":" << number(s.p95)
+       << ",\"p99\":" << number(s.p99) << "}";
   }
   os << "}}\n";
 }
@@ -104,6 +110,15 @@ void write_metrics_csv(std::ostream& os) {
     names.push_back(name + ".sum");
     types.push_back("histogram");
     values.push_back(h.sum);
+    const HistogramSummary s = summarize_histogram(h);
+    const std::pair<const char*, double> percentiles[] = {
+        {".min", s.min}, {".max", s.max}, {".p50", s.p50},
+        {".p95", s.p95}, {".p99", s.p99}};
+    for (const auto& [tag, value] : percentiles) {
+      names.push_back(name + tag);
+      types.push_back("histogram");
+      values.push_back(value);
+    }
   }
   CsvWriter csv;
   csv.add_text_column("metric", std::move(names));
@@ -117,6 +132,40 @@ void write_metrics_csv_file(const std::string& path) {
   RESIPE_REQUIRE(os.good(), "cannot open metrics file " << path);
   write_metrics_csv(os);
   RESIPE_REQUIRE(os.good(), "failed writing metrics file " << path);
+}
+
+std::string render_metrics_ascii() {
+  const MetricsSnapshot snap = MetricRegistry::instance().snapshot();
+  std::string out;
+  if (!snap.counters.empty()) {
+    TextTable t({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      t.add_row({name, std::to_string(value)});
+    }
+    out += t.str();
+  }
+  if (!snap.gauges.empty()) {
+    TextTable t({"gauge", "value"});
+    for (const auto& [name, value] : snap.gauges) {
+      t.add_row({name, format_fixed(value, 6)});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.str();
+  }
+  if (!snap.histograms.empty()) {
+    TextTable t({"histogram", "count", "mean", "min", "p50", "p95", "p99",
+                 "max"});
+    for (const auto& [name, h] : snap.histograms) {
+      const HistogramSummary s = summarize_histogram(h);
+      t.add_row({name, std::to_string(s.count), format_fixed(s.mean, 6),
+                 format_fixed(s.min, 6), format_fixed(s.p50, 6),
+                 format_fixed(s.p95, 6), format_fixed(s.p99, 6),
+                 format_fixed(s.max, 6)});
+    }
+    if (!out.empty()) out += "\n";
+    out += t.str();
+  }
+  return out;
 }
 
 }  // namespace resipe::telemetry

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "resipe/common/error.hpp"
 #include "resipe/common/parallel.hpp"
@@ -98,6 +99,22 @@ void Histogram::observe(double v) noexcept {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -114,6 +131,51 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double histogram_percentile(const MetricsSnapshot::HistogramData& h,
+                            double q) {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, midpoint convention keeps
+  // p0 = min and p100 = max exact).
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    const double cum_hi = static_cast<double>(cum + in_bucket);
+    if (rank <= cum_hi || i + 1 == h.buckets.size()) {
+      // Bucket edges, clamped to the exact observed range so the
+      // open-ended first and overflow buckets stay finite.
+      double lo = i == 0 ? h.min : h.bounds[i - 1];
+      double hi = i < h.bounds.size() ? h.bounds[i] : h.max;
+      lo = std::clamp(lo, h.min, h.max);
+      hi = std::clamp(hi, h.min, h.max);
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return h.max;
+}
+
+HistogramSummary summarize_histogram(
+    const MetricsSnapshot::HistogramData& h) {
+  HistogramSummary s;
+  s.count = h.count;
+  s.mean = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+  s.min = h.min;
+  s.max = h.max;
+  s.p50 = histogram_percentile(h, 0.50);
+  s.p95 = histogram_percentile(h, 0.95);
+  s.p99 = histogram_percentile(h, 0.99);
+  return s;
 }
 
 MetricRegistry& MetricRegistry::instance() {
@@ -164,6 +226,8 @@ MetricsSnapshot MetricRegistry::snapshot() const {
     data.buckets = h->bucket_counts();
     data.count = h->count();
     data.sum = h->sum();
+    data.min = h->min();
+    data.max = h->max();
     snap.histograms[name] = std::move(data);
   }
   return snap;

@@ -199,6 +199,36 @@ TEST(WaveformRecorder, UnknownTraceThrows) {
   EXPECT_THROW(rec.at("nope", 0.0), Error);
 }
 
+TEST(WaveformRecorder, TraceReferencesSurviveLaterInsertions) {
+  // Regression: traces_ used to be a std::vector<Trace>, so the Trace&
+  // returned by trace() dangled as soon as a later trace() call forced
+  // a reallocation.  Hold references across enough insertions to make
+  // any reallocation certain and check they still point at live data.
+  WaveformRecorder rec;
+  Trace& first = rec.trace("first");
+  first.time.push_back(0.0);
+  first.value.push_back(1.0);
+  Trace& second = rec.trace("second");
+  second.time.push_back(0.0);
+  second.value.push_back(2.0);
+  for (int i = 0; i < 256; ++i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    Trace& t = rec.trace(name);
+    t.time.push_back(0.0);
+    t.value.push_back(static_cast<double>(i));
+  }
+  EXPECT_EQ(first.name, "first");
+  EXPECT_EQ(second.name, "second");
+  ASSERT_EQ(first.value.size(), 1u);
+  EXPECT_DOUBLE_EQ(first.value[0], 1.0);
+  EXPECT_DOUBLE_EQ(second.value[0], 2.0);
+  // The held references must alias the recorder's own storage.
+  EXPECT_EQ(&first, &rec.trace("first"));
+  EXPECT_EQ(&second, &rec.trace("second"));
+  EXPECT_EQ(rec.traces().size(), 258u);
+}
+
 TEST(WaveformRecorder, AsciiRenderContainsTraceName) {
   WaveformRecorder rec;
   rec.record("V(Cgd)", 0.0, 0.0);

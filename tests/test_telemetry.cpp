@@ -227,6 +227,69 @@ TEST_F(TelemetryTest, HistogramBucketsObservations) {
   EXPECT_DOUBLE_EQ(h.sum(), 106.5);
 }
 
+TEST_F(TelemetryTest, HistogramTracksExactMinMax) {
+  Histogram h(std::vector<double>{1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty histogram reports zeros
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(4.25);
+  h.observe(-3.5);
+  h.observe(250.0);
+  EXPECT_DOUBLE_EQ(h.min(), -3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 250.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST_F(TelemetryTest, PercentilesOfAUniformDistribution) {
+  // 1..100 against decade buckets: the interpolated percentiles must
+  // land within one bucket width of the exact order statistics.
+  Histogram& h = MetricRegistry::instance().histogram(
+      "test.unit.pct",
+      {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0});
+  h.reset();
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  const auto snap = MetricRegistry::instance().snapshot();
+  const auto& data = snap.histograms.at("test.unit.pct");
+  EXPECT_NEAR(histogram_percentile(data, 0.50), 50.0, 10.0);
+  EXPECT_NEAR(histogram_percentile(data, 0.95), 95.0, 10.0);
+  EXPECT_NEAR(histogram_percentile(data, 0.99), 99.0, 10.0);
+  // The extremes clamp to the exact observed range.
+  EXPECT_DOUBLE_EQ(histogram_percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(data, 1.0), 100.0);
+  const HistogramSummary s = summarize_histogram(data);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST_F(TelemetryTest, PercentilesOfASkewedDistribution) {
+  // 90 observations at ~1 and 10 at ~1000: p50 stays in the low bucket,
+  // p95/p99 jump to the tail, and the overflow bucket clamps to max.
+  Histogram& h =
+      MetricRegistry::instance().histogram("test.unit.skew", {2.0, 10.0});
+  h.reset();
+  for (int i = 0; i < 90; ++i) h.observe(1.0);
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);
+  const auto snap = MetricRegistry::instance().snapshot();
+  const auto& data = snap.histograms.at("test.unit.skew");
+  EXPECT_LE(histogram_percentile(data, 0.50), 2.0);
+  EXPECT_GT(histogram_percentile(data, 0.95), 10.0);
+  EXPECT_LE(histogram_percentile(data, 0.95), 1000.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(data, 1.0), 1000.0);
+}
+
+TEST_F(TelemetryTest, EmptyHistogramSummaryIsAllZero) {
+  MetricsSnapshot::HistogramData empty;
+  empty.bounds = {1.0};
+  empty.buckets = {0, 0};
+  EXPECT_DOUBLE_EQ(histogram_percentile(empty, 0.5), 0.0);
+  const HistogramSummary s = summarize_histogram(empty);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 TEST_F(TelemetryTest, HistogramRejectsBadBounds) {
   EXPECT_THROW(Histogram(std::vector<double>{}), Error);
   EXPECT_THROW(Histogram({2.0, 1.0}), Error);
@@ -462,6 +525,13 @@ TEST_F(TelemetryTest, MetricsJsonAndCsvExport) {
   EXPECT_NE(json.find("test.export.gauge"), std::string::npos);
   EXPECT_NE(json.find("test.export.hist"), std::string::npos);
 
+  // Percentile summaries ride along in the JSON histogram objects.
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":"), std::string::npos);
+
   std::ostringstream cs;
   write_metrics_csv(cs);
   const std::string csv = cs.str();
@@ -469,6 +539,15 @@ TEST_F(TelemetryTest, MetricsJsonAndCsvExport) {
   EXPECT_NE(csv.find("test.export.counter,counter,9"), std::string::npos);
   EXPECT_NE(csv.find("test.export.hist.count,histogram,1"),
             std::string::npos);
+  EXPECT_NE(csv.find("test.export.hist.p95,histogram,0.5"),
+            std::string::npos);
+  EXPECT_NE(csv.find("test.export.hist.min,histogram,0.5"),
+            std::string::npos);
+
+  const std::string ascii = render_metrics_ascii();
+  EXPECT_NE(ascii.find("p95"), std::string::npos);
+  EXPECT_NE(ascii.find("test.export.hist"), std::string::npos);
+  EXPECT_NE(ascii.find("test.export.counter"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Collect BENCH_JSON lines into one benchmarks.json document.
+
+Every bench binary prints a single ``BENCH_JSON {...}`` line on stdout
+(see bench/bench_report.hpp).  This tool scans bench logs and/or the
+``--json FILE`` outputs and folds everything into one document so CI
+can upload a single perf artifact per run:
+
+    ./build/bench/bench_inspection | tee inspection.log
+    ./build/bench/bench_parallel_scaling --json scaling.json
+    python3 tools/collect_bench.py inspection.log scaling.json \
+        -o benchmarks.json
+
+Inputs may be bench stdout captures (lines prefixed with BENCH_JSON),
+bare report files (one JSON object per line) or ``-`` for stdin.  If
+the same bench name appears more than once the last occurrence wins,
+so re-runs in the same log are harmless.
+"""
+
+import argparse
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+
+
+def reports_in(stream):
+    """Yield parsed bench reports found in an iterable of lines."""
+    for line in stream:
+        line = line.strip()
+        if line.startswith(PREFIX):
+            line = line[len(PREFIX):]
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict) and "bench" in doc:
+            yield doc
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fold BENCH_JSON lines into one benchmarks.json")
+    parser.add_argument("inputs", nargs="+",
+                        help="bench logs / report files, or - for stdin")
+    parser.add_argument("-o", "--output", default="benchmarks.json",
+                        help="output document (default: benchmarks.json)")
+    args = parser.parse_args(argv)
+
+    by_name = {}
+    for path in args.inputs:
+        if path == "-":
+            found = list(reports_in(sys.stdin))
+        else:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    found = list(reports_in(fh))
+            except OSError as err:
+                print(f"collect_bench: {err}", file=sys.stderr)
+                return 1
+        if not found:
+            print(f"collect_bench: no BENCH_JSON lines in {path}",
+                  file=sys.stderr)
+        for doc in found:
+            by_name[doc["bench"]] = doc
+
+    if not by_name:
+        print("collect_bench: nothing collected", file=sys.stderr)
+        return 1
+
+    document = {"benches": sorted(by_name.values(),
+                                  key=lambda d: d["bench"])}
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"collect_bench: wrote {len(by_name)} report(s) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
