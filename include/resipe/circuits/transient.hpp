@@ -25,6 +25,26 @@ namespace resipe::circuits {
 double integrate_ode(const std::function<double(double, double)>& f,
                      double v0, double t0, double t1, std::size_t steps);
 
+// --- ODE oracle hooks -------------------------------------------------
+//
+// The right-hand sides of the two first-order ODEs every ReSiPE stage
+// reduces to, exposed as named functions so external oracles (the
+// verify library's adaptive-RK differential checker) integrate the
+// *same* circuit topology the behavioral models solve in closed form.
+// A future change to the circuit model lands here once and flows into
+// both the transient simulator and the verification oracle.
+
+/// RC node charging toward `v_inf` with time constant `tau`:
+/// dv/dt = (v_inf - v) / tau.
+double rc_node_derivative(double v, double v_inf, double tau);
+
+/// COG computation-stage node: every cell couples the (held) wordline
+/// voltage `v_wl[i]` to the COG capacitor through conductance `g[i]`:
+/// dVc/dt = sum_i g_i (v_wl_i - Vc) / Ccog.
+double cog_comp_derivative(const CircuitParams& params,
+                           std::span<const double> g,
+                           std::span<const double> v_wl, double vc);
+
 /// Result of a numerically-simulated two-slice MAC on one column.
 struct TransientMacResult {
   std::vector<double> v_wordline;  ///< sampled wordline voltages (S1)

@@ -49,6 +49,12 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
 
+  /// Log-uniform double in [lo, hi) (both strictly positive): uniform
+  /// in the exponent, so each decade is sampled equally often.  The
+  /// natural draw for physical parameters spanning orders of magnitude
+  /// (resistances, time constants, defect rates).
+  double log_uniform(double lo, double hi);
+
   /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 

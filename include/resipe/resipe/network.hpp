@@ -92,6 +92,15 @@ struct EngineConfig {
   /// "Ideal" configuration: linearized transfers, continuous timing,
   /// noiseless devices — the reference accuracy in Fig. 7.
   static EngineConfig ideal();
+
+  /// Checks every sub-config and engine-level invariant (positive tile
+  /// geometry, even tile width for paired mappings, headroom in (0, 1],
+  /// positive scale margin, finite non-negative retention) and throws
+  /// resipe::Error with a precise message on the first violation.
+  /// Called at engine entry points (ProgrammedMatrix / ResipeNetwork
+  /// construction); the verify fuzzer's generators treat "validate()
+  /// accepts" as the definition of the valid configuration domain.
+  void validate() const;
 };
 
 /// One logical weight matrix programmed onto a grid of virtual tiles.

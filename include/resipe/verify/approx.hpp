@@ -1,0 +1,34 @@
+// Floating-point comparison primitives shared by the oracle contracts
+// and the test suite.
+//
+// The repo's invariants come in two strengths: *bit-identity* (two code
+// paths promise the same arithmetic — compare with == or ulp_distance)
+// and *bounded-error* (two algebraically-equal formulations differ only
+// by rounding — compare relatively).  Ad-hoc absolute EXPECT_NEAR
+// tolerances conflate the two and silently loosen as magnitudes shrink;
+// these helpers make the intended strength explicit.  Header-only apart
+// from the failure formatter so the contracts can stay allocation-free
+// on the passing path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace resipe::verify {
+
+/// Number of representable doubles strictly between a and b (0 when
+/// a == b, including -0.0 vs +0.0).  Returns UINT64_MAX when either
+/// argument is NaN or the two differ in sign (crossing zero is not a
+/// small rounding step).
+std::uint64_t ulp_distance(double a, double b);
+
+/// True when |a - b| <= abs_tol or |a - b| <= rel_tol * max(|a|, |b|).
+/// NaN never matches; equal infinities do.
+bool approx_rel(double a, double b, double rel_tol, double abs_tol = 0.0);
+
+/// Human-readable mismatch description: values, absolute and relative
+/// difference, ULP distance.  For contract detail strings and test
+/// failure messages.
+std::string describe_mismatch(double a, double b);
+
+}  // namespace resipe::verify

@@ -1,0 +1,76 @@
+// Fuzz driver: generate -> check every contract -> shrink -> report.
+//
+// One run walks a contiguous seed range, so any failure it prints is
+// replayable from (schema_version, seed) alone; with a repro directory
+// set, each violation is also written as a self-contained JSON record
+// (see serialize.hpp) ready to commit into tests/corpus/.  The report
+// renders per-contract pass/skip/fail tallies plus a machine-readable
+// BENCH_JSON line for trend tracking in CI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "resipe/verify/contracts.hpp"
+#include "resipe/verify/generators.hpp"
+
+namespace resipe::verify {
+
+/// Knobs of one fuzz run.
+struct FuzzOptions {
+  std::size_t cases = 100;       ///< generated cases (seed0 .. seed0+cases)
+  double budget_s = 0.0;         ///< wall-clock budget; 0 = unlimited
+  std::uint64_t seed0 = 1;       ///< first seed of the range
+  std::string contract_filter;   ///< run only this contract ("" = all)
+  std::string repro_dir;         ///< write repro JSON here ("" = don't)
+  bool shrink = true;            ///< shrink failures before reporting
+  std::size_t max_failures = 10; ///< stop after this many violations
+};
+
+/// Per-contract tally.
+struct ContractStats {
+  std::size_t pass = 0;
+  std::size_t fail = 0;
+  std::size_t skip = 0;
+};
+
+/// One recorded violation.
+struct FuzzFailure {
+  std::string contract;
+  CaseSpec original;       ///< as generated
+  CaseSpec shrunk;         ///< after shrinking (== original when disabled)
+  std::size_t shrink_steps = 0;
+  std::string detail;      ///< failure description (of the shrunk case)
+  std::string repro_path;  ///< written JSON record ("" when not written)
+};
+
+/// Result of a fuzz run.
+struct FuzzReport {
+  std::size_t cases_run = 0;
+  double wall_s = 0.0;
+  bool budget_exhausted = false;
+  std::map<std::string, ContractStats> contracts;
+  std::vector<FuzzFailure> failures;
+
+  std::size_t checks() const;
+  std::size_t violations() const { return failures.size(); }
+
+  /// Multi-line human-readable summary.
+  std::string render() const;
+  /// One BENCH_JSON line (cases/s, check and violation counts).
+  std::string bench_json() const;
+};
+
+/// Runs the fuzz campaign described by `options`.  Throws on unknown
+/// contract filters or unwritable repro directories.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Re-checks one serialized case against its recorded contract; used by
+/// the corpus replayer and resipe_fuzz --replay.
+ContractResult replay_case(const CaseSpec& spec,
+                           const std::string& contract_name);
+
+}  // namespace resipe::verify

@@ -1,0 +1,43 @@
+// Adaptive Runge-Kutta oracle for the closed-form circuit stages.
+//
+// Every behavioral stage in this repo evaluates an exact first-order RC
+// closed form; the transient module already cross-checks them with
+// fixed-step RK4.  A fixed-step integrator shares a failure mode with
+// the closed forms (both are hand-derived against the same topology),
+// so the verification harness adds a third, independent method: an
+// embedded Cash-Karp RK4(5) pair with proportional step control.  The
+// oracle knows nothing about exponentials — it only sees the
+// right-hand-side hooks exported by resipe/circuits/transient.hpp —
+// and its error estimate is self-reported, so agreement with the closed
+// form is evidence from a genuinely different derivation path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace resipe::verify {
+
+/// Controls for the adaptive integrator.
+struct AdaptiveOdeOptions {
+  double rel_tol = 1e-10;   ///< per-step relative error target
+  double abs_tol = 1e-14;   ///< per-step absolute error floor
+  double initial_step = 0.0;  ///< 0 = (t1 - t0) / 64
+  std::size_t max_steps = 200000;  ///< hard cap (throws when exceeded)
+};
+
+/// Statistics of one integration (for contract detail strings).
+struct AdaptiveOdeResult {
+  double value = 0.0;        ///< v(t1)
+  std::size_t steps = 0;     ///< accepted steps
+  std::size_t rejected = 0;  ///< rejected (halved) steps
+};
+
+/// Integrates dv/dt = f(t, v) from (t0, v0) to t1 with the Cash-Karp
+/// embedded RK4(5) pair and adaptive step-size control.  Requires
+/// t1 >= t0; throws resipe::Error on invalid intervals or when the
+/// step budget is exhausted.
+AdaptiveOdeResult integrate_adaptive(
+    const std::function<double(double, double)>& f, double v0, double t0,
+    double t1, const AdaptiveOdeOptions& options = {});
+
+}  // namespace resipe::verify

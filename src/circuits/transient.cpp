@@ -25,6 +25,23 @@ double integrate_ode(const std::function<double(double, double)>& f,
   return v;
 }
 
+double rc_node_derivative(double v, double v_inf, double tau) {
+  RESIPE_REQUIRE(tau > 0.0, "RC derivative needs a positive time constant");
+  return (v_inf - v) / tau;
+}
+
+double cog_comp_derivative(const CircuitParams& params,
+                           std::span<const double> g,
+                           std::span<const double> v_wl, double vc) {
+  RESIPE_REQUIRE(g.size() == v_wl.size(),
+                 "conductance / wordline voltage size mismatch");
+  double i_total = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    i_total += g[i] * (v_wl[i] - vc);
+  }
+  return i_total / params.c_cog;
+}
+
 TransientMacResult transient_mac(const CircuitParams& params,
                                  std::span<const double> g,
                                  std::span<const Spike> inputs,
@@ -37,7 +54,7 @@ TransientMacResult transient_mac(const CircuitParams& params,
 
   const double tau_gd = params.tau_gd();
   const auto ramp_ode = [&](double, double v) {
-    return (params.v_s - v) / tau_gd;
+    return rc_node_derivative(v, params.v_s, tau_gd);
   };
 
   TransientMacResult result;
@@ -59,11 +76,7 @@ TransientMacResult transient_mac(const CircuitParams& params,
   // --- computation stage: the COG node sees every cell as a conductance
   // to its (held) wordline voltage.
   const auto cog_ode = [&](double, double vc) {
-    double i_total = 0.0;
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      i_total += g[i] * (result.v_wordline[i] - vc);
-    }
-    return i_total / params.c_cog;
+    return cog_comp_derivative(params, g, result.v_wordline, vc);
   };
   result.v_cog = integrate_ode(cog_ode, 0.0, 0.0, params.comp_stage,
                                steps_per_slice);

@@ -60,6 +60,13 @@ double Rng::uniform(double lo, double hi) {
   return lo + (hi - lo) * uniform();
 }
 
+double Rng::log_uniform(double lo, double hi) {
+  RESIPE_REQUIRE(lo > 0.0 && hi >= lo,
+                 "log_uniform needs 0 < lo <= hi, got [" << lo << ", " << hi
+                                                         << ")");
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   RESIPE_REQUIRE(lo <= hi, "uniform_int bounds inverted");
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;

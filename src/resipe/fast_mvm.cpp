@@ -1,5 +1,6 @@
 #include "resipe/resipe/fast_mvm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "resipe/common/error.hpp"
@@ -72,7 +73,12 @@ void FastMvm::wordline_voltages(std::span<const double> t_in,
       v_wl[r] = 0.0;
       continue;
     }
-    v_wl[r] = linear ? v_s * t / tau_gd : v_s * (1.0 - std::exp(-t / tau_gd));
+    // The linear ramp saturates at v_s like the real GD output
+    // (CircuitParams::ramp_voltage clamps); without the clamp a fast
+    // ramp (tau_gd < slice) would feed the crossbar voltages the
+    // circuit cannot produce and diverge from ResipeTile.
+    v_wl[r] = linear ? std::min(v_s * t / tau_gd, v_s)
+                     : v_s * (1.0 - std::exp(-t / tau_gd));
   }
 }
 

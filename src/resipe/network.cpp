@@ -23,6 +23,32 @@ EngineConfig EngineConfig::ideal() {
   return cfg;
 }
 
+void EngineConfig::validate() const {
+  circuit.validate();
+  device.validate();
+  reliability.validate();
+  RESIPE_REQUIRE(tile_rows > 0 && tile_cols > 0,
+                 "tile dimensions must be positive, got "
+                     << tile_rows << "x" << tile_cols);
+  RESIPE_REQUIRE(mapping == crossbar::SignedMapping::kOffsetColumn ||
+                     tile_cols % 2 == 0,
+                 "paired mappings need an even tile width, got "
+                     << tile_cols);
+  RESIPE_REQUIRE(calibration_headroom > 0.0 && calibration_headroom <= 1.0,
+                 "calibration headroom must be in (0, 1], got "
+                     << calibration_headroom);
+  RESIPE_REQUIRE(std::isfinite(input_scale_margin) && input_scale_margin > 0.0,
+                 "input scale margin must be positive and finite, got "
+                     << input_scale_margin);
+  RESIPE_REQUIRE(std::isfinite(retention_time) && retention_time >= 0.0,
+                 "retention time must be non-negative and finite, got "
+                     << retention_time);
+  RESIPE_REQUIRE(introspect.spike_time_bins > 0,
+                 "introspection needs at least one spike-time bin");
+  RESIPE_REQUIRE(introspect.activity_threshold >= 0.0,
+                 "negative introspection activity threshold");
+}
+
 ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
                                    std::span<const double> weights,
                                    std::span<const double> bias,
@@ -34,13 +60,9 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
       out_(out),
       bias_(bias.begin(), bias.end()) {
   RESIPE_TELEM_SCOPE("resipe_core.matrix.program");
+  config_.validate();
   RESIPE_REQUIRE(weights.size() == in * out, "weight matrix size mismatch");
   RESIPE_REQUIRE(bias.size() == out, "bias size mismatch");
-  RESIPE_REQUIRE(config_.tile_rows > 0 && config_.tile_cols > 0,
-                 "tile dimensions must be positive");
-  RESIPE_REQUIRE(config_.mapping == crossbar::SignedMapping::kOffsetColumn ||
-                     config_.tile_cols % 2 == 0,
-                 "paired mappings need an even tile width");
 
   mapping_ = crossbar::map_weights(weights, in, out, config_.device,
                                    config_.mapping);
@@ -666,6 +688,7 @@ ResipeNetwork::ResipeNetwork(nn::Sequential& model,
                              const EngineConfig& config,
                              const nn::Tensor& calibration)
     : model_(model), config_(config) {
+  config_.validate();
   Rng rng(config_.program_seed);
   nn::Tensor h = calibration;
   constexpr std::size_t kMaxCalibVectors = 512;

@@ -1,0 +1,48 @@
+#include "resipe/verify/approx.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace resipe::verify {
+
+std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  if (a == b) return 0;  // also covers -0.0 == +0.0
+  if (std::signbit(a) != std::signbit(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const auto ia = std::bit_cast<std::uint64_t>(std::fabs(a));
+  const auto ib = std::bit_cast<std::uint64_t>(std::fabs(b));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+bool approx_rel(double a, double b, double rel_tol, double abs_tol) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (a == b) return true;  // equal infinities included
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+std::string describe_mismatch(double a, double b) {
+  std::ostringstream os;
+  os.precision(17);
+  os << a << " vs " << b << " (abs diff " << std::fabs(a - b);
+  const double mag = std::max(std::fabs(a), std::fabs(b));
+  if (mag > 0.0 && std::isfinite(mag)) {
+    os << ", rel " << std::fabs(a - b) / mag;
+  }
+  const std::uint64_t ulps = ulp_distance(a, b);
+  if (ulps != std::numeric_limits<std::uint64_t>::max()) {
+    os << ", " << ulps << " ulps";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace resipe::verify

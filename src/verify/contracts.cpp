@@ -1,0 +1,635 @@
+#include "resipe/verify/contracts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "resipe/circuits/transient.hpp"
+#include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
+#include "resipe/crossbar/mapping.hpp"
+#include "resipe/nn/model.hpp"
+#include "resipe/resipe/fast_mvm.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "resipe/resipe/tile.hpp"
+#include "resipe/verify/approx.hpp"
+#include "resipe/verify/ode_oracle.hpp"
+
+namespace resipe::verify {
+namespace {
+
+using circuits::Spike;
+using resipe_core::EngineConfig;
+using resipe_core::FastMvm;
+using resipe_core::ProgrammedMatrix;
+using resipe_core::ResipeNetwork;
+using resipe_core::ResipeTile;
+using resipe_core::SpikeCodec;
+
+// Fixed per-contract RNG stream ids: every contract derives its draws
+// from hash_seed(spec seed, stream), so adding a contract never shifts
+// another one's stream.
+enum Stream : std::uint64_t {
+  kStreamCodec = 0xC001,
+  kStreamOdeRamp = 0xC002,
+  kStreamOdeCog = 0xC003,
+  kStreamFastTile = 0xC004,
+  kStreamFastBatch = 0xC005,
+  kStreamPerm = 0xC006,
+  kStreamMonotone = 0xC007,
+  kStreamZeroInput = 0xC008,
+  kStreamAnalogDigital = 0xC009,
+  kStreamMatrixBatch = 0xC00A,
+  kStreamThreads = 0xC00B,
+  kStreamOffFlags = 0xC00C,
+};
+
+InjectedBug g_injected_bug = InjectedBug::kNone;
+
+std::string fail_at(const char* what, std::size_t index, double a, double b) {
+  std::ostringstream os;
+  os << what << " [" << index << "]: " << describe_mismatch(a, b);
+  return os.str();
+}
+
+// Restores the process-wide default thread count on scope exit (back to
+// auto; the verify harness never runs inside a caller that pinned it).
+struct ThreadGuard {
+  ~ThreadGuard() { set_default_threads(0); }
+};
+
+// --- shared model/tile builders ----------------------------------------
+
+std::vector<double> random_conductances(const CaseSpec& spec, Rng& rng) {
+  const auto& dev = spec.config.device;
+  std::vector<double> g(spec.rows * spec.cols);
+  for (double& v : g) v = rng.uniform(dev.g_min(), dev.g_max());
+  return g;
+}
+
+/// Programs a faithful tile and snapshots it into a FastMvm.  When the
+/// row-drop bug is armed, the FastMvm is built from the same effective
+/// conductances with the last row zeroed — the off-by-one a `< rows-1`
+/// loop bound would produce in the current sum.
+struct TileAndFast {
+  std::unique_ptr<ResipeTile> tile;
+  std::unique_ptr<FastMvm> fast;
+};
+
+TileAndFast build_tile_and_fast(const CaseSpec& spec, Rng& rng) {
+  TileAndFast out;
+  out.tile = std::make_unique<ResipeTile>(spec.config.circuit, spec.rows,
+                                          spec.cols, spec.config.device);
+  const std::vector<double> g = random_conductances(spec, rng);
+  out.tile->program(g, rng);
+  if (g_injected_bug == InjectedBug::kFastMvmRowDrop) {
+    std::vector<double> g_eff(spec.rows * spec.cols, 0.0);
+    for (std::size_t r = 0; r + 1 < spec.rows; ++r) {
+      for (std::size_t c = 0; c < spec.cols; ++c) {
+        g_eff[r * spec.cols + c] = out.tile->crossbar().effective_g(r, c);
+      }
+    }
+    out.fast = std::make_unique<FastMvm>(spec.config.circuit, spec.rows,
+                                         spec.cols, std::move(g_eff));
+  } else {
+    out.fast =
+        std::make_unique<FastMvm>(spec.config.circuit, out.tile->crossbar());
+  }
+  return out;
+}
+
+/// Random signed weight matrix + bias for a spec.inputs x spec.classes
+/// ProgrammedMatrix.
+struct MatrixFixture {
+  std::vector<double> weights;  // [in, out] row-major
+  std::vector<double> bias;
+  std::unique_ptr<ProgrammedMatrix> matrix;
+};
+
+MatrixFixture build_matrix(const CaseSpec& spec, Rng& rng) {
+  MatrixFixture fx;
+  fx.weights.resize(spec.inputs * spec.classes);
+  for (double& w : fx.weights) w = rng.normal(0.0, 1.0);
+  fx.bias.resize(spec.classes);
+  for (double& b : fx.bias) b = rng.normal(0.0, 0.1);
+  fx.matrix = std::make_unique<ProgrammedMatrix>(
+      spec.config, fx.weights, fx.bias, spec.inputs, spec.classes, rng);
+  return fx;
+}
+
+/// Small MLP matching the spec's network shape, with a calibration
+/// batch; the weight draws come from `rng`.
+struct NetworkFixture {
+  std::unique_ptr<nn::Sequential> model;
+  nn::Tensor calibration;
+  nn::Tensor batch;
+};
+
+NetworkFixture build_network_inputs(const CaseSpec& spec, Rng& rng) {
+  NetworkFixture fx;
+  fx.model = std::make_unique<nn::Sequential>("verify_mlp");
+  std::size_t width = spec.inputs;
+  for (const std::size_t hidden : spec.layers) {
+    fx.model->emplace<nn::Dense>(width, hidden, rng);
+    fx.model->emplace<nn::ReLU>();
+    width = hidden;
+  }
+  fx.model->emplace<nn::Dense>(width, spec.classes, rng);
+
+  fx.calibration = nn::Tensor({8, spec.inputs});
+  for (double& v : fx.calibration.data()) v = rng.uniform(0.0, 1.0);
+  fx.batch = nn::Tensor({spec.batch, spec.inputs});
+  for (double& v : fx.batch.data()) v = rng.uniform(0.0, 1.0);
+  return fx;
+}
+
+bool bit_identical(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// --- contract bodies ---------------------------------------------------
+
+ContractResult check_config_valid(const CaseSpec& spec) {
+  try {
+    spec.config.validate();
+  } catch (const std::exception& e) {
+    return ContractResult::fail(std::string("generated config rejected: ") +
+                                e.what());
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_codec_roundtrip(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamCodec));
+  const auto& params = spec.config.circuit;
+  const SpikeCodec codec(params, spec.config.quantize_spikes);
+  // Worst value error of one clock slot: the ramp's max slope is at
+  // t = 0 (exact model) or constant (linear model) — v_s / tau either
+  // way — so one slot spans at most slope * clock in volts.
+  const double slot_value =
+      spec.config.quantize_spikes
+          ? (params.v_s / params.tau_gd()) * params.clock_period /
+                codec.v_full()
+          : 0.0;
+  const double tol = slot_value + 1e-9;
+  double prev = -1.0;
+  for (int i = 0; i <= 64; ++i) {
+    const double x =
+        i < 49 ? static_cast<double>(i) / 48.0 : rng.uniform(0.0, 1.0);
+    const double back = codec.decode(codec.encode(x));
+    if (!(std::fabs(back - x) <= tol)) {
+      return ContractResult::fail(fail_at("codec round-trip", i, back, x));
+    }
+    if (i < 49) {  // the grid sweep is ascending: decode must follow
+      if (back < prev) {
+        return ContractResult::fail(
+            fail_at("codec monotonicity", i, back, prev));
+      }
+      prev = back;
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_ode_ramp(const CaseSpec& spec) {
+  const auto& params = spec.config.circuit;
+  if (params.model != circuits::TransferModel::kExact) {
+    return ContractResult::skip("linear transfer model (closed form is "
+                                "itself the approximation)");
+  }
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamOdeRamp));
+  const double tau = params.tau_gd();
+  for (int trial = 0; trial < 4; ++trial) {
+    const double t_end = rng.uniform(0.0, params.slice_length);
+    const auto rk = integrate_adaptive(
+        [&](double, double v) {
+          return circuits::rc_node_derivative(v, params.v_s, tau);
+        },
+        0.0, 0.0, t_end);
+    const double closed = params.ramp_voltage(t_end);
+    if (!approx_rel(rk.value, closed, 1e-8, 1e-12 * params.v_s)) {
+      return ContractResult::fail(
+          fail_at("GD ramp vs adaptive RK", trial, closed, rk.value));
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_ode_cog(const CaseSpec& spec) {
+  const auto& params = spec.config.circuit;
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamOdeCog));
+  const auto& dev = spec.config.device;
+  std::vector<double> g(spec.rows), v_wl(spec.rows);
+  for (double& v : g) v = rng.uniform(dev.g_min(), dev.g_max());
+  for (double& v : v_wl) v = rng.uniform(0.0, params.v_s);
+
+  const auto rk = integrate_adaptive(
+      [&](double, double vc) {
+        return circuits::cog_comp_derivative(params, g, v_wl, vc);
+      },
+      0.0, 0.0, params.comp_stage);
+
+  double g_tot = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g_tot += g[i];
+    weighted += g[i] * v_wl[i];
+  }
+  const double v_eq = weighted / g_tot;
+  const double closed =
+      v_eq * (1.0 - std::exp(-params.comp_stage * g_tot / params.c_cog));
+  if (!approx_rel(rk.value, closed, 1e-8, 1e-12 * params.v_s)) {
+    return ContractResult::fail(
+        fail_at("COG charge vs adaptive RK", 0, closed, rk.value));
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_fast_vs_tile(const CaseSpec& spec) {
+  const auto& params = spec.config.circuit;
+  if (params.comparator_offset_sigma > 0.0) {
+    return ContractResult::skip(
+        "per-column offset mismatch is drawn independently by the two "
+        "implementations");
+  }
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamFastTile));
+  TileAndFast tf = build_tile_and_fast(spec, rng);
+  const SpikeCodec codec(params, spec.config.quantize_spikes);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Spike> spikes(spec.rows);
+    std::vector<double> t_in(spec.rows);
+    for (std::size_t i = 0; i < spec.rows; ++i) {
+      spikes[i] = codec.encode(rng.uniform(0.2, 1.0));
+      t_in[i] = spikes[i].arrival_time;
+    }
+    const auto tile_out = tf.tile->execute(spikes);
+    std::vector<double> fast_out(spec.cols, 0.0);
+    tf.fast->mvm_times(t_in, fast_out);
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      if (tile_out[c].valid()) {
+        // Algebraically identical, differently factored expressions:
+        // 1e-12 relative is the float-exactness bound (same bound the
+        // property suite uses).
+        if (!approx_rel(fast_out[c], tile_out[c].arrival_time, 1e-12,
+                        1e-21)) {
+          return ContractResult::fail(fail_at("fast vs tile spike time", c,
+                                              fast_out[c],
+                                              tile_out[c].arrival_time));
+        }
+      } else if (fast_out[c] != FastMvm::kNoSpike) {
+        return ContractResult::fail(
+            fail_at("fast spiked where tile was silent", c, fast_out[c],
+                    FastMvm::kNoSpike));
+      }
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_fast_batch(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamFastBatch));
+  const std::vector<double> g = random_conductances(spec, rng);
+  const FastMvm fast(spec.config.circuit, spec.rows, spec.cols, g);
+  const std::size_t n = std::max<std::size_t>(spec.batch, 2);
+  std::vector<double> t_in(n * spec.rows);
+  const SpikeCodec codec(spec.config.circuit, spec.config.quantize_spikes);
+  for (double& t : t_in) t = codec.encode(rng.uniform(0.0, 1.0)).arrival_time;
+
+  std::vector<double> batch_out(n * spec.cols, 0.0);
+  FastMvm::BatchScratch scratch;
+  fast.mvm_times_batch(t_in, n, batch_out, scratch);
+
+  std::vector<double> single_out(spec.cols, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    fast.mvm_times(std::span<const double>(t_in).subspan(s * spec.rows,
+                                                         spec.rows),
+                   single_out);
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      const double batched = batch_out[s * spec.cols + c];
+      if (std::memcmp(&batched, &single_out[c], sizeof(double)) != 0) {
+        return ContractResult::fail(fail_at("batched vs single FastMvm",
+                                            s * spec.cols + c, batched,
+                                            single_out[c]));
+      }
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_perm_columns(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamPerm));
+  const std::vector<double> g = random_conductances(spec, rng);
+  const std::vector<std::size_t> perm = rng.permutation(spec.cols);
+  // Column c of the permuted matrix is column perm[c] of the original;
+  // each column's row order — and therefore its summation order — is
+  // untouched, so outputs must permute bit-for-bit.
+  std::vector<double> g_perm(g.size());
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      g_perm[r * spec.cols + c] = g[r * spec.cols + perm[c]];
+    }
+  }
+  const FastMvm a(spec.config.circuit, spec.rows, spec.cols, g);
+  const FastMvm b(spec.config.circuit, spec.rows, spec.cols, g_perm);
+
+  std::vector<double> t_in(spec.rows);
+  const SpikeCodec codec(spec.config.circuit, spec.config.quantize_spikes);
+  for (double& t : t_in) t = codec.encode(rng.uniform(0.0, 1.0)).arrival_time;
+  std::vector<double> out_a(spec.cols, 0.0), out_b(spec.cols, 0.0);
+  a.mvm_times(t_in, out_a);
+  b.mvm_times(t_in, out_b);
+  for (std::size_t c = 0; c < spec.cols; ++c) {
+    const double expect = out_a[perm[c]];
+    if (std::memcmp(&out_b[c], &expect, sizeof(double)) != 0) {
+      return ContractResult::fail(
+          fail_at("column permutation", c, out_b[c], expect));
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_weight_scale_monotone(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamMonotone));
+  const std::vector<double> g = random_conductances(spec, rng);
+  const double lambda = rng.uniform(1.1, 3.0);
+  std::vector<double> g_scaled(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) g_scaled[i] = lambda * g[i];
+  const FastMvm a(spec.config.circuit, spec.rows, spec.cols, g);
+  const FastMvm b(spec.config.circuit, spec.rows, spec.cols, g_scaled);
+
+  std::vector<double> t_in(spec.rows);
+  const SpikeCodec codec(spec.config.circuit, spec.config.quantize_spikes);
+  for (double& t : t_in) t = codec.encode(rng.uniform(0.0, 1.0)).arrival_time;
+  std::vector<double> out_a(spec.cols, 0.0), out_b(spec.cols, 0.0);
+  a.mvm_times(t_in, out_a);
+  b.mvm_times(t_in, out_b);
+  // Scaling every conductance leaves v_eq unchanged and grows the
+  // saturation factor k, so the held voltage rises and the S2 crossing
+  // can only move later (kNoSpike == +inf is the latest value).
+  const double eps = 1e-12 * spec.config.circuit.slice_length;
+  for (std::size_t c = 0; c < spec.cols; ++c) {
+    if (out_b[c] < out_a[c] - eps) {
+      return ContractResult::fail(
+          fail_at("spike-time monotonicity under weight scaling", c,
+                  out_b[c], out_a[c]));
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_zero_input_bias(const CaseSpec& spec) {
+  const auto& params = spec.config.circuit;
+  if (params.comparator_offset != 0.0 || params.comparator_delay != 0.0 ||
+      params.comparator_offset_sigma != 0.0) {
+    return ContractResult::skip(
+        "comparator non-idealities shift the zero-input spike");
+  }
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamZeroInput));
+  MatrixFixture fx = build_matrix(spec, rng);
+  // All-zero input: every wordline holds 0 V, every current sum is
+  // exactly 0, every column spikes at t = 0 and recovers exactly 0 —
+  // regardless of the programmed weights, faults or drift.  The output
+  // must be the bias, bit for bit.
+  const std::vector<double> x(spec.inputs, 0.0);
+  std::vector<double> y(spec.classes, 0.0);
+  fx.matrix->forward(x, y);
+  for (std::size_t j = 0; j < spec.classes; ++j) {
+    if (std::memcmp(&y[j], &fx.bias[j], sizeof(double)) != 0) {
+      return ContractResult::fail(
+          fail_at("zero input must yield the exact bias", j, y[j],
+                  fx.bias[j]));
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_analog_vs_digital(const CaseSpec& spec) {
+  const EngineConfig& cfg = spec.config;
+  const auto& params = cfg.circuit;
+  if (params.model != circuits::TransferModel::kExact) {
+    return ContractResult::skip("linear model: transfer error unbounded by "
+                                "the fidelity model");
+  }
+  if (cfg.reliability.enabled || cfg.retention_time > 0.0 ||
+      cfg.model_wire_ir_drop) {
+    return ContractResult::skip(
+        "faults / drift / IR drop exceed the clean-path error model");
+  }
+  if (params.comparator_offset != 0.0 || params.comparator_delay != 0.0 ||
+      params.comparator_offset_sigma != 0.0) {
+    return ContractResult::skip("comparator non-idealities not in the "
+                                "clean-path error model");
+  }
+
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamAnalogDigital));
+  MatrixFixture fx = build_matrix(spec, rng);
+  fx.matrix->set_input_scale(1.0);
+  constexpr std::size_t kSamples = 8;
+  std::vector<double> batch(kSamples * spec.inputs);
+  for (double& v : batch) v = rng.uniform(0.0, 1.0);
+  fx.matrix->calibrate_alpha(batch, kSamples);
+
+  // Fidelity-model-predicted bound on |analog - digital| per output.
+  //
+  // The readout recovers the exact current sum (v_cog * g_tot / k),
+  // so on the clean path only two error sources remain:
+  //  * input value quantization — the encoded arrival snaps to the
+  //    clock grid; one slot spans at most (v_s/tau) * clock in volts,
+  //    i.e. dx in value units after the decode scaling;
+  //  * realized weights — per cell: half a conductance level, the
+  //    write-verify residue, a 6.5-sigma variation excursion and the
+  //    1T1R series compression g^2 * r_on; twice (both columns of the
+  //    pair), converted by weight_per_siemens.
+  const SpikeCodec codec(params, cfg.quantize_spikes);
+  const double alpha = fx.matrix->time_scale();
+  const double dx = cfg.quantize_spikes
+                        ? (params.v_s / params.tau_gd()) *
+                              params.clock_period / (alpha * codec.v_full())
+                        : 0.0;
+  const auto mapped = crossbar::map_weights(fx.weights, spec.inputs,
+                                            spec.classes, cfg.device,
+                                            cfg.mapping);
+  const auto& dev = cfg.device;
+  const double g_step =
+      (dev.g_max() - dev.g_min()) / std::max(1, dev.levels - 1);
+  const double dg_cell = 0.5 * g_step +
+                         dev.write_verify_tolerance * dev.g_max() +
+                         6.5 * dev.variation_sigma * dev.g_max() +
+                         dev.g_max() * dev.g_max() * dev.transistor_r_on;
+  const double dw = 2.0 * mapped.weight_per_siemens * dg_cell;
+  constexpr double kSafety = 4.0;
+
+  ProgrammedMatrix::ProbeStats stats;
+  std::vector<double> y(spec.classes, 0.0);
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    const std::span<const double> x(batch.data() + s * spec.inputs,
+                                    spec.inputs);
+    fx.matrix->forward_probed(x, y, stats);
+    if (stats.no_spike > 0) {
+      return ContractResult::skip(
+          "a column censored at the slice boundary; the clean-path bound "
+          "does not model clamping");
+    }
+    for (std::size_t j = 0; j < spec.classes; ++j) {
+      double digital = fx.bias[j];
+      double bound = 0.0;
+      for (std::size_t i = 0; i < spec.inputs; ++i) {
+        const double w = fx.weights[i * spec.classes + j];
+        digital += w * x[i];
+        bound += (std::fabs(w) + dw) * dx + std::fabs(x[i]) * dw;
+      }
+      bound = kSafety * bound + 1e-9 * (1.0 + std::fabs(digital));
+      if (!(std::fabs(y[j] - digital) <= bound)) {
+        std::ostringstream os;
+        os << "analog MVM outside the fidelity bound: sample " << s
+           << " output " << j << ": " << describe_mismatch(y[j], digital)
+           << ", bound " << bound;
+        return ContractResult::fail(os.str());
+      }
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_matrix_batch(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamMatrixBatch));
+  MatrixFixture fx = build_matrix(spec, rng);
+  const std::size_t n = std::max<std::size_t>(spec.batch, 2);
+  std::vector<double> batch(n * spec.inputs);
+  for (double& v : batch) v = rng.uniform(0.0, 1.0);
+
+  std::vector<double> y_batch(n * spec.classes, 0.0);
+  ProgrammedMatrix::BatchWorkspace ws;
+  fx.matrix->forward_batch(batch, n, y_batch, ws);
+
+  ProgrammedMatrix::ProbeStats stats;
+  std::vector<double> y(spec.classes, 0.0), y_probed(spec.classes, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::span<const double> x(batch.data() + s * spec.inputs,
+                                    spec.inputs);
+    fx.matrix->forward(x, y);
+    fx.matrix->forward_probed(x, y_probed, stats);
+    if (!bit_identical(y, y_probed)) {
+      return ContractResult::fail(
+          fail_at("probed vs plain forward", s, y_probed[0], y[0]));
+    }
+    for (std::size_t j = 0; j < spec.classes; ++j) {
+      const double batched = y_batch[s * spec.classes + j];
+      if (std::memcmp(&batched, &y[j], sizeof(double)) != 0) {
+        return ContractResult::fail(fail_at("batched vs single forward",
+                                            s * spec.classes + j, batched,
+                                            y[j]));
+      }
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_threads_identical(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamThreads));
+  NetworkFixture fx = build_network_inputs(spec, rng);
+  const ResipeNetwork net(*fx.model, spec.config, fx.calibration);
+
+  ThreadGuard guard;
+  std::vector<nn::Tensor> logits;
+  for (const std::size_t threads : {1, 2, 8}) {
+    set_default_threads(threads);
+    logits.push_back(net.forward(fx.batch));
+  }
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    if (!bit_identical(logits[0].data(), logits[i].data())) {
+      return ContractResult::fail(
+          "logits differ between 1-thread and " +
+          std::string(i == 1 ? "2" : "8") + "-thread execution");
+    }
+  }
+  return ContractResult::ok();
+}
+
+ContractResult check_off_flags_identical(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamOffFlags));
+  NetworkFixture fx = build_network_inputs(spec, rng);
+
+  // A: the generated config with both master switches forced off but
+  // every sub-knob left as drawn.  B: the same config with the whole
+  // sub-structs reset to defaults.  The documented claim is that a
+  // disabled subsystem leaves the engine on the exact legacy path, so
+  // its other knobs must be unreachable.
+  EngineConfig cfg_a = spec.config;
+  cfg_a.reliability.enabled = false;
+  cfg_a.introspect.enabled = false;
+  EngineConfig cfg_b = cfg_a;
+  cfg_b.reliability = reliability::ReliabilityConfig{};
+  cfg_b.reliability.enabled = false;
+  cfg_b.introspect = introspect::InspectOptions{};
+
+  const ResipeNetwork net_a(*fx.model, cfg_a, fx.calibration);
+  const ResipeNetwork net_b(*fx.model, cfg_b, fx.calibration);
+  const nn::Tensor ya = net_a.forward(fx.batch);
+  const nn::Tensor yb = net_b.forward(fx.batch);
+  if (!bit_identical(ya.data(), yb.data())) {
+    return ContractResult::fail(
+        "disabled reliability/introspection knobs leaked into the logits");
+  }
+  return ContractResult::ok();
+}
+
+}  // namespace
+
+void set_injected_bug(InjectedBug bug) { g_injected_bug = bug; }
+InjectedBug injected_bug() { return g_injected_bug; }
+
+const std::vector<Contract>& contract_registry() {
+  static const std::vector<Contract> registry = {
+      {"config_valid",
+       "generated configurations pass EngineConfig::validate()",
+       check_config_valid},
+      {"codec_roundtrip",
+       "spike codec round-trips values within one clock slot, "
+       "monotonically", check_codec_roundtrip},
+      {"ode_ramp",
+       "closed-form GD ramp matches an adaptive Cash-Karp integration of "
+       "the same RC node", check_ode_ramp},
+      {"ode_cog",
+       "closed-form COG charging matches an adaptive Cash-Karp "
+       "integration of the computation-stage node", check_ode_cog},
+      {"fast_vs_tile",
+       "FastMvm agrees with the faithful per-cell tile to float "
+       "exactness", check_fast_vs_tile},
+      {"fast_batch_vs_single",
+       "FastMvm::mvm_times_batch is bit-identical to per-sample "
+       "mvm_times", check_fast_batch},
+      {"perm_columns",
+       "permuting crossbar columns permutes output spike times "
+       "bit-for-bit", check_perm_columns},
+      {"weight_scale_monotone",
+       "scaling all conductances up never makes any output spike "
+       "earlier", check_weight_scale_monotone},
+      {"zero_input_bias",
+       "an all-zero input yields exactly the bias, regardless of "
+       "weights or faults", check_zero_input_bias},
+      {"analog_vs_digital",
+       "clean-path analog MVM stays inside the fidelity-model error "
+       "bound vs the digital reference", check_analog_vs_digital},
+      {"matrix_batch_vs_single",
+       "ProgrammedMatrix forward_batch and forward_probed are "
+       "bit-identical to forward", check_matrix_batch},
+      {"threads_identical",
+       "network logits are bit-identical at 1, 2 and 8 threads",
+       check_threads_identical},
+      {"off_flags_identical",
+       "disabled reliability/introspection sub-knobs cannot affect "
+       "logits", check_off_flags_identical},
+  };
+  return registry;
+}
+
+const Contract* find_contract(const std::string& name) {
+  for (const Contract& c : contract_registry()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace resipe::verify

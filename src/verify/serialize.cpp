@@ -1,0 +1,475 @@
+#include "resipe/verify/serialize.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::verify {
+namespace {
+
+using circuits::TransferModel;
+using crossbar::SignedMapping;
+
+// --- writing -----------------------------------------------------------
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const char* mapping_name(SignedMapping m) {
+  switch (m) {
+    case SignedMapping::kComplementaryPair:
+      return "complementary_pair";
+    case SignedMapping::kOffsetColumn:
+      return "offset_column";
+    default:
+      return "differential_pair";
+  }
+}
+
+SignedMapping mapping_from(const std::string& s) {
+  if (s == "complementary_pair") return SignedMapping::kComplementaryPair;
+  if (s == "offset_column") return SignedMapping::kOffsetColumn;
+  RESIPE_REQUIRE(s == "differential_pair",
+                 "unknown mapping strategy '" << s << "' in repro record");
+  return SignedMapping::kDifferentialPair;
+}
+
+// --- minimal flat-JSON scanner -----------------------------------------
+//
+// Accepts exactly the subset repro_to_json emits: one object whose
+// values are numbers, booleans, strings or arrays of numbers.  No
+// external JSON dependency — the container bakes none in.
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : s_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    RESIPE_REQUIRE(i_ < s_.size() && s_[i_] == c,
+                   "repro JSON: expected '" << c << "' at offset " << i_);
+    ++i_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c == '\\' && i_ < s_.size()) {
+        c = s_[i_++];
+        if (c == 'n') c = '\n';
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  /// A bare token: number, true, false.
+  std::string token() {
+    skip_ws();
+    const std::size_t start = i_;
+    while (i_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '+' || s_[i_] == '-' ||
+                              s_[i_] == '.')) {
+      ++i_;
+    }
+    RESIPE_REQUIRE(i_ > start, "repro JSON: expected a value at offset " << i_);
+    return s_.substr(start, i_ - start);
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+double to_double(const std::string& t) {
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  RESIPE_REQUIRE(end && *end == '\0', "repro JSON: bad number '" << t << "'");
+  return v;
+}
+
+std::uint64_t to_u64(const std::string& t) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(t.c_str(), &end, 10);
+  RESIPE_REQUIRE(end && *end == '\0',
+                 "repro JSON: bad integer '" << t << "'");
+  return v;
+}
+
+bool to_bool(const std::string& t) {
+  RESIPE_REQUIRE(t == "true" || t == "false",
+                 "repro JSON: bad boolean '" << t << "'");
+  return t == "true";
+}
+
+}  // namespace
+
+std::string repro_to_json(const ReproRecord& record) {
+  const CaseSpec& s = record.spec;
+  const auto& cfg = s.config;
+  std::ostringstream os;
+  os << "{\n";
+  const auto field = [&os](const char* key, const std::string& value,
+                           bool last = false) {
+    os << "  \"" << key << "\": " << value << (last ? "\n" : ",\n");
+  };
+  field("schema_version", std::to_string(s.descriptor.schema_version));
+  field("seed", quoted(std::to_string(s.descriptor.seed)));
+  field("contract", quoted(record.contract));
+  field("detail", quoted(record.detail));
+  field("rows", std::to_string(s.rows));
+  field("cols", std::to_string(s.cols));
+  field("inputs", std::to_string(s.inputs));
+  {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < s.layers.size(); ++i) {
+      arr += (i ? ", " : "") + std::to_string(s.layers[i]);
+    }
+    arr += "]";
+    field("layers", arr);
+  }
+  field("classes", std::to_string(s.classes));
+  field("batch", std::to_string(s.batch));
+  field("tile_rows", std::to_string(cfg.tile_rows));
+  field("tile_cols", std::to_string(cfg.tile_cols));
+  field("mapping", quoted(mapping_name(cfg.mapping)));
+  field("quantize_spikes", cfg.quantize_spikes ? "true" : "false");
+  field("calibration_headroom", num(cfg.calibration_headroom));
+  field("input_scale_margin", num(cfg.input_scale_margin));
+  field("program_seed", quoted(std::to_string(cfg.program_seed)));
+  field("model_wire_ir_drop", cfg.model_wire_ir_drop ? "true" : "false");
+  field("wire_r_wordline", num(cfg.wires.r_wordline_segment));
+  field("wire_r_bitline", num(cfg.wires.r_bitline_segment));
+  field("retention_time", num(cfg.retention_time));
+  field("circuit_v_s", num(cfg.circuit.v_s));
+  field("circuit_r_gd", num(cfg.circuit.r_gd));
+  field("circuit_c_gd", num(cfg.circuit.c_gd));
+  field("circuit_c_cog", num(cfg.circuit.c_cog));
+  field("circuit_slice_length", num(cfg.circuit.slice_length));
+  field("circuit_comp_stage", num(cfg.circuit.comp_stage));
+  field("circuit_spike_width", num(cfg.circuit.spike_width));
+  field("circuit_clock_period", num(cfg.circuit.clock_period));
+  field("circuit_comparator_offset", num(cfg.circuit.comparator_offset));
+  field("circuit_comparator_delay", num(cfg.circuit.comparator_delay));
+  field("circuit_comparator_offset_sigma",
+        num(cfg.circuit.comparator_offset_sigma));
+  field("circuit_model",
+        quoted(cfg.circuit.model == TransferModel::kLinear ? "linear"
+                                                           : "exact"));
+  field("device_r_lrs", num(cfg.device.r_lrs));
+  field("device_r_hrs", num(cfg.device.r_hrs));
+  field("device_levels", std::to_string(cfg.device.levels));
+  field("device_write_verify_tolerance",
+        num(cfg.device.write_verify_tolerance));
+  field("device_variation_sigma", num(cfg.device.variation_sigma));
+  field("device_read_noise_sigma", num(cfg.device.read_noise_sigma));
+  field("device_stuck_lrs_rate", num(cfg.device.stuck_lrs_rate));
+  field("device_stuck_hrs_rate", num(cfg.device.stuck_hrs_rate));
+  field("device_drift_nu", num(cfg.device.drift_nu));
+  field("device_drift_t0", num(cfg.device.drift_t0));
+  field("device_transistor_r_on", num(cfg.device.transistor_r_on));
+  field("rel_enabled", cfg.reliability.enabled ? "true" : "false");
+  field("rel_stuck_lrs_rate", num(cfg.reliability.faults.stuck_lrs_rate));
+  field("rel_stuck_hrs_rate", num(cfg.reliability.faults.stuck_hrs_rate));
+  field("rel_cluster_fraction",
+        num(cfg.reliability.faults.cluster_fraction));
+  field("rel_cluster_size",
+        std::to_string(cfg.reliability.faults.cluster_size));
+  field("rel_read_disturb_rate", num(cfg.reliability.read_disturb_rate));
+  field("rel_expected_mvms", num(cfg.reliability.expected_mvms));
+  field("rel_endurance_cycles", num(cfg.reliability.endurance_cycles));
+  field("rel_wear_cycles", num(cfg.reliability.wear_cycles));
+  field("rel_mapper_rail_tolerance",
+        num(cfg.reliability.mapper.rail_tolerance));
+  field("rel_mapper_reads_per_cell",
+        std::to_string(cfg.reliability.mapper.reads_per_cell));
+  field("rel_mapper_miss_rate", num(cfg.reliability.mapper.miss_rate));
+  field("rel_mapper_false_alarm_rate",
+        num(cfg.reliability.mapper.false_alarm_rate));
+  field("rel_mit_enabled",
+        cfg.reliability.mitigation.enabled ? "true" : "false");
+  field("rel_mit_spare_cols",
+        std::to_string(cfg.reliability.mitigation.spare_cols));
+  field("rel_mit_remap_columns",
+        cfg.reliability.mitigation.remap_columns ? "true" : "false");
+  field("rel_mit_compensate_pairs",
+        cfg.reliability.mitigation.compensate_pairs ? "true" : "false");
+  field("rel_mit_write_verify_retries",
+        std::to_string(cfg.reliability.mitigation.write_verify_retries));
+  field("rel_mit_degrade_threshold",
+        num(cfg.reliability.mitigation.degrade_threshold));
+  field("rel_fault_seed", quoted(std::to_string(cfg.reliability.fault_seed)));
+  field("insp_enabled", cfg.introspect.enabled ? "true" : "false");
+  field("insp_max_probe_vectors",
+        std::to_string(cfg.introspect.max_probe_vectors));
+  field("insp_max_attribution_vectors",
+        std::to_string(cfg.introspect.max_attribution_vectors));
+  field("insp_attribute_error",
+        cfg.introspect.attribute_error ? "true" : "false");
+  field("insp_accuracy_attribution",
+        cfg.introspect.accuracy_attribution ? "true" : "false");
+  field("insp_energy_ledger",
+        cfg.introspect.energy_ledger ? "true" : "false");
+  field("insp_spike_time_bins",
+        std::to_string(cfg.introspect.spike_time_bins));
+  field("insp_activity_threshold", num(cfg.introspect.activity_threshold),
+        /*last=*/true);
+  os << "}\n";
+  return os.str();
+}
+
+ReproRecord repro_from_json(const std::string& json) {
+  ReproRecord record;
+  CaseSpec& s = record.spec;
+  auto& cfg = s.config;
+  Scanner sc(json);
+  sc.expect('{');
+  bool first = true;
+  while (sc.peek() != '}') {
+    if (!first) sc.expect(',');
+    first = false;
+    const std::string key = sc.string_value();
+    sc.expect(':');
+
+    if (key == "layers") {
+      sc.expect('[');
+      s.layers.clear();
+      while (sc.peek() != ']') {
+        if (!s.layers.empty()) sc.expect(',');
+        s.layers.push_back(static_cast<std::size_t>(to_u64(sc.token())));
+      }
+      sc.expect(']');
+      continue;
+    }
+
+    std::string v;
+    if (sc.peek() == '"') {
+      v = sc.string_value();
+    } else {
+      v = sc.token();
+    }
+
+    if (key == "schema_version") {
+      s.descriptor.schema_version = static_cast<std::uint32_t>(to_u64(v));
+    } else if (key == "seed") {
+      s.descriptor.seed = to_u64(v);
+    } else if (key == "contract") {
+      record.contract = v;
+    } else if (key == "detail") {
+      record.detail = v;
+    } else if (key == "rows") {
+      s.rows = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "cols") {
+      s.cols = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "inputs") {
+      s.inputs = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "classes") {
+      s.classes = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "batch") {
+      s.batch = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "tile_rows") {
+      cfg.tile_rows = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "tile_cols") {
+      cfg.tile_cols = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "mapping") {
+      cfg.mapping = mapping_from(v);
+    } else if (key == "quantize_spikes") {
+      cfg.quantize_spikes = to_bool(v);
+    } else if (key == "calibration_headroom") {
+      cfg.calibration_headroom = to_double(v);
+    } else if (key == "input_scale_margin") {
+      cfg.input_scale_margin = to_double(v);
+    } else if (key == "program_seed") {
+      cfg.program_seed = to_u64(v);
+    } else if (key == "model_wire_ir_drop") {
+      cfg.model_wire_ir_drop = to_bool(v);
+    } else if (key == "wire_r_wordline") {
+      cfg.wires.r_wordline_segment = to_double(v);
+    } else if (key == "wire_r_bitline") {
+      cfg.wires.r_bitline_segment = to_double(v);
+    } else if (key == "retention_time") {
+      cfg.retention_time = to_double(v);
+    } else if (key == "circuit_v_s") {
+      cfg.circuit.v_s = to_double(v);
+    } else if (key == "circuit_r_gd") {
+      cfg.circuit.r_gd = to_double(v);
+    } else if (key == "circuit_c_gd") {
+      cfg.circuit.c_gd = to_double(v);
+    } else if (key == "circuit_c_cog") {
+      cfg.circuit.c_cog = to_double(v);
+    } else if (key == "circuit_slice_length") {
+      cfg.circuit.slice_length = to_double(v);
+    } else if (key == "circuit_comp_stage") {
+      cfg.circuit.comp_stage = to_double(v);
+    } else if (key == "circuit_spike_width") {
+      cfg.circuit.spike_width = to_double(v);
+    } else if (key == "circuit_clock_period") {
+      cfg.circuit.clock_period = to_double(v);
+    } else if (key == "circuit_comparator_offset") {
+      cfg.circuit.comparator_offset = to_double(v);
+    } else if (key == "circuit_comparator_delay") {
+      cfg.circuit.comparator_delay = to_double(v);
+    } else if (key == "circuit_comparator_offset_sigma") {
+      cfg.circuit.comparator_offset_sigma = to_double(v);
+    } else if (key == "circuit_model") {
+      RESIPE_REQUIRE(v == "exact" || v == "linear",
+                     "unknown transfer model '" << v << "' in repro record");
+      cfg.circuit.model =
+          v == "linear" ? TransferModel::kLinear : TransferModel::kExact;
+    } else if (key == "device_r_lrs") {
+      cfg.device.r_lrs = to_double(v);
+    } else if (key == "device_r_hrs") {
+      cfg.device.r_hrs = to_double(v);
+    } else if (key == "device_levels") {
+      cfg.device.levels = static_cast<int>(to_u64(v));
+    } else if (key == "device_write_verify_tolerance") {
+      cfg.device.write_verify_tolerance = to_double(v);
+    } else if (key == "device_variation_sigma") {
+      cfg.device.variation_sigma = to_double(v);
+    } else if (key == "device_read_noise_sigma") {
+      cfg.device.read_noise_sigma = to_double(v);
+    } else if (key == "device_stuck_lrs_rate") {
+      cfg.device.stuck_lrs_rate = to_double(v);
+    } else if (key == "device_stuck_hrs_rate") {
+      cfg.device.stuck_hrs_rate = to_double(v);
+    } else if (key == "device_drift_nu") {
+      cfg.device.drift_nu = to_double(v);
+    } else if (key == "device_drift_t0") {
+      cfg.device.drift_t0 = to_double(v);
+    } else if (key == "device_transistor_r_on") {
+      cfg.device.transistor_r_on = to_double(v);
+    } else if (key == "rel_enabled") {
+      cfg.reliability.enabled = to_bool(v);
+    } else if (key == "rel_stuck_lrs_rate") {
+      cfg.reliability.faults.stuck_lrs_rate = to_double(v);
+    } else if (key == "rel_stuck_hrs_rate") {
+      cfg.reliability.faults.stuck_hrs_rate = to_double(v);
+    } else if (key == "rel_cluster_fraction") {
+      cfg.reliability.faults.cluster_fraction = to_double(v);
+    } else if (key == "rel_cluster_size") {
+      cfg.reliability.faults.cluster_size =
+          static_cast<std::size_t>(to_u64(v));
+    } else if (key == "rel_read_disturb_rate") {
+      cfg.reliability.read_disturb_rate = to_double(v);
+    } else if (key == "rel_expected_mvms") {
+      cfg.reliability.expected_mvms = to_double(v);
+    } else if (key == "rel_endurance_cycles") {
+      cfg.reliability.endurance_cycles = to_double(v);
+    } else if (key == "rel_wear_cycles") {
+      cfg.reliability.wear_cycles = to_double(v);
+    } else if (key == "rel_mapper_rail_tolerance") {
+      cfg.reliability.mapper.rail_tolerance = to_double(v);
+    } else if (key == "rel_mapper_reads_per_cell") {
+      cfg.reliability.mapper.reads_per_cell =
+          static_cast<std::size_t>(to_u64(v));
+    } else if (key == "rel_mapper_miss_rate") {
+      cfg.reliability.mapper.miss_rate = to_double(v);
+    } else if (key == "rel_mapper_false_alarm_rate") {
+      cfg.reliability.mapper.false_alarm_rate = to_double(v);
+    } else if (key == "rel_mit_enabled") {
+      cfg.reliability.mitigation.enabled = to_bool(v);
+    } else if (key == "rel_mit_spare_cols") {
+      cfg.reliability.mitigation.spare_cols =
+          static_cast<std::size_t>(to_u64(v));
+    } else if (key == "rel_mit_remap_columns") {
+      cfg.reliability.mitigation.remap_columns = to_bool(v);
+    } else if (key == "rel_mit_compensate_pairs") {
+      cfg.reliability.mitigation.compensate_pairs = to_bool(v);
+    } else if (key == "rel_mit_write_verify_retries") {
+      cfg.reliability.mitigation.write_verify_retries =
+          static_cast<int>(to_u64(v));
+    } else if (key == "rel_mit_degrade_threshold") {
+      cfg.reliability.mitigation.degrade_threshold = to_double(v);
+    } else if (key == "rel_fault_seed") {
+      cfg.reliability.fault_seed = to_u64(v);
+    } else if (key == "insp_enabled") {
+      cfg.introspect.enabled = to_bool(v);
+    } else if (key == "insp_max_probe_vectors") {
+      cfg.introspect.max_probe_vectors =
+          static_cast<std::size_t>(to_u64(v));
+    } else if (key == "insp_max_attribution_vectors") {
+      cfg.introspect.max_attribution_vectors =
+          static_cast<std::size_t>(to_u64(v));
+    } else if (key == "insp_attribute_error") {
+      cfg.introspect.attribute_error = to_bool(v);
+    } else if (key == "insp_accuracy_attribution") {
+      cfg.introspect.accuracy_attribution = to_bool(v);
+    } else if (key == "insp_energy_ledger") {
+      cfg.introspect.energy_ledger = to_bool(v);
+    } else if (key == "insp_spike_time_bins") {
+      cfg.introspect.spike_time_bins = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "insp_activity_threshold") {
+      cfg.introspect.activity_threshold = to_double(v);
+    } else {
+      RESIPE_REQUIRE(false, "unknown key '" << key << "' in repro record");
+    }
+  }
+  sc.expect('}');
+  return record;
+}
+
+std::string repro_snippet(const ReproRecord& record) {
+  std::ostringstream os;
+  os << "// Reproduces contract violation '" << record.contract << "'\n"
+     << "// case: " << record.spec.summary() << "\n"
+     << "// " << record.detail << "\n"
+     << "#include \"resipe/verify/contracts.hpp\"\n"
+     << "#include \"resipe/verify/serialize.hpp\"\n\n"
+     << "const auto record = resipe::verify::repro_from_json(R\"json(\n"
+     << repro_to_json(record)
+     << ")json\");\n"
+     << "const auto* contract =\n"
+     << "    resipe::verify::find_contract(record.contract);\n"
+     << "const auto result = contract->check(record.spec);\n"
+     << "// result.violated() is expected to be true until the bug is "
+        "fixed.\n";
+  return os.str();
+}
+
+}  // namespace resipe::verify

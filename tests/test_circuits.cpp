@@ -10,6 +10,7 @@
 #include "resipe/circuits/waveform.hpp"
 #include "resipe/common/error.hpp"
 #include "resipe/common/units.hpp"
+#include "testing/approx.hpp"
 
 namespace resipe::circuits {
 namespace {
@@ -48,8 +49,8 @@ TEST(CircuitParams, RampAndCrossingAreInverse) {
     for (double t : {1e-9, 5e-9, 20e-9, 60e-9}) {
       const double v = p.ramp_voltage(t);
       if (v < p.v_s) {
-        EXPECT_NEAR(p.ramp_crossing(v), t, 1e-15) << "model "
-                                                  << static_cast<int>(model);
+        RESIPE_EXPECT_REL(p.ramp_crossing(v), t, 1e-12)
+            << "model " << static_cast<int>(model);
       }
     }
   }
@@ -68,7 +69,7 @@ TEST(CircuitParams, LinearRegimePresetIsQuasiLinear) {
   // tau = 1 us >> 100 ns slice: the ramp end is within 10% of linear.
   const double v_end = p.ramp_voltage(p.slice_length);
   const double v_lin = p.v_s * p.slice_length / p.tau_gd();
-  EXPECT_NEAR(v_end, v_lin, 0.1 * v_lin);
+  RESIPE_EXPECT_REL(v_end, v_lin, 0.1);
 }
 
 TEST(SampleHold, IdentityByDefault) {
@@ -78,7 +79,7 @@ TEST(SampleHold, IdentityByDefault) {
 
 TEST(SampleHold, GainErrorAndDroop) {
   const SampleHold sh(0.01, 1e3);  // +1%, 1 kV/s droop
-  EXPECT_NEAR(sh.sample(1.0, 100e-9), 1.01 - 1e3 * 100e-9, 1e-12);
+  RESIPE_EXPECT_REL(sh.sample(1.0, 100e-9), 1.01 - 1e3 * 100e-9, 1e-12);
 }
 
 TEST(SampleHold, DroopClampsAtGround) {
@@ -90,7 +91,7 @@ TEST(GlobalDecoder, DecodesSpikeToRampVoltage) {
   const CircuitParams p;
   const GlobalDecoder gd(p);
   const Spike s = Spike::at(10e-9);
-  EXPECT_NEAR(gd.decode(s), 1.0 - std::exp(-1.0), 1e-12);  // t = tau
+  RESIPE_EXPECT_REL(gd.decode(s), 1.0 - std::exp(-1.0), 1e-12);  // t = tau
 }
 
 TEST(GlobalDecoder, SilentLineGivesZeroVolts) {
@@ -117,7 +118,7 @@ TEST(ColumnOutputGenerator, SampleVoltageMatchesEq3) {
   const ColumnDrive drive{0.5, 1e-4};  // Veq = 0.5 V, G = 100 uS
   const double tau = p.c_cog / drive.g_total;
   const double expect = 0.5 * (1.0 - std::exp(-p.comp_stage / tau));
-  EXPECT_NEAR(cog.sample_voltage(drive), expect, 1e-12);
+  RESIPE_EXPECT_REL(cog.sample_voltage(drive), expect, 1e-12);
 }
 
 TEST(ColumnOutputGenerator, ZeroConductanceColumnStaysAtGround) {
@@ -133,7 +134,7 @@ TEST(ColumnOutputGenerator, EmitInvertsTheRamp) {
   const double v_out = 0.4;
   const Spike s = cog.emit(v_out, gd);
   ASSERT_TRUE(s.valid());
-  EXPECT_NEAR(gd.ramp_voltage(s.arrival_time), v_out, 1e-9);
+  RESIPE_EXPECT_REL(gd.ramp_voltage(s.arrival_time), v_out, 1e-12);
 }
 
 TEST(ColumnOutputGenerator, ZeroVoltageFiresImmediately) {
@@ -162,8 +163,8 @@ TEST(ColumnOutputGenerator, ComparatorDelayShiftsOutput) {
   const GlobalDecoder gd0(p0);
   const ColumnOutputGenerator cog0(p0);
   const double v = 0.3;
-  EXPECT_NEAR(cog.emit(v, gd).arrival_time,
-              cog0.emit(v, gd0).arrival_time + 2e-9, 1e-15);
+  RESIPE_EXPECT_REL(cog.emit(v, gd).arrival_time,
+                    cog0.emit(v, gd0).arrival_time + 2e-9, 1e-12);
 }
 
 TEST(ColumnOutputGenerator, ConversionEnergyGrowsWithOutput) {

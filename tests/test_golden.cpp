@@ -1,0 +1,152 @@
+// Golden-file regression tests for the two numeric kernels everything
+// else is built on: the spike codec and the closed-form RC stage.
+//
+// The CSVs under tests/golden/ pin today's numeric outputs; any change
+// — an accidental reordering of operations, a "harmless" refactor of
+// rc_voltage, a codec rounding tweak — shows up as a diff against the
+// golden row, with the offending inputs in the failure message.
+//
+// Regenerate deliberately after an intended numeric change with
+//   ./tests/test_golden --update-golden
+// and commit the rewritten CSVs alongside the code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "resipe/circuits/params.hpp"
+#include "resipe/circuits/rc_stage.hpp"
+#include "resipe/resipe/spike_code.hpp"
+#include "testing/approx.hpp"
+
+#ifndef RESIPE_GOLDEN_DIR
+#error "RESIPE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace resipe {
+namespace {
+
+bool g_update_golden = false;
+
+// Values are written with %.17g so the decimal text round-trips the
+// exact double; the comparison still allows 1e-12 relative slack so a
+// libm with differently-rounded exp/log does not fail the suite.
+constexpr double kGoldenRelTol = 1e-12;
+
+struct GoldenRow {
+  std::string key;            // human-readable input description
+  std::vector<double> values;
+};
+
+std::string format_row(const GoldenRow& row) {
+  std::string line = row.key;
+  char buf[40];
+  for (const double v : row.values) {
+    std::snprintf(buf, sizeof(buf), ",%.17g", v);
+    line += buf;
+  }
+  return line;
+}
+
+void check_against_golden(const std::string& filename,
+                          const std::vector<GoldenRow>& rows) {
+  const std::string path = std::string(RESIPE_GOLDEN_DIR) + "/" + filename;
+  if (g_update_golden) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const auto& row : rows) out << format_row(row) << "\n";
+    GTEST_SKIP() << "rewrote " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with --update-golden to create it)";
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(i, rows.size()) << filename << " has extra rows";
+    const GoldenRow& expect = rows[i];
+    // Split the stored line: key, then one column per value.
+    std::istringstream ss(line);
+    std::string field;
+    std::getline(ss, field, ',');
+    EXPECT_EQ(field, expect.key) << filename << " row " << i;
+    for (std::size_t c = 0; c < expect.values.size(); ++c) {
+      ASSERT_TRUE(std::getline(ss, field, ','))
+          << filename << " row " << i << " truncated";
+      RESIPE_EXPECT_REL(expect.values[c], std::stod(field), kGoldenRelTol)
+          << filename << " row " << i << " (" << expect.key << ") col "
+          << c;
+    }
+    ++i;
+  }
+  EXPECT_EQ(i, rows.size()) << filename << " is missing rows";
+}
+
+TEST(Golden, SpikeCodec) {
+  std::vector<GoldenRow> rows;
+  for (const bool quantize : {false, true}) {
+    for (const auto* preset : {"paper", "nn"}) {
+      const circuits::CircuitParams p =
+          std::string(preset) == "paper"
+              ? circuits::CircuitParams::paper_defaults()
+              : circuits::CircuitParams::nn_calibrated();
+      const resipe_core::SpikeCodec codec(p, quantize);
+      for (int step = 0; step <= 16; ++step) {
+        const double x = static_cast<double>(step) / 16.0;
+        const auto spike = codec.encode(x);
+        std::string key = preset;
+        key += quantize ? "_q" : "_c";
+        key += "_x" + std::to_string(step);
+        rows.push_back({key,
+                        {spike.arrival_time, codec.decode(spike),
+                         codec.voltage_of(spike.arrival_time)}});
+      }
+      rows.push_back({std::string(preset) + (quantize ? "_q" : "_c") +
+                          "_fullscale",
+                      {codec.t_full(), codec.v_full(),
+                       static_cast<double>(codec.levels())}});
+    }
+  }
+  check_against_golden("spike_codec.csv", rows);
+}
+
+TEST(Golden, RcStage) {
+  std::vector<GoldenRow> rows;
+  int id = 0;
+  for (const double tau : {2e-9, 10e-9, 100e-9}) {
+    for (const double v0 : {0.0, 0.25}) {
+      for (const double v_inf : {0.0, 0.5, 1.0}) {
+        for (const double t : {0.0, 1e-9, 10e-9, 80e-9}) {
+          const double v = circuits::rc_voltage(v0, v_inf, tau, t);
+          // Round-trip through the inverse where it is defined.
+          const double t_back =
+              circuits::rc_time_to_reach(v0, v_inf, tau, v);
+          rows.push_back({"rc" + std::to_string(id++), {v, t_back}});
+        }
+      }
+    }
+  }
+  for (const double t : {0.0, 1e-9, 50e-9}) {
+    rows.push_back({"lin" + std::to_string(id++),
+                    {circuits::rc_voltage_linear(1.0, 10e-9, t),
+                     circuits::rc_source_energy(100e-15, 1.0, 0.7),
+                     circuits::capacitor_energy(100e-15, 0.7)}});
+  }
+  check_against_golden("rc_stage.csv", rows);
+}
+
+}  // namespace
+}  // namespace resipe
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      resipe::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,317 @@
+// The verification harness verified: generator determinism, contract
+// registry behaviour, the shrinker's minimality loop, repro round-trip,
+// and replay of the committed corpus (tests/corpus/*.json).  Runs under
+// `ctest -L verify` and in the telemetry-off build, where the off-flag
+// and thread-determinism contracts double as bit-identity checks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/parallel.hpp"
+#include "resipe/nn/model.hpp"
+#include "resipe/resipe/network.hpp"
+#include "resipe/verify/contracts.hpp"
+#include "resipe/verify/fuzzer.hpp"
+#include "resipe/verify/generators.hpp"
+#include "resipe/verify/serialize.hpp"
+#include "resipe/verify/shrink.hpp"
+#include "testing/approx.hpp"
+
+#ifndef RESIPE_CORPUS_DIR
+#error "RESIPE_CORPUS_DIR must point at the committed corpus"
+#endif
+
+namespace resipe::verify {
+namespace {
+
+CaseSpec case_for_seed(std::uint64_t seed) {
+  return generate_case(CaseDescriptor{kSchemaVersion, seed});
+}
+
+// Disarms the deliberate bug even when an assertion bails out early.
+struct BugGuard {
+  explicit BugGuard(InjectedBug bug) { set_injected_bug(bug); }
+  ~BugGuard() { set_injected_bug(InjectedBug::kNone); }
+};
+
+TEST(Generators, SameSeedSameCase) {
+  for (std::uint64_t seed : {1ull, 17ull, 983ull}) {
+    ReproRecord a{case_for_seed(seed), "all", ""};
+    ReproRecord b{case_for_seed(seed), "all", ""};
+    EXPECT_EQ(repro_to_json(a), repro_to_json(b)) << "seed " << seed;
+  }
+}
+
+TEST(Generators, EveryCaseSatisfiesValidate) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const CaseSpec spec = case_for_seed(seed);
+    EXPECT_NO_THROW(spec.config.validate()) << spec.summary();
+  }
+}
+
+TEST(Generators, CoversBothModelsAndAllMappings) {
+  int linear = 0, exact = 0;
+  int mappings[3] = {0, 0, 0};
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const CaseSpec spec = case_for_seed(seed);
+    (spec.config.circuit.model == circuits::TransferModel::kLinear ? linear
+                                                                   : exact)++;
+    ++mappings[static_cast<int>(spec.config.mapping)];
+  }
+  EXPECT_GT(linear, 0);
+  EXPECT_GT(exact, 0);
+  for (int m : mappings) EXPECT_GT(m, 0);
+}
+
+TEST(Contracts, RegistryHasStableUniqueNames) {
+  const auto& registry = contract_registry();
+  ASSERT_FALSE(registry.empty());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_FALSE(registry[i].description.empty()) << registry[i].name;
+    for (std::size_t j = i + 1; j < registry.size(); ++j) {
+      EXPECT_NE(registry[i].name, registry[j].name);
+    }
+  }
+  EXPECT_NE(find_contract("fast_vs_tile"), nullptr);
+  EXPECT_EQ(find_contract("no_such_contract"), nullptr);
+}
+
+TEST(Contracts, AllHoldOnGeneratedCases) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const CaseSpec spec = case_for_seed(seed);
+    for (const auto& contract : contract_registry()) {
+      const ContractResult r = contract.check(spec);
+      EXPECT_FALSE(r.violated())
+          << contract.name << " on " << spec.summary() << ": " << r.detail;
+    }
+  }
+}
+
+TEST(Contracts, ThreadAndOffFlagDeterminismNeverSkip) {
+  // These two are the bit-identity anchors the telemetry-off build
+  // relies on; they must actually run, not skip.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const CaseSpec spec = case_for_seed(seed);
+    for (const char* name : {"threads_identical", "off_flags_identical"}) {
+      const Contract* contract = find_contract(name);
+      ASSERT_NE(contract, nullptr);
+      const ContractResult r = contract->check(spec);
+      EXPECT_TRUE(r.pass) << name << " on " << spec.summary() << ": "
+                          << r.detail;
+      EXPECT_FALSE(r.skipped) << name << " on " << spec.summary();
+    }
+  }
+}
+
+TEST(InjectedBug, RowDropIsCaughtAndShrunkToTiny) {
+  const Contract* contract = find_contract("fast_vs_tile");
+  ASSERT_NE(contract, nullptr);
+  const BugGuard guard(InjectedBug::kFastMvmRowDrop);
+
+  // The bug zeroes the last crossbar row inside FastMvm only, so the
+  // differential contract must flag it within a handful of seeds.
+  CaseSpec failing;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 50 && !found; ++seed) {
+    failing = case_for_seed(seed);
+    found = contract->check(failing).violated();
+  }
+  ASSERT_TRUE(found) << "row-drop bug survived 50 fuzz cases";
+
+  const ShrinkResult shrunk = shrink_case(failing, *contract);
+  EXPECT_LE(shrunk.spec.rows, 4u) << shrunk.spec.summary();
+  EXPECT_LE(shrunk.spec.cols, 4u) << shrunk.spec.summary();
+  EXPECT_TRUE(contract->check(shrunk.spec).violated());
+
+  // The minimal reproducer must pass once the bug is gone.
+  set_injected_bug(InjectedBug::kNone);
+  EXPECT_FALSE(contract->check(shrunk.spec).violated());
+}
+
+TEST(Shrinker, RejectsPassingCase) {
+  const Contract* contract = find_contract("fast_vs_tile");
+  ASSERT_NE(contract, nullptr);
+  EXPECT_THROW(shrink_case(case_for_seed(1), *contract), Error);
+}
+
+TEST(Serialize, ReproRoundTripsBitExact) {
+  for (std::uint64_t seed : {1ull, 5ull, 33ull}) {
+    ReproRecord record{case_for_seed(seed), "fast_vs_tile", "detail text"};
+    const std::string json = repro_to_json(record);
+    const ReproRecord parsed = repro_from_json(json);
+    EXPECT_EQ(repro_to_json(parsed), json) << "seed " << seed;
+    EXPECT_EQ(parsed.contract, record.contract);
+    EXPECT_EQ(parsed.spec.summary(), record.spec.summary());
+  }
+}
+
+TEST(Serialize, SnippetEmbedsReplayableRecord) {
+  const ReproRecord record{case_for_seed(7), "perm_columns", ""};
+  const std::string snippet = repro_snippet(record);
+  EXPECT_NE(snippet.find("perm_columns"), std::string::npos);
+  EXPECT_NE(snippet.find("repro_from_json"), std::string::npos);
+}
+
+TEST(Serialize, RejectsUnknownKeys) {
+  EXPECT_THROW(repro_from_json("{\"schema_version\": 1, \"bogus\": 2}"),
+               Error);
+}
+
+TEST(Corpus, EveryCommittedCaseReplaysClean) {
+  const std::filesystem::path dir(RESIPE_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t records = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++records;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ReproRecord record = repro_from_json(buf.str());
+    for (const auto& contract : contract_registry()) {
+      if (record.contract != "all" && record.contract != contract.name) {
+        continue;
+      }
+      const ContractResult r = contract.check(record.spec);
+      EXPECT_FALSE(r.violated()) << entry.path().filename() << " "
+                                 << contract.name << ": " << r.detail;
+    }
+  }
+  EXPECT_GE(records, 10u) << "corpus went missing";
+}
+
+TEST(Fuzzer, ReportAggregatesAndBenchLineIsStable) {
+  FuzzOptions options;
+  options.cases = 20;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.cases_run, 20u);
+  EXPECT_EQ(report.violations(), 0u);
+  EXPECT_GT(report.checks(), 0u);
+  EXPECT_NE(report.bench_json().find("\"bench\": \"verify_fuzz\""),
+            std::string::npos);
+}
+
+TEST(Fuzzer, ContractFilterRestrictsChecks) {
+  FuzzOptions options;
+  options.cases = 5;
+  options.contract_filter = "codec_roundtrip";
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_EQ(report.contracts.size(), 1u);
+  EXPECT_THROW(
+      [] {
+        FuzzOptions bad;
+        bad.contract_filter = "no_such_contract";
+        run_fuzz(bad);
+      }(),
+      Error);
+}
+
+// --- satellite 2: EngineConfig::validate at engine entry points --------
+
+using resipe_core::EngineConfig;
+using resipe_core::ProgrammedMatrix;
+
+TEST(EngineConfigValidate, RejectsBadEngineKnobs) {
+  EngineConfig cfg;
+  cfg.tile_rows = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = EngineConfig{};
+  cfg.tile_cols = 5;  // differential pairs need an even width
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.mapping = crossbar::SignedMapping::kOffsetColumn;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = EngineConfig{};
+  cfg.calibration_headroom = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.calibration_headroom = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = EngineConfig{};
+  cfg.input_scale_margin = -1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = EngineConfig{};
+  cfg.retention_time = -1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = EngineConfig{};
+  cfg.introspect.spike_time_bins = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(EngineConfigValidate, SubConfigViolationsPropagate) {
+  EngineConfig cfg;
+  cfg.circuit.v_s = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = EngineConfig{};
+  cfg.device.levels = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(EngineConfigValidate, GuardsProgrammedMatrixConstruction) {
+  EngineConfig cfg;
+  cfg.calibration_headroom = 2.0;
+  Rng rng(1);
+  const std::vector<double> w(4, 0.1);
+  const std::vector<double> b(2, 0.0);
+  EXPECT_THROW(ProgrammedMatrix(cfg, w, b, 2, 2, rng), Error);
+}
+
+// --- satellite 3: reliability x introspect x ir-drop, both thread counts
+
+class FlagCrossProduct
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(FlagCrossProduct, LogitsBitIdenticalAcrossThreadCounts) {
+  const auto [reliability, introspect, ir_drop] = GetParam();
+  Rng rng(404);
+  nn::Sequential model("flags_mlp");
+  model.emplace<nn::Dense>(6, 10, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(10, 4, rng);
+
+  EngineConfig cfg;
+  cfg.tile_rows = 8;
+  cfg.tile_cols = 8;
+  cfg.reliability.enabled = reliability;
+  cfg.reliability.faults.stuck_lrs_rate = reliability ? 0.01 : 0.0;
+  cfg.introspect.enabled = introspect;
+  cfg.model_wire_ir_drop = ir_drop;
+
+  nn::Tensor calibration({8, 6});
+  for (double& v : calibration.data()) v = rng.uniform(0.0, 1.0);
+  nn::Tensor batch({3, 6});
+  for (double& v : batch.data()) v = rng.uniform(0.0, 1.0);
+
+  const resipe_core::ResipeNetwork net(model, cfg, calibration);
+  std::vector<nn::Tensor> logits;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_default_threads(threads);
+    logits.push_back(net.forward(batch));
+  }
+  set_default_threads(0);
+
+  ASSERT_EQ(logits[0].data().size(), logits[1].data().size());
+  EXPECT_EQ(std::memcmp(logits[0].data().data(), logits[1].data().data(),
+                        logits[0].data().size() * sizeof(double)),
+            0)
+      << "rel=" << reliability << " insp=" << introspect
+      << " ir=" << ir_drop;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, FlagCrossProduct,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace resipe::verify

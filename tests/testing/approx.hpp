@@ -1,0 +1,75 @@
+// GTest wrappers over the verify library's floating-point comparators.
+//
+// EXPECT_NEAR hides what a tolerance means: an absolute epsilon that is
+// generous at one magnitude is vacuous at another (1e-15 on a 1e-8
+// spike time is a 1e-7 *relative* bound — seven decimal digits looser
+// than it looks).  These macros state the bound in relative/ULP terms,
+// share the exact comparison the oracle contracts use, and print the
+// abs/rel/ULP breakdown from describe_mismatch() on failure.
+//
+//   RESIPE_EXPECT_REL(actual, expected, 1e-12);        // relative only
+//   RESIPE_EXPECT_CLOSE(actual, expected, rel, abs);   // rel OR abs
+//   RESIPE_EXPECT_ULP(actual, expected, 4);            // units in last place
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "resipe/verify/approx.hpp"
+
+namespace resipe::testing {
+
+inline ::testing::AssertionResult AssertRel(const char* a_expr,
+                                            const char* b_expr,
+                                            const char* /*tol_expr*/,
+                                            double a, double b,
+                                            double rel_tol) {
+  if (verify::approx_rel(a, b, rel_tol)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a_expr << " vs " << b_expr << ": "
+         << verify::describe_mismatch(a, b) << ", rel tol " << rel_tol;
+}
+
+inline ::testing::AssertionResult AssertClose(const char* a_expr,
+                                              const char* b_expr,
+                                              const char* /*rel_expr*/,
+                                              const char* /*abs_expr*/,
+                                              double a, double b,
+                                              double rel_tol,
+                                              double abs_tol) {
+  if (verify::approx_rel(a, b, rel_tol, abs_tol)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a_expr << " vs " << b_expr << ": "
+         << verify::describe_mismatch(a, b) << ", rel tol " << rel_tol
+         << ", abs tol " << abs_tol;
+}
+
+inline ::testing::AssertionResult AssertUlp(const char* a_expr,
+                                            const char* b_expr,
+                                            const char* /*tol_expr*/,
+                                            double a, double b,
+                                            std::uint64_t max_ulps) {
+  if (verify::ulp_distance(a, b) <= max_ulps) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a_expr << " vs " << b_expr << ": "
+         << verify::describe_mismatch(a, b) << ", max ulps " << max_ulps;
+}
+
+}  // namespace resipe::testing
+
+#define RESIPE_EXPECT_REL(actual, expected, rel_tol) \
+  EXPECT_PRED_FORMAT3(::resipe::testing::AssertRel, actual, expected, rel_tol)
+
+#define RESIPE_EXPECT_CLOSE(actual, expected, rel_tol, abs_tol)          \
+  EXPECT_PRED_FORMAT4(::resipe::testing::AssertClose, actual, expected, \
+                      rel_tol, abs_tol)
+
+#define RESIPE_EXPECT_ULP(actual, expected, max_ulps) \
+  EXPECT_PRED_FORMAT3(::resipe::testing::AssertUlp, actual, expected, max_ulps)
