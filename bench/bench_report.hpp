@@ -6,6 +6,13 @@
 // scraping tables.  Pass `--json FILE` (or set RESIPE_BENCH_JSON=FILE)
 // to additionally write the report to a file.
 //
+// Each line is stamped with the provenance the regression tracker keys
+// on: `git_sha` (RESIPE_GIT_SHA compile definition from CMake; the
+// RESIPE_GIT_SHA / GITHUB_SHA environment variables override it at run
+// time for CI), `config_hash` (FNV-1a of the EngineConfig the bench
+// ran — call set_config() when the bench deviates from defaults) and
+// `threads` (the resolved process-wide default).
+//
 //   int main(int argc, char** argv) {
 //     resipe::bench::BenchReport report("fig6_throughput", argc, argv);
 //     ...
@@ -22,6 +29,10 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "resipe/common/parallel.hpp"
+#include "resipe/introspect/inspect.hpp"
+#include "resipe/resipe/network.hpp"
 
 namespace resipe::bench {
 
@@ -47,6 +58,12 @@ class BenchReport {
     strings_.emplace_back(key, value);
   }
 
+  /// Stamps this report with the hash of the config the bench actually
+  /// ran (defaults to a default-constructed EngineConfig).
+  void set_config(const resipe_core::EngineConfig& config) {
+    config_hash_ = introspect::engine_config_hash(config);
+  }
+
   /// Prints the BENCH_JSON line (and optional file); returns 0 so mains
   /// can `return report.emit();`.
   int emit() {
@@ -55,6 +72,13 @@ class BenchReport {
                                       start_)
             .count();
     std::string json = "{\"bench\":\"" + escape(name_) + "\"";
+    json += ",\"git_sha\":\"" + escape(git_sha()) + "\"";
+    if (config_hash_.empty()) {
+      config_hash_ =
+          introspect::engine_config_hash(resipe_core::EngineConfig{});
+    }
+    json += ",\"config_hash\":\"" + escape(config_hash_) + "\"";
+    json += ",\"threads\":" + std::to_string(default_threads());
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6f", wall_s);
     json += ",\"wall_time_s\":";
@@ -95,6 +119,21 @@ class BenchReport {
   }
 
  private:
+  static std::string git_sha() {
+    // Run-time override first so CI stamps the exact commit even when
+    // the build cache predates it.
+    for (const char* var : {"RESIPE_GIT_SHA", "GITHUB_SHA"}) {
+      if (const char* env = std::getenv(var)) {
+        if (*env != '\0') return env;
+      }
+    }
+#if defined(RESIPE_GIT_SHA)
+    return RESIPE_GIT_SHA;
+#else
+    return "unknown";
+#endif
+  }
+
   static std::string escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -112,6 +151,7 @@ class BenchReport {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::string json_path_;
+  std::string config_hash_;
   std::vector<std::pair<std::string, double>> numbers_;
   std::vector<std::pair<std::string, std::string>> strings_;
 };

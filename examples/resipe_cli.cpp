@@ -21,6 +21,15 @@
 //       Trains a small benchmark on synthetic digits, lowers it with
 //       introspection enabled and prints the per-layer numerical-health
 //       dashboard; --out writes the machine-readable JSON report.
+//   profile [--net mlp1|mlp2|cnn1] [--images N] [--train N] [--epochs N]
+//           [--reps N] [--seed K] [--calib-ms MS] [--out FILE]
+//           [--folded FILE]
+//       Profiles repeated inference with kernel work accounting and
+//       prints the roofline report (GFLOP/s, GB/s, intensity,
+//       compute- vs memory-bound) plus the work-annotated call tree;
+//       --out writes the JSON report, --folded writes flamegraph-
+//       compatible folded stacks.  With --trace, cumulative-work
+//       counter tracks are added to the Chrome trace.
 //   quickstart
 //       End-to-end mini-workload touching every subsystem; pairs well
 //       with --trace / --metrics.
@@ -37,6 +46,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +62,9 @@
 #include "resipe/nn/data.hpp"
 #include "resipe/nn/train.hpp"
 #include "resipe/nn/zoo.hpp"
+#include "resipe/perf/perf_counters.hpp"
+#include "resipe/perf/roofline.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/resipe/chip.hpp"
 #include "resipe/resipe/network.hpp"
 #include "resipe/resipe/spike_code.hpp"
@@ -296,6 +309,127 @@ int cmd_inspect(int argc, char** argv) {
   return 0;
 }
 
+// Trains a small benchmark on synthetic digits, lowers it onto the
+// engine and profiles repeated inference with kernel work accounting,
+// hardware perf counters (when the kernel allows) and a one-shot
+// machine calibration, then prints the roofline report and the
+// work-annotated call tree.  Verifies on the way that enabling the
+// accounting leaves the logits bit-identical.
+int cmd_profile(int argc, char** argv) {
+  const std::string tag = arg_value(argc, argv, "--net", "mlp1");
+  nn::BenchmarkNet net;
+  if (tag == "mlp1") net = nn::BenchmarkNet::kMlp1;
+  else if (tag == "mlp2") net = nn::BenchmarkNet::kMlp2;
+  else if (tag == "cnn1") net = nn::BenchmarkNet::kCnn1;
+  else {
+    std::fprintf(stderr, "profile supports --net mlp1|mlp2|cnn1\n");
+    return 2;
+  }
+  const auto train_n = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--train", "128")));
+  const auto test_n = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--images", "32")));
+  const auto epochs = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--epochs", "2")));
+  const auto reps = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--reps", "3")));
+  const auto seed = static_cast<std::uint64_t>(
+      std::atoll(arg_value(argc, argv, "--seed", "42")));
+  const double calib_ms =
+      std::atof(arg_value(argc, argv, "--calib-ms", "60"));
+  const std::string out = arg_value(argc, argv, "--out", "");
+  const std::string folded = arg_value(argc, argv, "--folded", "");
+  if (train_n == 0 || test_n == 0 || reps == 0) {
+    std::fprintf(stderr, "--train/--images/--reps must be positive\n");
+    return 2;
+  }
+
+  // Enable telemetry before the network is lowered: SpikeCodec caches
+  // the telemetry flag at construction, and its codec work rides the
+  // same cold path as its counters.
+  telemetry::set_enabled(true);
+
+  Rng data_rng(7);
+  Rng train_rng = data_rng.split();
+  Rng test_rng = data_rng.split();
+  const nn::Dataset train = nn::synthetic_digits(train_n, train_rng);
+  const nn::Dataset test = nn::synthetic_digits(test_n, test_rng);
+
+  Rng model_rng(0xC0FFEEull + static_cast<std::uint64_t>(net));
+  nn::Sequential model = nn::build_benchmark(net, model_rng);
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 32;
+  tc.lr = 1e-3;
+  (void)nn::fit(model, train, test, tc);
+
+  resipe_core::EngineConfig ec;
+  ec.program_seed = seed;
+  std::vector<std::size_t> calib_idx;
+  for (std::size_t i = 0; i < std::min<std::size_t>(48, train.size()); ++i)
+    calib_idx.push_back(i);
+  auto [calib, calib_labels] = train.gather(calib_idx);
+  (void)calib_labels;
+  const resipe_core::ResipeNetwork hw(model, ec, calib);
+
+  // Bit-identity sanity: accounting on must not perturb the logits.
+  perf::set_accounting_enabled(false);
+  const nn::Tensor logits_off = hw.forward(test.images);
+  perf::set_accounting_enabled(true);
+  const nn::Tensor logits_on = hw.forward(test.images);
+  const std::span<const double> off = logits_off.data();
+  const std::span<const double> on = logits_on.data();
+  const bool identical =
+      off.size() == on.size() &&
+      std::memcmp(off.data(), on.data(), off.size() * sizeof(double)) == 0;
+  std::printf("accounting on/off logits: %s\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  // Measured region: repeated inference over the test batch with the
+  // profile tree, work registry and counters all reset/armed.
+  perf::WorkRegistry::instance().reset_values();
+  telemetry::CallProfile::this_thread().reset();
+  auto& trace = telemetry::TraceSession::instance();
+  perf::PerfCounterGroup counters;
+  counters.start();
+  for (std::size_t i = 0; i < reps; ++i) {
+    (void)hw.forward(test.images);
+    if (trace.active()) {
+      // Counter tracks: cumulative accounted work after each rep.
+      double gflops = 0.0, gbytes = 0.0;
+      for (const auto& k : perf::WorkRegistry::instance().snapshot()) {
+        gflops += k.flops * 1e-9;
+        gbytes += k.bytes * 1e-9;
+      }
+      trace.counter("perf.accounted_gflop", gflops);
+      trace.counter("perf.accounted_gbyte", gbytes);
+    }
+  }
+  counters.stop();
+
+  std::printf("calibrating machine ceilings (%.0f ms/bench)...\n",
+              calib_ms);
+  const perf::MachineProfile machine = perf::calibrate_machine(calib_ms);
+  const perf::RooflineReport report =
+      perf::build_roofline_report(machine, counters.read());
+  std::fputs(report.render_ascii().c_str(), stdout);
+  std::puts("\n== work-annotated call tree ==");
+  std::fputs(
+      perf::render_annotated_profile(telemetry::CallProfile::this_thread())
+          .c_str(),
+      stdout);
+  if (!out.empty()) {
+    report.write_json_file(out);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  if (!folded.empty()) {
+    perf::write_folded_stacks_file(folded,
+                                   telemetry::CallProfile::this_thread());
+    std::printf("wrote %s\n", folded.c_str());
+  }
+  return identical ? 0 : 1;
+}
+
 // End-to-end mini-workload: weight mapping (crossbar), cell programming
 // (device), a single-spiking MVM (resipe_core) and a small
 // characterization sweep (eval).  Mirrors examples/quickstart.cpp so
@@ -353,6 +487,9 @@ void usage() {
       "              [--cluster F] [--seeds N]\n"
       "  inspect [--net mlp1|mlp2|cnn1] [--images N] [--train N]\n"
       "          [--epochs N] [--sigma S] [--seed K] [--out FILE]\n"
+      "  profile [--net mlp1|mlp2|cnn1] [--images N] [--train N]\n"
+      "          [--epochs N] [--reps N] [--seed K] [--calib-ms MS]\n"
+      "          [--out FILE] [--folded FILE]\n"
       "  quickstart\n"
       "global options:\n"
       "  --trace FILE    write a Chrome trace-event JSON (Perfetto)\n"
@@ -411,6 +548,7 @@ int main(int argc, char** argv) {
     else if (cmd == "yield") rc = cmd_yield(nargs, args.data());
     else if (cmd == "reliability") rc = cmd_reliability(nargs, args.data());
     else if (cmd == "inspect") rc = cmd_inspect(nargs, args.data());
+    else if (cmd == "profile") rc = cmd_profile(nargs, args.data());
     else if (cmd == "quickstart") rc = cmd_quickstart();
     else known = false;
   } catch (const std::exception& e) {

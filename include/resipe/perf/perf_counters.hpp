@@ -1,0 +1,69 @@
+// Hardware performance counters via Linux perf_event_open, with a
+// portable wall-clock fallback.
+//
+// A PerfCounterGroup opens one software-clock group with cycles,
+// instructions, cache-reference/miss and branch-miss events for the
+// calling thread.  Opening can fail for many legitimate reasons —
+// non-Linux build, perf_event_paranoid, seccomp'd containers, missing
+// PMU — so failure is a first-class result: `available()` is false,
+// `detail()` says why, and reads still return valid wall-clock time so
+// every caller can degrade to time-only reporting.
+//
+// Counters are normalized for multiplexing: each event is scaled by
+// time_enabled / time_running, the standard perf convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace resipe::perf {
+
+/// One interval's counter readings.  Derived rates return 0 when the
+/// inputs they need were not collected.
+struct PerfCounts {
+  bool available = false;  ///< hardware counters collected
+  std::string detail;      ///< why unavailable (empty when available)
+  double wall_ns = 0.0;    ///< always valid
+
+  double cycles = 0.0;
+  double instructions = 0.0;
+  double cache_references = 0.0;
+  double cache_misses = 0.0;
+  double branch_misses = 0.0;
+
+  double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+  double cache_miss_rate() const {
+    return cache_references > 0.0 ? cache_misses / cache_references : 0.0;
+  }
+  double ghz() const { return wall_ns > 0.0 ? cycles / wall_ns : 0.0; }
+};
+
+/// RAII counter session for the calling thread.  start()/stop() bracket
+/// the measured region; read() is valid after stop().
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when the hardware events opened successfully.
+  bool available() const { return available_; }
+  /// Human-readable reason when available() is false.
+  const std::string& detail() const { return detail_; }
+
+  void start();
+  void stop();
+  PerfCounts read() const;
+
+ private:
+  static constexpr int kEvents = 5;
+  int fds_[kEvents] = {-1, -1, -1, -1, -1};
+  bool available_ = false;
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t stop_ns_ = 0;
+};
+
+}  // namespace resipe::perf

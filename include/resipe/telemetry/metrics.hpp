@@ -210,12 +210,17 @@ class MetricRegistry {
 /// Estimates the q-th quantile (q in [0, 1]) of a bucketed histogram by
 /// linear interpolation inside the bucket holding the q-th observation.
 /// The open-ended first and overflow buckets are clamped to the exact
-/// observed min/max, so p0 == min and p100 == max.  Returns 0 for an
-/// empty histogram.
+/// observed min/max, so p0 == min and p100 == max.  Edge cases are
+/// part of the contract: an empty histogram returns 0 for every q, and
+/// a single-sample histogram returns that observation (recovered from
+/// `sum`) for every q.
 double histogram_percentile(const MetricsSnapshot::HistogramData& h,
                             double q);
 
-/// Percentile summary derived from a histogram snapshot.
+/// Percentile summary derived from a histogram snapshot.  Contract for
+/// degenerate inputs: count == 0 -> all fields zero (inf/-inf
+/// accumulation sentinels never leak); count == 1 -> mean, min, max and
+/// every percentile equal the single observation.
 struct HistogramSummary {
   std::uint64_t count = 0;
   double mean = 0.0;

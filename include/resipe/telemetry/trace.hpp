@@ -18,10 +18,11 @@ namespace resipe::telemetry {
 
 struct TraceEvent {
   std::string name;
-  char phase = 'X';        // 'X' complete span, 'i' instant
+  char phase = 'X';        // 'X' complete span, 'i' instant, 'C' counter
   std::uint64_t ts_ns = 0;  // relative to session start
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  double value = 0.0;      // counter-track sample ('C' events only)
 };
 
 class TraceSession {
@@ -41,6 +42,9 @@ class TraceSession {
                        std::uint64_t dur_ns);
   /// Records an instant marker at the current time.
   void instant(const char* name);
+  /// Records a counter-track sample at the current time; the viewer
+  /// draws one stacked-area track per distinct name.
+  void counter(const char* name, double value);
 
   /// Caps the in-memory event buffer; further events are counted as
   /// dropped instead of stored.  Default: 1 << 20 events.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/perf/work_model.hpp"
 
 namespace resipe::circuits {
 
@@ -46,6 +47,8 @@ TransientMacResult transient_mac(const CircuitParams& params,
                                  std::span<const double> g,
                                  std::span<const Spike> inputs,
                                  std::size_t steps_per_slice) {
+  RESIPE_PERF_KERNEL("circuits.transient.mac",
+                     perf::transient_mac_cost(g.size(), steps_per_slice));
   params.validate();
   RESIPE_REQUIRE(g.size() == inputs.size() && !g.empty(),
                  "conductance / input size mismatch");

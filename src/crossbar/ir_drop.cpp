@@ -1,6 +1,7 @@
 #include "resipe/crossbar/ir_drop.hpp"
 
 #include "resipe/common/error.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::crossbar {
@@ -19,6 +20,8 @@ std::vector<circuits::ColumnDrive> drives_with_ir_drop(
     const Crossbar& xbar, std::span<const double> v_wl,
     const WireModel& wires) {
   RESIPE_TELEM_SCOPE("crossbar.ir_drop.solve");
+  RESIPE_PERF_KERNEL("crossbar.ir_drop.solve",
+                     perf::ir_drop_solve_cost(xbar.rows(), xbar.cols()));
   RESIPE_REQUIRE(v_wl.size() == xbar.rows(), "wordline vector size mismatch");
   std::vector<circuits::ColumnDrive> out(xbar.cols());
   for (std::size_t c = 0; c < xbar.cols(); ++c) {

@@ -1,0 +1,124 @@
+// Machine fingerprint + one-shot STREAM / peak-FLOPs calibration.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "resipe/perf/roofline.hpp"
+#include "resipe/telemetry/timer.hpp"
+
+namespace resipe::perf {
+
+namespace {
+
+std::string cpu_model_name() {
+#if defined(__linux__)
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+#endif
+  return "unknown";
+}
+
+std::string fnv1a_hex(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char ch : s) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Keeps the calibration loops from being folded away without paying a
+// volatile store inside them.
+void consume(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+/// Peak-FLOPs micro-bench: 8 independent multiply-add chains, so the
+/// loop is bound by FMA throughput rather than latency.  Returns
+/// GFLOP/s of the best repetition inside the time budget.
+double peak_flops_bench(double ms_budget) {
+  constexpr std::size_t kLanes = 8;
+  constexpr std::size_t kIters = 1 << 16;
+  double acc[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    acc[l] = 1.0 + 1e-9 * static_cast<double>(l);
+  }
+  const double m = 1.0000000001;
+  const double a = 1e-12;
+  double best = 0.0;
+  const std::uint64_t deadline =
+      telemetry::now_ns() + static_cast<std::uint64_t>(ms_budget * 1e6);
+  do {
+    const std::uint64_t t0 = telemetry::now_ns();
+    for (std::size_t i = 0; i < kIters; ++i) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        acc[l] = acc[l] * m + a;
+      }
+    }
+    consume(acc);
+    const std::uint64_t dt = telemetry::now_ns() - t0;
+    if (dt > 0) {
+      const double flops =
+          2.0 * static_cast<double>(kLanes) * static_cast<double>(kIters);
+      best = std::max(best, flops / static_cast<double>(dt));
+    }
+  } while (telemetry::now_ns() < deadline);
+  return best;  // flops/ns == GFLOP/s
+}
+
+/// STREAM-triad bandwidth: a[i] = b[i] + s * c[i] over arrays sized
+/// well past LLC.  Counts 24 bytes per element (two loads, one store;
+/// write-allocate traffic not charged, the usual STREAM convention).
+double stream_bench(double ms_budget, std::size_t n) {
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  const double s = 3.0;
+  double best = 0.0;
+  const std::uint64_t deadline =
+      telemetry::now_ns() + static_cast<std::uint64_t>(ms_budget * 1e6);
+  do {
+    const std::uint64_t t0 = telemetry::now_ns();
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+    consume(a.data());
+    const std::uint64_t dt = telemetry::now_ns() - t0;
+    if (dt > 0) {
+      const double bytes = 24.0 * static_cast<double>(n);
+      best = std::max(best, bytes / static_cast<double>(dt));
+    }
+    std::swap(a, b);  // keep the store stream moving between arrays
+  } while (telemetry::now_ns() < deadline);
+  return best;  // bytes/ns == GB/s
+}
+
+}  // namespace
+
+std::string machine_fingerprint() {
+  return cpu_model_name() + ";cores=" +
+         std::to_string(std::thread::hardware_concurrency()) + ";word=8";
+}
+
+MachineProfile calibrate_machine(double ms_per_bench,
+                                 std::size_t stream_doubles) {
+  MachineProfile p;
+  p.cpu_model = cpu_model_name();
+  p.cores = std::thread::hardware_concurrency();
+  p.fingerprint = machine_fingerprint();
+  p.fingerprint_hash = fnv1a_hex(p.fingerprint);
+  p.peak_gflops = peak_flops_bench(ms_per_bench);
+  p.peak_gbs = stream_bench(ms_per_bench, stream_doubles);
+  return p;
+}
+
+}  // namespace resipe::perf

@@ -1,0 +1,154 @@
+#include "resipe/perf/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "resipe/telemetry/timer.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace resipe::perf {
+
+#if defined(__linux__)
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                     int group_fd, unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+  const char* name;
+};
+
+// Order matches the PerfCounts fields read() fills.
+constexpr EventSpec kEventSpecs[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, "cache-refs"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "cache-misses"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch-misses"},
+};
+
+/// Multiplex-scaled value of one counter fd; nan-free: returns false
+/// when the read itself fails.
+bool read_scaled(int fd, double* value) {
+  // PERF_FORMAT_TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING layout.
+  std::uint64_t buf[3] = {0, 0, 0};
+  if (::read(fd, buf, sizeof buf) != sizeof buf) return false;
+  double v = static_cast<double>(buf[0]);
+  if (buf[2] > 0 && buf[1] > buf[2]) {
+    v *= static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+  for (int i = 0; i < kEvents; ++i) {
+    perf_event_attr attr{};
+    attr.size = sizeof attr;
+    attr.type = kEventSpecs[i].type;
+    attr.config = kEventSpecs[i].config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    // All events share the first one's group so they schedule together
+    // when the PMU has room; degraded scheduling is handled by the
+    // time_enabled/time_running scaling.
+    const int group = fds_[0];
+    const long fd = perf_event_open(&attr, 0, -1, group, 0);
+    if (fd < 0) {
+      if (i == 0) {
+        detail_ = std::string("perf_event_open(") + kEventSpecs[i].name +
+                  ") failed: " + std::strerror(errno);
+        return;  // no leader -> no counters at all
+      }
+      continue;  // partial PMUs: keep what opened
+    }
+    fds_[i] = static_cast<int>(fd);
+  }
+  available_ = fds_[0] >= 0;
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void PerfCounterGroup::start() {
+  start_ns_ = telemetry::now_ns();
+  stop_ns_ = 0;
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounterGroup::stop() {
+  for (int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  stop_ns_ = telemetry::now_ns();
+}
+
+PerfCounts PerfCounterGroup::read() const {
+  PerfCounts out;
+  out.detail = detail_;
+  const std::uint64_t end = stop_ns_ != 0 ? stop_ns_ : telemetry::now_ns();
+  out.wall_ns =
+      start_ns_ != 0 ? static_cast<double>(end - start_ns_) : 0.0;
+  if (!available_) return out;
+  double* fields[kEvents] = {&out.cycles, &out.instructions,
+                             &out.cache_references, &out.cache_misses,
+                             &out.branch_misses};
+  bool any = false;
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    if (read_scaled(fds_[i], fields[i])) any = true;
+  }
+  out.available = any;
+  if (!any) out.detail = "perf counter reads failed";
+  return out;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() {
+  detail_ = "perf_event_open is Linux-only; wall-clock fallback";
+}
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+void PerfCounterGroup::start() {
+  start_ns_ = telemetry::now_ns();
+  stop_ns_ = 0;
+}
+
+void PerfCounterGroup::stop() { stop_ns_ = telemetry::now_ns(); }
+
+PerfCounts PerfCounterGroup::read() const {
+  PerfCounts out;
+  out.detail = detail_;
+  const std::uint64_t end = stop_ns_ != 0 ? stop_ns_ : telemetry::now_ns();
+  out.wall_ns =
+      start_ns_ != 0 ? static_cast<double>(end - start_ns_) : 0.0;
+  return out;
+}
+
+#endif  // __linux__
+
+}  // namespace resipe::perf

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
@@ -110,6 +111,8 @@ double FastMvm::recover_time(double weighted, std::size_t col,
 void FastMvm::mvm_times(std::span<const double> t_in,
                         std::span<double> t_out) const {
   RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times");
+  RESIPE_PERF_KERNEL("resipe_core.fast_mvm.mvm_times",
+                     perf::fast_mvm_cost(rows_, cols_));
   RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
                  "FastMvm vector size mismatch");
   // S1: wordline voltages from the GD ramp.
@@ -140,6 +143,8 @@ void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
                               std::span<double> t_out,
                               BatchScratch& scratch) const {
   RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times_batch");
+  RESIPE_PERF_KERNEL("resipe_core.fast_mvm.mvm_times_batch",
+                     perf::fast_mvm_batch_cost(rows_, cols_, n));
   RESIPE_REQUIRE(t_in.size() == n * rows_ && t_out.size() == n * cols_,
                  "FastMvm batch size mismatch");
   if (n == 0) return;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "resipe/common/error.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
@@ -12,7 +13,13 @@ namespace {
 
 // Cold bookkeeping paths: encode/decode run in ns-scale loops, so the
 // disabled-telemetry cost must stay at one predicted branch per call.
+// Work accounting rides the same cold path (and so, like the counters,
+// only fires while telemetry is active); per-call RAII timing would
+// dwarf the codec itself, so these book work only — the enclosing
+// layer span carries the time.
 [[gnu::noinline]] void record_encode(bool clipped, bool snapped) {
+  RESIPE_PERF_WORK("resipe_core.spike_codec.encode",
+                   perf::spike_encode_cost());
   RESIPE_TELEM_COUNT("resipe_core.spike_codec.encoded", 1);
   if (clipped) {
     RESIPE_TELEM_COUNT("resipe_core.spike_codec.input_clipped", 1);
@@ -23,6 +30,8 @@ namespace {
 }
 
 [[gnu::noinline]] void record_decode(bool silent) {
+  RESIPE_PERF_WORK("resipe_core.spike_codec.decode",
+                   perf::spike_decode_cost());
   RESIPE_TELEM_COUNT("resipe_core.spike_codec.decoded", 1);
   if (silent) {
     RESIPE_TELEM_COUNT("resipe_core.spike_codec.silent_decodes", 1);

@@ -6,6 +6,7 @@
 #include "resipe/circuits/rc_stage.hpp"
 #include "resipe/common/error.hpp"
 #include "resipe/energy/components.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::resipe_core {
@@ -41,6 +42,8 @@ ResipeTile::FlaggedResult ResipeTile::execute_flagged(
 std::vector<circuits::Spike> ResipeTile::execute(
     const std::vector<circuits::Spike>& inputs, Rng* read_noise) const {
   RESIPE_TELEM_SCOPE("resipe_core.tile.execute");
+  RESIPE_PERF_KERNEL("resipe_core.tile.execute",
+                     perf::tile_execute_cost(rows(), cols()));
   RESIPE_REQUIRE(inputs.size() == rows(),
                  "input spike count " << inputs.size() << " != rows "
                                       << rows());

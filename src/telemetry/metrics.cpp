@@ -140,6 +140,10 @@ void Histogram::reset() noexcept {
 double histogram_percentile(const MetricsSnapshot::HistogramData& h,
                             double q) {
   if (h.count == 0) return 0.0;
+  // A single observation IS every percentile; `sum` recovers its exact
+  // value even when min/max were left at defaults or sentinels by a
+  // hand-constructed snapshot.
+  if (h.count == 1) return h.sum;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th observation (1-based, midpoint convention keeps
   // p0 = min and p100 = max exact).
@@ -169,7 +173,16 @@ HistogramSummary summarize_histogram(
     const MetricsSnapshot::HistogramData& h) {
   HistogramSummary s;
   s.count = h.count;
-  s.mean = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+  // Empty histogram: every field is exactly zero, even when the data
+  // still carries the +/-inf accumulation sentinels of a reset
+  // Histogram or the defaults of a hand-built snapshot.
+  if (h.count == 0) return s;
+  if (h.count == 1) {
+    // Single observation: it is the min, the max and every percentile.
+    s.mean = s.min = s.max = s.p50 = s.p95 = s.p99 = h.sum;
+    return s;
+  }
+  s.mean = h.sum / static_cast<double>(h.count);
   s.min = h.min;
   s.max = h.max;
   s.p50 = histogram_percentile(h, 0.50);

@@ -90,6 +90,22 @@ void TraceSession::instant(const char* name) {
   events_.push_back(std::move(e));
 }
 
+void TraceSession::counter(const char* name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'C';
+  e.ts_ns = now_ns() - t0_ns_;
+  e.tid = this_thread_id();
+  e.value = value;
+  events_.push_back(std::move(e));
+}
+
 void TraceSession::set_capacity(std::size_t max_events) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = max_events;
@@ -130,6 +146,10 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
       os << ",\"dur\":" << buf;
     }
     if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (e.phase == 'C') {
+      std::snprintf(buf, sizeof buf, "%.17g", e.value);
+      os << ",\"args\":{\"value\":" << buf << "}";
+    }
     os << ",\"pid\":1,\"tid\":" << e.tid << "}";
   }
   os << "],\"displayTimeUnit\":\"ns\"}\n";

@@ -10,9 +10,11 @@
 #include "resipe/common/parallel.hpp"
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/nn/model.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/resipe/tile.hpp"
+#include "resipe/telemetry/telemetry.hpp"
 #include "resipe/verify/approx.hpp"
 #include "resipe/verify/ode_oracle.hpp"
 
@@ -43,6 +45,7 @@ enum Stream : std::uint64_t {
   kStreamMatrixBatch = 0xC00A,
   kStreamThreads = 0xC00B,
   kStreamOffFlags = 0xC00C,
+  kStreamPerfAccounting = 0xC00D,
 };
 
 InjectedBug g_injected_bug = InjectedBug::kNone;
@@ -575,6 +578,31 @@ ContractResult check_off_flags_identical(const CaseSpec& spec) {
   return ContractResult::ok();
 }
 
+ContractResult check_perf_accounting_identity(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamPerfAccounting));
+  NetworkFixture fx = build_network_inputs(spec, rng);
+  const ResipeNetwork net(*fx.model, spec.config, fx.calibration);
+
+  // The work models only count — they never touch kernel data — so
+  // enabling the accounting (and the telemetry it rides on) must leave
+  // every logit bit-identical.  Restore both switches on exit so this
+  // contract cannot leak state into the next one.
+  const bool telem_was = telemetry::enabled();
+  perf::set_accounting_enabled(false);
+  const nn::Tensor y_off = net.forward(fx.batch);
+  telemetry::set_enabled(true);
+  perf::set_accounting_enabled(true);
+  const nn::Tensor y_on = net.forward(fx.batch);
+  perf::set_accounting_enabled(false);
+  telemetry::set_enabled(telem_was);
+
+  if (!bit_identical(y_off.data(), y_on.data())) {
+    return ContractResult::fail(
+        "enabling kernel work accounting perturbed the logits");
+  }
+  return ContractResult::ok();
+}
+
 }  // namespace
 
 void set_injected_bug(InjectedBug bug) { g_injected_bug = bug; }
@@ -621,6 +649,9 @@ const std::vector<Contract>& contract_registry() {
       {"off_flags_identical",
        "disabled reliability/introspection sub-knobs cannot affect "
        "logits", check_off_flags_identical},
+      {"perf_accounting_identity",
+       "kernel work accounting on vs off leaves logits bit-identical",
+       check_perf_accounting_identity},
   };
   return registry;
 }

@@ -284,10 +284,42 @@ TEST_F(TelemetryTest, EmptyHistogramSummaryIsAllZero) {
   MetricsSnapshot::HistogramData empty;
   empty.bounds = {1.0};
   empty.buckets = {0, 0};
+  // Pinned contract: zero observations -> every summary field is 0,
+  // every percentile is 0 (never NaN, never a bucket bound).
+  EXPECT_DOUBLE_EQ(histogram_percentile(empty, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(histogram_percentile(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_percentile(empty, 1.0), 0.0);
   const HistogramSummary s = summarize_histogram(empty);
   EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
   EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST_F(TelemetryTest, SingleSampleHistogramSummaryIsTheSample) {
+  // Pinned contract: one observation -> mean == min == max == every
+  // percentile == the observed value (not a bucket boundary estimate).
+  Histogram& h =
+      MetricRegistry::instance().histogram("test.unit.single", {1.0, 10.0});
+  MetricRegistry::instance().reset_values();
+  h.observe(3.25);
+  const MetricsSnapshot snap = MetricRegistry::instance().snapshot();
+  const auto& data = snap.histograms.at("test.unit.single");
+  ASSERT_EQ(data.count, 1u);
+  EXPECT_DOUBLE_EQ(histogram_percentile(data, 0.0), 3.25);
+  EXPECT_DOUBLE_EQ(histogram_percentile(data, 0.5), 3.25);
+  EXPECT_DOUBLE_EQ(histogram_percentile(data, 1.0), 3.25);
+  const HistogramSummary s = summarize_histogram(data);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+  EXPECT_DOUBLE_EQ(s.p50, 3.25);
+  EXPECT_DOUBLE_EQ(s.p95, 3.25);
+  EXPECT_DOUBLE_EQ(s.p99, 3.25);
 }
 
 TEST_F(TelemetryTest, HistogramRejectsBadBounds) {

@@ -15,29 +15,109 @@ Inputs may be bench stdout captures (lines prefixed with BENCH_JSON),
 bare report files (one JSON object per line) or ``-`` for stdin.  If
 the same bench name appears more than once the last occurrence wins,
 so re-runs in the same log are harmless.
+
+Malformed BENCH_JSON lines (unparseable JSON, or JSON without a
+``bench`` key) are reported on stderr with their source and line
+number — never silently dropped.
+
+With ``--history DIR`` the collected document is also appended to an
+append-only history store: one file per run, named
+``<unixtime>_<gitsha>_<machinehash>.json`` so entries are keyed by
+(git SHA, machine fingerprint) and per-bench ``config_hash`` stamps.
+``tools/bench_diff.py`` consumes this store for noise-aware regression
+tracking.
 """
 
 import argparse
 import json
+import os
 import sys
+import time
 
 PREFIX = "BENCH_JSON "
 
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
 
-def reports_in(stream):
-    """Yield parsed bench reports found in an iterable of lines."""
-    for line in stream:
+
+def fnv1a_hex(text):
+    """FNV-1a 64 hex digest — mirrors resipe::perf's fingerprint hash."""
+    h = FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        h = ((h ^ byte) * FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return f"{h:016x}"
+
+
+def machine_fingerprint():
+    """Mirror of resipe::perf::machine_fingerprint():
+    ``<cpu model>;cores=<n>;word=8``."""
+    model = "unknown"
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("model name"):
+                    _, _, value = line.partition(":")
+                    model = value.strip()
+                    break
+    except OSError:
+        pass
+    cores = os.cpu_count() or 0
+    return f"{model};cores={cores};word=8"
+
+
+def reports_in(stream, source, problems):
+    """Yield parsed bench reports from an iterable of lines.
+
+    Lines carrying the BENCH_JSON prefix (or starting with ``{`` in
+    bare report files) that fail to parse, or parse to something that
+    is not a bench report, are appended to ``problems`` as
+    human-readable strings instead of being dropped.
+    """
+    for lineno, line in enumerate(stream, start=1):
         line = line.strip()
-        if line.startswith(PREFIX):
+        prefixed = line.startswith(PREFIX)
+        if prefixed:
             line = line[len(PREFIX):]
-        if not line.startswith("{"):
+        if not prefixed and not line.startswith("{"):
             continue
         try:
             doc = json.loads(line)
-        except json.JSONDecodeError:
+        except json.JSONDecodeError as err:
+            # A prefixed line unambiguously claims to be a report; a
+            # bare '{...}' line in a log might be other JSON output, but
+            # in a report file it is still worth flagging.
+            problems.append(f"{source}:{lineno}: unparseable JSON ({err})")
             continue
-        if isinstance(doc, dict) and "bench" in doc:
-            yield doc
+        if not isinstance(doc, dict) or "bench" not in doc:
+            problems.append(
+                f"{source}:{lineno}: JSON object without a 'bench' key")
+            continue
+        yield doc
+
+
+def write_history_entry(history_dir, document):
+    """Append the collected document to the history store; returns the
+    entry path."""
+    os.makedirs(history_dir, exist_ok=True)
+    benches = document["benches"]
+    git_sha = next((b.get("git_sha") for b in benches
+                    if b.get("git_sha")), "unknown")
+    fingerprint = machine_fingerprint()
+    machine_hash = fnv1a_hex(fingerprint)
+    stamp = int(time.time())
+    name = f"{stamp}_{git_sha[:12]}_{machine_hash[:12]}.json"
+    entry = {
+        "timestamp": stamp,
+        "git_sha": git_sha,
+        "machine": fingerprint,
+        "machine_hash": machine_hash,
+        "benches": benches,
+    }
+    path = os.path.join(history_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def main(argv=None):
@@ -47,16 +127,23 @@ def main(argv=None):
                         help="bench logs / report files, or - for stdin")
     parser.add_argument("-o", "--output", default="benchmarks.json",
                         help="output document (default: benchmarks.json)")
+    parser.add_argument("--history", metavar="DIR", default="",
+                        help="also append an entry to this append-only "
+                             "bench-history directory")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (exit 1) when malformed BENCH_JSON "
+                             "lines are found")
     args = parser.parse_args(argv)
 
     by_name = {}
+    problems = []
     for path in args.inputs:
         if path == "-":
-            found = list(reports_in(sys.stdin))
+            found = list(reports_in(sys.stdin, "<stdin>", problems))
         else:
             try:
                 with open(path, encoding="utf-8") as fh:
-                    found = list(reports_in(fh))
+                    found = list(reports_in(fh, path, problems))
             except OSError as err:
                 print(f"collect_bench: {err}", file=sys.stderr)
                 return 1
@@ -65,6 +152,10 @@ def main(argv=None):
                   file=sys.stderr)
         for doc in found:
             by_name[doc["bench"]] = doc
+
+    for problem in problems:
+        print(f"collect_bench: malformed report: {problem}",
+              file=sys.stderr)
 
     if not by_name:
         print("collect_bench: nothing collected", file=sys.stderr)
@@ -76,6 +167,13 @@ def main(argv=None):
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"collect_bench: wrote {len(by_name)} report(s) to {args.output}")
+    if args.history:
+        entry = write_history_entry(args.history, document)
+        print(f"collect_bench: appended history entry {entry}")
+    if problems and args.strict:
+        print(f"collect_bench: {len(problems)} malformed line(s) "
+              "(--strict)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Unit tests for collect_bench.py and bench_diff.py (run in CI).
+
+    python3 tools/test_tools.py -v
+"""
+
+import copy
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff
+import collect_bench
+
+
+def report_line(name, figures=None, **extra):
+    doc = {"bench": name, "wall_time_s": 1.0, "figures": figures or {}}
+    doc.update(extra)
+    return "BENCH_JSON " + json.dumps(doc)
+
+
+class CollectBenchTest(unittest.TestCase):
+    def test_parses_prefixed_lines(self):
+        problems = []
+        docs = list(collect_bench.reports_in(
+            ["noise", report_line("a"), "more noise"], "log", problems))
+        self.assertEqual([d["bench"] for d in docs], ["a"])
+        self.assertEqual(problems, [])
+
+    def test_malformed_lines_reported_not_dropped(self):
+        problems = []
+        lines = [
+            "BENCH_JSON {broken json",
+            'BENCH_JSON {"no_bench_key": 1}',
+            report_line("good"),
+        ]
+        docs = list(collect_bench.reports_in(lines, "src.log", problems))
+        self.assertEqual([d["bench"] for d in docs], ["good"])
+        self.assertEqual(len(problems), 2)
+        self.assertIn("src.log:1", problems[0])
+        self.assertIn("unparseable", problems[0])
+        self.assertIn("src.log:2", problems[1])
+        self.assertIn("'bench' key", problems[1])
+
+    def test_last_occurrence_wins(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            log = os.path.join(tmp, "bench.log")
+            out = os.path.join(tmp, "benchmarks.json")
+            with open(log, "w", encoding="utf-8") as fh:
+                fh.write(report_line("a", {"x": 1.0}) + "\n")
+                fh.write(report_line("a", {"x": 2.0}) + "\n")
+            rc = collect_bench.main([log, "-o", out])
+            self.assertEqual(rc, 0)
+            with open(out, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            self.assertEqual(len(doc["benches"]), 1)
+            self.assertEqual(doc["benches"][0]["figures"]["x"], 2.0)
+
+    def test_strict_fails_on_malformed(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            log = os.path.join(tmp, "bench.log")
+            out = os.path.join(tmp, "benchmarks.json")
+            with open(log, "w", encoding="utf-8") as fh:
+                fh.write("BENCH_JSON {broken\n")
+                fh.write(report_line("a") + "\n")
+            stderr = io.StringIO()
+            old = sys.stderr
+            sys.stderr = stderr
+            try:
+                rc = collect_bench.main([log, "-o", out, "--strict"])
+            finally:
+                sys.stderr = old
+            self.assertEqual(rc, 1)
+            self.assertIn("malformed", stderr.getvalue())
+
+    def test_history_entry_keys(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            log = os.path.join(tmp, "bench.log")
+            out = os.path.join(tmp, "benchmarks.json")
+            hist = os.path.join(tmp, "history")
+            with open(log, "w", encoding="utf-8") as fh:
+                fh.write(report_line("a", {"x": 1.0},
+                                     git_sha="abc123def456789") + "\n")
+            rc = collect_bench.main([log, "-o", out, "--history", hist])
+            self.assertEqual(rc, 0)
+            entries = os.listdir(hist)
+            self.assertEqual(len(entries), 1)
+            # <unixtime>_<gitsha12>_<machinehash12>.json
+            stem = entries[0][:-len(".json")]
+            stamp, sha, machine = stem.split("_")
+            self.assertTrue(stamp.isdigit())
+            self.assertEqual(sha, "abc123def456")
+            self.assertEqual(len(machine), 12)
+            with open(os.path.join(hist, entries[0]),
+                      encoding="utf-8") as fh:
+                entry = json.load(fh)
+            self.assertEqual(entry["git_sha"], "abc123def456789")
+            self.assertEqual(
+                entry["machine_hash"],
+                collect_bench.fnv1a_hex(collect_bench.machine_fingerprint()))
+            self.assertEqual(len(entry["benches"]), 1)
+
+    def test_fnv1a_matches_cpp_constants(self):
+        # Empty string hashes to the FNV offset basis; a known vector
+        # pins the prime ("a" -> 0xaf63dc4c8601ec8c).
+        self.assertEqual(collect_bench.fnv1a_hex(""), "cbf29ce484222325")
+        self.assertEqual(collect_bench.fnv1a_hex("a"), "af63dc4c8601ec8c")
+
+
+class BenchDiffTest(unittest.TestCase):
+    def history(self, n=5, wall=10.0, gflops=2.0):
+        rng = __import__("random").Random(99)
+        out = []
+        for i in range(n):
+            out.append({
+                "timestamp": 1000 + i,
+                "machine_hash": "m",
+                "benches": [{
+                    "bench": "b",
+                    "config_hash": "c",
+                    "wall_time_s": wall * (1 + rng.uniform(-0.01, 0.01)),
+                    "figures": {
+                        "k_gflops": gflops * (1 + rng.uniform(-0.01, 0.01)),
+                        "k_intensity": 0.5,
+                    },
+                }],
+            })
+        return out
+
+    def test_direction_convention(self):
+        self.assertEqual(bench_diff.direction("wall_time_s"), -1)
+        self.assertEqual(bench_diff.direction("mvm_latency"), -1)
+        self.assertEqual(bench_diff.direction("cache_misses"), -1)
+        self.assertEqual(bench_diff.direction("engine_throughput_ops"), +1)
+        self.assertEqual(bench_diff.direction("kernel_gflops"), +1)
+        self.assertEqual(bench_diff.direction("test_accuracy"), +1)
+        self.assertEqual(bench_diff.direction("k_intensity"), 0)
+        self.assertEqual(bench_diff.direction("ridge_flop_per_byte"), 0)
+
+    def test_slowdown_flagged_clean_passes(self):
+        history = self.history()
+        clean = copy.deepcopy(history[0])
+        regressions, _, checked = bench_diff.diff(clean, history, 0.10, 3.0)
+        self.assertEqual(regressions, [])
+        self.assertTrue(checked)
+
+        slow = copy.deepcopy(clean)
+        slow["benches"][0]["wall_time_s"] *= 1.20
+        regressions, _, _ = bench_diff.diff(slow, history, 0.10, 3.0)
+        self.assertTrue(any("wall_time_s" in r for r in regressions))
+
+    def test_rate_drop_flagged_and_gain_is_improvement(self):
+        history = self.history()
+        drop = copy.deepcopy(history[0])
+        drop["benches"][0]["figures"]["k_gflops"] *= 0.8
+        regressions, _, _ = bench_diff.diff(drop, history, 0.10, 3.0)
+        self.assertTrue(any("k_gflops" in r for r in regressions))
+
+        gain = copy.deepcopy(history[0])
+        gain["benches"][0]["figures"]["k_gflops"] *= 1.5
+        regressions, improvements, _ = bench_diff.diff(
+            gain, history, 0.10, 3.0)
+        self.assertEqual(regressions, [])
+        self.assertTrue(any("k_gflops" in s for s in improvements))
+
+    def test_noise_margin_widens_with_std(self):
+        # History with 30% spread: a 20% excursion stays inside the
+        # 3-sigma noise margin and must not be flagged.
+        values = [10.0, 13.0, 7.0, 12.0, 8.0]
+        history = []
+        for i, v in enumerate(values):
+            history.append({
+                "timestamp": i,
+                "machine_hash": "m",
+                "benches": [{"bench": "b", "config_hash": "c",
+                             "wall_time_s": v, "figures": {}}],
+            })
+        noisy = copy.deepcopy(history[0])
+        noisy["benches"][0]["wall_time_s"] = 12.0
+        regressions, _, _ = bench_diff.diff(noisy, history, 0.10, 3.0)
+        self.assertEqual(regressions, [])
+
+    def test_config_change_starts_fresh_baseline(self):
+        history = self.history()
+        other = copy.deepcopy(history[0])
+        other["benches"][0]["config_hash"] = "different"
+        other["benches"][0]["wall_time_s"] *= 5.0
+        regressions, _, checked = bench_diff.diff(other, history, 0.10, 3.0)
+        self.assertEqual(regressions, [])
+        self.assertTrue(any("no matching history" in s for s in checked))
+
+    def test_self_test_entrypoint(self):
+        self.assertEqual(bench_diff.self_test(), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
