@@ -474,8 +474,39 @@ int cmd_quickstart() {
   return 0;
 }
 
+/// Known subcommands and their (value-taking) flags.  Checked centrally
+/// in main before dispatch: a typo'd subcommand or stray flag errors
+/// with usage text and a nonzero exit instead of being silently
+/// ignored and running with defaults.
+struct CommandSpec {
+  const char* name;
+  std::vector<const char*> flags;
+};
+
+const std::vector<CommandSpec>& command_table() {
+  static const std::vector<CommandSpec> table = {
+      {"characterize", {"--rows", "--samples", "--csv"}},
+      {"compare", {}},
+      {"chip", {"--net"}},
+      {"mvm", {"--rows", "--cols", "--sigma", "--seed"}},
+      {"yield", {"--bound"}},
+      {"reliability",
+       {"--net", "--rates", "--spares", "--cluster", "--seeds"}},
+      {"inspect",
+       {"--net", "--images", "--train", "--epochs", "--sigma", "--seed",
+        "--out"}},
+      {"profile",
+       {"--net", "--images", "--train", "--epochs", "--reps", "--seed",
+        "--calib-ms", "--out", "--folded"}},
+      {"quickstart", {}},
+  };
+  return table;
+}
+
+// Only ever printed on a usage *error*, so it goes to stderr: stdout
+// stays clean for the command's actual report.
 void usage() {
-  std::puts(
+  std::fputs(
       "usage: resipe_cli [--trace FILE] [--metrics FILE] <command> "
       "[options]\n"
       "  characterize [--rows N] [--samples N] [--csv FILE]\n"
@@ -496,7 +527,8 @@ void usage() {
       "  --metrics FILE  dump metrics (.csv -> CSV, else JSON)\n"
       "  --threads N     worker threads for parallel sweeps (overrides\n"
       "                  RESIPE_THREADS; 1 = serial; results are\n"
-      "                  bit-identical for every N)");
+      "                  bit-identical for every N)\n",
+      stderr);
 }
 
 }  // namespace
@@ -508,7 +540,17 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
+  const auto is_global = [](const char* a) {
+    return std::strcmp(a, "--trace") == 0 ||
+           std::strcmp(a, "--metrics") == 0 ||
+           std::strcmp(a, "--threads") == 0;
+  };
   for (int i = 0; i < argc; ++i) {
+    if (i > 0 && is_global(argv[i]) && i + 1 >= argc) {
+      std::fprintf(stderr, "error: missing value for '%s'\n", argv[i]);
+      usage();
+      return 2;
+    }
     if (i + 1 < argc && std::strcmp(argv[i], "--trace") == 0) {
       trace_path = argv[++i];
     } else if (i + 1 < argc && std::strcmp(argv[i], "--metrics") == 0) {
@@ -538,8 +580,44 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) telemetry::set_enabled(true);
 
   const std::string cmd = args[1];
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& c : command_table()) {
+    if (cmd == c.name) {
+      spec = &c;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+    usage();
+    return 2;
+  }
+  // Strict flag check: every remaining token must be a known
+  // value-taking flag of this command, followed by its value.
+  for (int i = 2; i < nargs; ++i) {
+    const char* tok = args[static_cast<std::size_t>(i)];
+    bool recognized = false;
+    for (const char* flag : spec->flags) {
+      if (std::strcmp(tok, flag) == 0) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) {
+      std::fprintf(stderr, "error: unknown option '%s' for command '%s'\n",
+                   tok, spec->name);
+      usage();
+      return 2;
+    }
+    if (i + 1 >= nargs) {
+      std::fprintf(stderr, "error: missing value for '%s'\n", tok);
+      usage();
+      return 2;
+    }
+    ++i;  // skip the flag's value
+  }
+
   int rc = 2;
-  bool known = true;
   try {
     if (cmd == "characterize") rc = cmd_characterize(nargs, args.data());
     else if (cmd == "compare") rc = cmd_compare();
@@ -550,14 +628,9 @@ int main(int argc, char** argv) {
     else if (cmd == "inspect") rc = cmd_inspect(nargs, args.data());
     else if (cmd == "profile") rc = cmd_profile(nargs, args.data());
     else if (cmd == "quickstart") rc = cmd_quickstart();
-    else known = false;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
-  }
-  if (!known) {
-    usage();
-    return 2;
   }
 
   try {

@@ -41,6 +41,7 @@
 #include "resipe/reliability/config.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
 #include "resipe/resipe/spike_code.hpp"
+#include "resipe/serve/config.hpp"
 
 namespace resipe::resipe_core {
 
@@ -88,6 +89,14 @@ struct EngineConfig {
   /// subsystem, and the probes only run through the dedicated
   /// forward_probed / forward_observed entry points.
   introspect::InspectOptions introspect;
+
+  /// Serving-layer knobs (scheduler / admission / retry / health — see
+  /// serve/config.hpp).  The engine's own forward paths never read
+  /// these: they cannot affect logits, only how a chip pool schedules
+  /// and sheds load, which is why they are excluded from
+  /// engine_config_hash.  Living here keeps one config object the unit
+  /// of generation and validation for the verify fuzzer.
+  serve::ServeConfig serve;
 
   /// "Ideal" configuration: linearized transfers, continuous timing,
   /// noiseless devices — the reference accuracy in Fig. 7.

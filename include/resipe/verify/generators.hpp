@@ -23,7 +23,10 @@
 namespace resipe::verify {
 
 /// Version of the generator's sampling schema.
-inline constexpr std::uint32_t kSchemaVersion = 1;
+/// v2: added the serving-layer draws (ServeConfig) at the end of the
+/// stream — earlier draws are unchanged, so v1 corpus entries replay
+/// from their serialized specs exactly as before.
+inline constexpr std::uint32_t kSchemaVersion = 2;
 
 /// Replayable identity of one generated case.
 struct CaseDescriptor {

@@ -27,6 +27,7 @@ void EngineConfig::validate() const {
   circuit.validate();
   device.validate();
   reliability.validate();
+  serve.validate();
   RESIPE_REQUIRE(tile_rows > 0 && tile_cols > 0,
                  "tile dimensions must be positive, got "
                      << tile_rows << "x" << tile_cols);

@@ -14,6 +14,8 @@
 #include "resipe/resipe/fast_mvm.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/resipe/tile.hpp"
+#include "resipe/serve/pool.hpp"
+#include "resipe/serve/scheduler.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 #include "resipe/verify/approx.hpp"
 #include "resipe/verify/ode_oracle.hpp"
@@ -46,6 +48,7 @@ enum Stream : std::uint64_t {
   kStreamThreads = 0xC00B,
   kStreamOffFlags = 0xC00C,
   kStreamPerfAccounting = 0xC00D,
+  kStreamServing = 0xC00E,
 };
 
 InjectedBug g_injected_bug = InjectedBug::kNone;
@@ -603,6 +606,92 @@ ContractResult check_perf_accounting_identity(const CaseSpec& spec) {
   return ContractResult::ok();
 }
 
+ContractResult check_serving_identity(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamServing));
+  NetworkFixture fx = build_network_inputs(spec, rng);
+
+  // With faults off and deadlines slack, the serving layer is pure
+  // routing: whatever batching, probing and dispatch order the drawn
+  // ServeConfig produces, every served logit must be bit-identical to
+  // the direct engine path.  Overrides below only remove the legitimate
+  // reasons to shed (admission pressure, tight deadlines, trigger-happy
+  // health limits); batching/backoff/probe cadence stay as drawn.
+  EngineConfig cfg = spec.config;
+  cfg.reliability.enabled = false;
+  cfg.serve.queue_capacity = 64;
+  cfg.serve.default_deadline = 1.0e3;
+  cfg.serve.health.max_canary_mismatch = 1.0;
+  cfg.serve.health.logit_rmse_limit = 1.0e30;
+  const serve::ServeConfig& scfg = cfg.serve;
+
+  serve::ChipPool pool(*fx.model, fx.calibration, {cfg, cfg}, scfg);
+  const ResipeNetwork direct(*fx.model, cfg, fx.calibration);
+
+  // Trace: calibration rows offered microseconds apart — fast enough
+  // that batching happens, slow enough that the 64-deep queue cannot
+  // fill from 6 arrivals.
+  constexpr std::size_t kRequests = 6;
+  const std::size_t calib_n = fx.calibration.dim(0);
+  std::vector<serve::Request> trace;
+  nn::Tensor direct_in({kRequests, spec.inputs});
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const std::size_t row = i % calib_n;
+    serve::Request req;
+    req.id = i;
+    req.tag = row;
+    req.arrival = static_cast<double>(i) * 1.0e-6;
+    const auto src =
+        fx.calibration.data().subspan(row * spec.inputs, spec.inputs);
+    req.input.assign(src.begin(), src.end());
+    std::copy(src.begin(), src.end(),
+              direct_in.data().begin() +
+                  static_cast<std::ptrdiff_t>(i * spec.inputs));
+    trace.push_back(std::move(req));
+  }
+  const nn::Tensor want = direct.forward(direct_in);
+
+  ThreadGuard guard;
+  std::vector<std::vector<serve::Response>> runs;
+  for (const std::size_t threads : {1, 2, 8}) {
+    set_default_threads(threads);
+    serve::Scheduler scheduler(pool, scfg);
+    for (const serve::Request& r : trace) scheduler.submit(r);
+    runs.push_back(scheduler.run());
+  }
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const serve::Response& r = runs[0][i];
+    if (r.status != serve::Response::Status::kOk) {
+      std::ostringstream os;
+      os << "request " << i << " not served ok with faults off and slack "
+         << "deadlines: status " << serve::to_string(r.status) << " ("
+         << serve::to_string(r.reason) << ")";
+      return ContractResult::fail(os.str());
+    }
+    if (!bit_identical(r.logits,
+                       want.data().subspan(i * spec.classes, spec.classes))) {
+      return ContractResult::fail(fail_at("served vs direct logits", i,
+                                          r.logits[0], want[i * spec.classes]));
+    }
+  }
+  for (std::size_t t = 1; t < runs.size(); ++t) {
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const serve::Response& a = runs[0][i];
+      const serve::Response& b = runs[t][i];
+      if (a.status != b.status || a.attempts != b.attempts ||
+          a.chip != b.chip ||
+          std::memcmp(&a.completion, &b.completion, sizeof(double)) != 0 ||
+          !bit_identical(a.logits, b.logits)) {
+        std::ostringstream os;
+        os << "serving trace diverged between thread counts at request "
+           << i;
+        return ContractResult::fail(os.str());
+      }
+    }
+  }
+  return ContractResult::ok();
+}
+
 }  // namespace
 
 void set_injected_bug(InjectedBug bug) { g_injected_bug = bug; }
@@ -652,6 +741,10 @@ const std::vector<Contract>& contract_registry() {
       {"perf_accounting_identity",
        "kernel work accounting on vs off leaves logits bit-identical",
        check_perf_accounting_identity},
+      {"serving_identity",
+       "the serving path (pool + scheduler) reproduces direct engine "
+       "logits bit-for-bit and replays identically at any thread count",
+       check_serving_identity},
   };
   return registry;
 }

@@ -25,7 +25,10 @@ std::string CaseSpec::summary() const {
      << " levels=" << config.device.levels
      << " sigma=" << config.device.variation_sigma
      << " rel=" << (config.reliability.enabled ? 1 : 0)
-     << " insp=" << (config.introspect.enabled ? 1 : 0) << " net=["
+     << " insp=" << (config.introspect.enabled ? 1 : 0)
+     << " srv=[q" << config.serve.queue_capacity << " b"
+     << config.serve.batch_max << " r" << config.serve.retry_max << "]"
+     << " net=["
      << inputs;
   for (const std::size_t w : layers) os << "->" << w;
   os << "->" << classes << "] batch=" << batch;
@@ -150,6 +153,28 @@ CaseSpec generate_case(const CaseDescriptor& descriptor) {
   }
   spec.classes = static_cast<std::size_t>(rng.uniform_int(2, 8));
   spec.batch = static_cast<std::size_t>(rng.uniform_int(1, 4));
+
+  // --- serving layer (schema v2).  Appended after every v1 draw so the
+  // earlier stream is bit-identical across versions.  Ranges mirror
+  // ServeConfig::validate()'s accepted domain exactly.
+  serve::ServeConfig& srv = cfg.serve;
+  srv.queue_capacity = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  srv.batch_max = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  srv.batch_window = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 1.0e-3);
+  srv.default_deadline = rng.log_uniform(1.0e-4, 1.0);
+  srv.retry_max = static_cast<int>(rng.uniform_int(0, 4));
+  srv.backoff_base = rng.log_uniform(1.0e-6, 1.0e-3);
+  srv.backoff_multiplier = rng.uniform(1.0, 3.0);
+  srv.backoff_max = srv.backoff_base * rng.uniform(1.0, 100.0);
+  srv.backoff_jitter = rng.uniform(0.0, 1.0);
+  srv.health.canary_period = rng.log_uniform(1.0e-4, 1.0e-2);
+  srv.health.canary_images = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  srv.health.max_canary_mismatch = rng.uniform(0.0, 1.0);
+  srv.health.logit_rmse_limit = rng.uniform(0.0, 2.0);
+  srv.health.quarantine_after =
+      static_cast<std::size_t>(rng.uniform_int(1, 3));
+  srv.health.readmit_after = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  srv.seed = rng.next_u64();
 
   // The generator's output contract: everything it emits is valid.
   cfg.validate();

@@ -258,7 +258,27 @@ std::string repro_to_json(const ReproRecord& record) {
         cfg.introspect.energy_ledger ? "true" : "false");
   field("insp_spike_time_bins",
         std::to_string(cfg.introspect.spike_time_bins));
-  field("insp_activity_threshold", num(cfg.introspect.activity_threshold),
+  field("insp_activity_threshold", num(cfg.introspect.activity_threshold));
+  field("serve_queue_capacity", std::to_string(cfg.serve.queue_capacity));
+  field("serve_batch_max", std::to_string(cfg.serve.batch_max));
+  field("serve_batch_window", num(cfg.serve.batch_window));
+  field("serve_default_deadline", num(cfg.serve.default_deadline));
+  field("serve_retry_max", std::to_string(cfg.serve.retry_max));
+  field("serve_backoff_base", num(cfg.serve.backoff_base));
+  field("serve_backoff_multiplier", num(cfg.serve.backoff_multiplier));
+  field("serve_backoff_max", num(cfg.serve.backoff_max));
+  field("serve_backoff_jitter", num(cfg.serve.backoff_jitter));
+  field("serve_canary_period", num(cfg.serve.health.canary_period));
+  field("serve_canary_images",
+        std::to_string(cfg.serve.health.canary_images));
+  field("serve_max_canary_mismatch",
+        num(cfg.serve.health.max_canary_mismatch));
+  field("serve_logit_rmse_limit", num(cfg.serve.health.logit_rmse_limit));
+  field("serve_quarantine_after",
+        std::to_string(cfg.serve.health.quarantine_after));
+  field("serve_readmit_after",
+        std::to_string(cfg.serve.health.readmit_after));
+  field("serve_seed", quoted(std::to_string(cfg.serve.seed)),
         /*last=*/true);
   os << "}\n";
   return os.str();
@@ -446,6 +466,39 @@ ReproRecord repro_from_json(const std::string& json) {
       cfg.introspect.spike_time_bins = static_cast<std::size_t>(to_u64(v));
     } else if (key == "insp_activity_threshold") {
       cfg.introspect.activity_threshold = to_double(v);
+    } else if (key == "serve_queue_capacity") {
+      cfg.serve.queue_capacity = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "serve_batch_max") {
+      cfg.serve.batch_max = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "serve_batch_window") {
+      cfg.serve.batch_window = to_double(v);
+    } else if (key == "serve_default_deadline") {
+      cfg.serve.default_deadline = to_double(v);
+    } else if (key == "serve_retry_max") {
+      cfg.serve.retry_max = static_cast<int>(to_u64(v));
+    } else if (key == "serve_backoff_base") {
+      cfg.serve.backoff_base = to_double(v);
+    } else if (key == "serve_backoff_multiplier") {
+      cfg.serve.backoff_multiplier = to_double(v);
+    } else if (key == "serve_backoff_max") {
+      cfg.serve.backoff_max = to_double(v);
+    } else if (key == "serve_backoff_jitter") {
+      cfg.serve.backoff_jitter = to_double(v);
+    } else if (key == "serve_canary_period") {
+      cfg.serve.health.canary_period = to_double(v);
+    } else if (key == "serve_canary_images") {
+      cfg.serve.health.canary_images = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "serve_max_canary_mismatch") {
+      cfg.serve.health.max_canary_mismatch = to_double(v);
+    } else if (key == "serve_logit_rmse_limit") {
+      cfg.serve.health.logit_rmse_limit = to_double(v);
+    } else if (key == "serve_quarantine_after") {
+      cfg.serve.health.quarantine_after =
+          static_cast<std::size_t>(to_u64(v));
+    } else if (key == "serve_readmit_after") {
+      cfg.serve.health.readmit_after = static_cast<std::size_t>(to_u64(v));
+    } else if (key == "serve_seed") {
+      cfg.serve.seed = to_u64(v);
     } else {
       RESIPE_REQUIRE(false, "unknown key '" << key << "' in repro record");
     }

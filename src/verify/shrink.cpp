@@ -152,6 +152,23 @@ std::vector<Move> move_catalogue() {
                      if (changed) s.config.device.drift_nu = 0.0;
                      return changed;
                    }});
+  moves.push_back({"serve->defaults", [](CaseSpec& s) {
+                     const serve::ServeConfig defaults;
+                     // Field-wise compare: ServeConfig is aggregate-only.
+                     const bool already =
+                         s.config.serve.queue_capacity ==
+                             defaults.queue_capacity &&
+                         s.config.serve.batch_max == defaults.batch_max &&
+                         s.config.serve.batch_window ==
+                             defaults.batch_window &&
+                         s.config.serve.default_deadline ==
+                             defaults.default_deadline &&
+                         s.config.serve.retry_max == defaults.retry_max &&
+                         s.config.serve.seed == defaults.seed;
+                     if (already) return false;
+                     s.config.serve = defaults;
+                     return true;
+                   }});
   moves.push_back({"fault-rates->0", [zero](CaseSpec& s) {
                      bool changed =
                          zero(s.config.reliability.faults.stuck_lrs_rate);
