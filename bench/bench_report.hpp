@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "resipe/common/parallel.hpp"
+#include "resipe/common/simd.hpp"
 #include "resipe/introspect/inspect.hpp"
 #include "resipe/resipe/network.hpp"
 
@@ -79,6 +80,11 @@ class BenchReport {
     }
     json += ",\"config_hash\":\"" + escape(config_hash_) + "\"";
     json += ",\"threads\":" + std::to_string(default_threads());
+    // The ISA the kernels actually ran with (honors RESIPE_SIMD=scalar)
+    // and the build's vector flags: numbers from different ISAs are not
+    // comparable, and bench_diff keys its baselines on this stamp.
+    json += ",\"simd_isa\":\"" + escape(simd::active_isa()) + "\"";
+    json += ",\"march\":\"" + escape(simd::march_flags()) + "\"";
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6f", wall_s);
     json += ",\"wall_time_s\":";

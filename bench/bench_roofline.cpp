@@ -99,6 +99,11 @@ int main(int argc, char** argv) {
   const perf::RooflineReport roofline =
       perf::build_roofline_report(machine);
   std::cout << roofline.render_ascii() << "\n";
+  // The work model books the same flop counts on either path (SIMD
+  // changes how fast the flops run, not how many the kernel owes), so
+  // achieved-GFLOP/s deltas across this line are real rate changes.
+  std::cout << "simd: isa " << simd::active_isa() << ", march "
+            << simd::march_flags() << "\n";
 
   report.add("peak_gflops", machine.peak_gflops);
   report.add("peak_gbs", machine.peak_gbs);

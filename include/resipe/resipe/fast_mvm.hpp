@@ -10,8 +10,22 @@
 //   * per-column saturation factor k_j = 1 - exp(-dt * g_tot_j / Ccog),
 //
 // so one MVM costs one dot product per column plus one log for the S2
-// inversion.  Bit-identical to ResipeTile::execute for the same
-// programmed array (asserted by the property tests).
+// inversion.
+//
+// Two executions of the same math live here:
+//
+//   * the scalar reference path — the original loops, bit-identical to
+//     ResipeTile::execute for the same programmed array (asserted by
+//     the property tests), and what you get from a scalar build or
+//     RESIPE_SIMD=scalar;
+//   * the SIMD path (default on vector builds) — cache-blocked,
+//     FMA-vectorized kernels over width-padded column-major storage.
+//     Its row sums fold in vector-lane order and its exp/log are the
+//     polynomial forms from common/simd.hpp, so outputs may differ
+//     from the reference by a bounded reassociation/rounding error.
+//     The `simd_equivalence` verify contract pins that bound; batched
+//     and single-sample SIMD calls share every kernel, so batch ==
+//     single stays bitwise exact on either path.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +33,7 @@
 #include <vector>
 
 #include "resipe/circuits/params.hpp"
+#include "resipe/common/simd.hpp"
 #include "resipe/crossbar/crossbar.hpp"
 
 namespace resipe::resipe_core {
@@ -26,13 +41,19 @@ namespace resipe::resipe_core {
 /// Immutable snapshot of a programmed tile, optimized for repeated MVMs.
 class FastMvm {
  public:
+  /// Cache-line-aligned storage so the vector kernels can use aligned
+  /// loads over the padded arrays.
+  using aligned_vector = std::vector<double, simd::AlignedAllocator<double>>;
+
   /// Snapshots the effective conductances of `xbar` under `params`.
+  /// Throws if the crossbar has zero rows or columns.
   FastMvm(const circuits::CircuitParams& params,
           const crossbar::Crossbar& xbar);
 
   /// Direct construction from a flat row-major effective-conductance
   /// matrix (used by the layer executor, which programs virtual tiles
-  /// without instantiating Crossbar objects per block).
+  /// without instantiating Crossbar objects per block).  Throws if
+  /// rows or cols is zero.
   FastMvm(const circuits::CircuitParams& params, std::size_t rows,
           std::size_t cols, std::vector<double> g_effective);
 
@@ -61,18 +82,19 @@ class FastMvm {
 
   /// Reusable scratch for mvm_times_batch.  Hoist one per worker (e.g.
   /// thread_local) so steady-state batched MVMs never touch the heap.
+  /// Layout is an implementation detail of the selected kernel path.
   struct BatchScratch {
-    std::vector<double> v_wl;      // [n, rows] wordline voltages
-    std::vector<double> weighted;  // [n] per-column current sums
+    aligned_vector v_wl;      // wordline voltages (padded per sample)
+    aligned_vector weighted;  // per-column current sums
+    aligned_vector t_cols;    // padded per-sample outputs (SIMD path)
   };
 
   /// Batched mvm_times: `t_in` is row-major [n, rows], `t_out` is
   /// row-major [n, cols].  Bit-identical per sample to n calls of
-  /// mvm_times — same summation order, same recovery chain — but the
-  /// per-column inner loops run across samples over contiguous
-  /// column-major scratch, so the dot products and the exp/log
-  /// inversion chain vectorize instead of re-walking the matrix per
-  /// sample.
+  /// mvm_times — both paths share their dot-product and recovery
+  /// kernels — but the matrix is walked in cache-sized column blocks
+  /// reused across the whole batch, with several samples accumulated
+  /// per matrix load.
   void mvm_times_batch(std::span<const double> t_in, std::size_t n,
                        std::span<double> t_out, BatchScratch& scratch) const;
 
@@ -86,6 +108,8 @@ class FastMvm {
  private:
   void precompute();
 
+  // --- scalar reference path (the original loops, kept bit-stable) ---
+
   /// Fills v_wl[0, rows) with the S1 wordline voltages for one sample.
   void wordline_voltages(std::span<const double> t_in, double* v_wl) const;
 
@@ -94,17 +118,48 @@ class FastMvm {
   double recover_time(double weighted, std::size_t col,
                       std::size_t* silent) const;
 
+  void mvm_times_scalar(std::span<const double> t_in,
+                        std::span<double> t_out) const;
+  void mvm_times_batch_scalar(std::span<const double> t_in, std::size_t n,
+                              std::span<double> t_out,
+                              BatchScratch& scratch) const;
+
+  // --- SIMD path -----------------------------------------------------
+
+  /// S1 over a width-padded sample: t_pad has rows_pad() entries with
+  /// kNoSpike in the padding lanes, so padded v_wl lanes come out 0 and
+  /// contribute nothing to any dot product.
+  void wordline_voltages_simd(const double* t_pad, double* v_wl) const;
+
+  /// S2 for one vector chunk of columns [c, c+W): reads w[0, W) and the
+  /// padded per-column arrays at c, writes out[0, W).  Element-wise per
+  /// lane, so any chunking of the column axis yields identical values.
+  void recover_block_simd(const double* w, std::size_t c, double* out,
+                          std::size_t* silent) const;
+
+  void mvm_times_simd(std::span<const double> t_in,
+                      std::span<double> t_out) const;
+  void mvm_times_batch_simd(std::span<const double> t_in, std::size_t n,
+                            std::span<double> t_out,
+                            BatchScratch& scratch) const;
+
+  std::size_t rows_pad() const { return rows_pad_; }
+
   circuits::CircuitParams params_;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> g_cm_;     // column-major effective conductances:
-                                 // g_cm_[c * rows_ + r].  Column-major
-                                 // keeps each column's weights
-                                 // contiguous for the per-column dot
-                                 // products (single and batched paths).
-  std::vector<double> g_total_;  // per column
-  std::vector<double> k_;        // per-column saturation factor
-  std::vector<double> offsets_;  // per-column comparator mismatch
+  std::size_t rows_pad_ = 0;   // rows rounded up to the vector width
+  std::size_t cols_pad_ = 0;   // cols rounded up to the vector width
+  std::size_t block_cols_ = 0;  // column-block size for batch tiling
+  bool has_offsets_ = false;
+  aligned_vector g_cm_;     // column-major effective conductances:
+                            // g_cm_[c * rows_pad_ + r], zero padding
+                            // rows.  Column-major keeps each column's
+                            // weights contiguous for the per-column
+                            // dot products (single and batched paths).
+  aligned_vector g_total_;  // per column, padded with zeros
+  aligned_vector k_;        // per-column saturation factor, padded
+  aligned_vector offsets_;  // per-column comparator mismatch, padded
 };
 
 }  // namespace resipe::resipe_core

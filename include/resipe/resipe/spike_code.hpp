@@ -16,6 +16,8 @@
 // limit: the grid is uniform in time, hence non-uniform in value.
 #pragma once
 
+#include <span>
+
 #include "resipe/circuits/params.hpp"
 #include "resipe/circuits/spike.hpp"
 
@@ -34,6 +36,23 @@ class SpikeCodec {
   /// Decodes a spike back to [0, 1]; a missing spike decodes to the
   /// over-range sentinel 1.0 (the line saturated).
   double decode(const circuits::Spike& spike) const;
+
+  /// Batched encode: times[i] receives encode(values[i]).arrival_time.
+  /// On vector builds the clamp / ramp-inversion chain runs through
+  /// common/simd.hpp (quantization rounding stays lane-serial), so
+  /// pre-quantization times may differ from element-wise encode() by
+  /// the documented transcendental bound; with the scalar fallback (or
+  /// RESIPE_SIMD=scalar) this is bit-identical to calling encode() in
+  /// a loop.  Telemetry counters aggregate over the batch.
+  void encode_times(std::span<const double> values,
+                    std::span<double> times) const;
+
+  /// Batched decode over raw arrival times: values[i] receives what
+  /// decode(Spike::at(times[i])) returns (kNoSpike or a negative time
+  /// decodes to the over-range sentinel 1.0).  Same SIMD/bit-identity
+  /// story as encode_times.
+  void decode_values(std::span<const double> times,
+                     std::span<double> values) const;
 
   /// Sampled GD voltage corresponding to a spike time (the quantity a
   /// wordline actually receives).

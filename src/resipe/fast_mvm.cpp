@@ -9,14 +9,37 @@
 
 namespace resipe::resipe_core {
 
+namespace {
+
+using simd::vdouble;
+constexpr std::size_t kW = simd::native_lanes;
+
+/// Samples accumulated per matrix load in the batched dot kernel: four
+/// independent FMA chains cover the FMA latency and amortize each
+/// column load 4x.
+constexpr std::size_t kSampleGroup = 4;
+
+/// Column-block footprint target for the batch tiling: a block of
+/// g_cm_ this large stays resident in L2 while every sample in the
+/// batch streams through it.
+constexpr std::size_t kBlockBytes = 128 * 1024;
+
+/// Prefetch distance (in doubles) ahead of the streaming matrix reads.
+constexpr std::size_t kPrefetchAhead = 64;
+
+}  // namespace
+
 FastMvm::FastMvm(const circuits::CircuitParams& params,
                  const crossbar::Crossbar& xbar)
     : params_(params), rows_(xbar.rows()), cols_(xbar.cols()) {
   params_.validate();
-  g_cm_.resize(rows_ * cols_);
+  RESIPE_REQUIRE(rows_ > 0 && cols_ > 0,
+                 "FastMvm requires a crossbar with rows > 0 and cols > 0");
+  rows_pad_ = simd::pad_to_lanes(rows_);
+  g_cm_.assign(cols_ * rows_pad_, 0.0);
   for (std::size_t c = 0; c < cols_; ++c) {
     for (std::size_t r = 0; r < rows_; ++r) {
-      g_cm_[c * rows_ + r] = xbar.effective_g(r, c);
+      g_cm_[c * rows_pad_ + r] = xbar.effective_g(r, c);
     }
   }
   precompute();
@@ -26,26 +49,29 @@ FastMvm::FastMvm(const circuits::CircuitParams& params, std::size_t rows,
                  std::size_t cols, std::vector<double> g_effective)
     : params_(params), rows_(rows), cols_(cols) {
   params_.validate();
-  RESIPE_REQUIRE(rows_ > 0 && cols_ > 0, "empty FastMvm");
+  RESIPE_REQUIRE(rows_ > 0 && cols_ > 0,
+                 "FastMvm requires rows > 0 and cols > 0");
   RESIPE_REQUIRE(g_effective.size() == rows_ * cols_,
                  "conductance matrix size");
-  g_cm_.resize(rows_ * cols_);
+  rows_pad_ = simd::pad_to_lanes(rows_);
+  g_cm_.assign(cols_ * rows_pad_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t c = 0; c < cols_; ++c) {
-      g_cm_[c * rows_ + r] = g_effective[r * cols_ + c];
+      g_cm_[c * rows_pad_ + r] = g_effective[r * cols_ + c];
     }
   }
   precompute();
 }
 
 void FastMvm::precompute() {
-  g_total_.assign(cols_, 0.0);
+  cols_pad_ = simd::pad_to_lanes(cols_);
+  g_total_.assign(cols_pad_, 0.0);
   for (std::size_t c = 0; c < cols_; ++c) {
-    const double* gc = g_cm_.data() + c * rows_;
+    const double* gc = g_cm_.data() + c * rows_pad_;
     // Row-ascending sum, matching ResipeTile's accumulation order.
     for (std::size_t r = 0; r < rows_; ++r) g_total_[c] += gc[r];
   }
-  k_.assign(cols_, 0.0);
+  k_.assign(cols_pad_, 0.0);
   for (std::size_t c = 0; c < cols_; ++c) {
     if (g_total_[c] <= 0.0) continue;
     const double tau = params_.c_cog / g_total_[c];
@@ -55,13 +81,26 @@ void FastMvm::precompute() {
       k_[c] = 1.0 - std::exp(-params_.comp_stage / tau);
     }
   }
+  offsets_.assign(cols_pad_, 0.0);
+  // Column blocks for the batched kernel: whole multiples of the
+  // vector width sized so a block of g_cm_ fits the L2 target.
+  std::size_t cb = kBlockBytes / (rows_pad_ * sizeof(double));
+  cb = cb / kW * kW;
+  block_cols_ = std::clamp<std::size_t>(cb, kW, cols_pad_);
 }
 
 void FastMvm::set_column_offsets(std::vector<double> offsets) {
   RESIPE_REQUIRE(offsets.size() == cols_,
                  "need one comparator offset per column");
-  offsets_ = std::move(offsets);
+  std::copy(offsets.begin(), offsets.end(), offsets_.begin());
+  has_offsets_ = true;
 }
+
+// --- scalar reference path ---------------------------------------------
+//
+// These are the original loops, byte-for-byte in the arithmetic: the
+// scalar build and RESIPE_SIMD=scalar reproduce historical results
+// exactly, and the verify harness measures the SIMD path against them.
 
 void FastMvm::wordline_voltages(std::span<const double> t_in,
                                 double* v_wl) const {
@@ -91,7 +130,7 @@ double FastMvm::recover_time(double weighted, std::size_t col,
   const double v_eq = weighted / g_total_[col];
   const double v_cog = v_eq * k_[col];
   double threshold = v_cog + params_.comparator_offset;
-  if (!offsets_.empty()) threshold += offsets_[col];
+  if (has_offsets_) threshold += offsets_[col];
   double crossing;
   if (threshold <= 0.0) {
     crossing = 0.0;
@@ -108,13 +147,8 @@ double FastMvm::recover_time(double weighted, std::size_t col,
   return kNoSpike;
 }
 
-void FastMvm::mvm_times(std::span<const double> t_in,
-                        std::span<double> t_out) const {
-  RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times");
-  RESIPE_PERF_KERNEL("resipe_core.fast_mvm.mvm_times",
-                     perf::fast_mvm_cost(rows_, cols_));
-  RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
-                 "FastMvm vector size mismatch");
+void FastMvm::mvm_times_scalar(std::span<const double> t_in,
+                               std::span<double> t_out) const {
   // S1: wordline voltages from the GD ramp.
   thread_local std::vector<double> v_wl;
   v_wl.resize(rows_);
@@ -128,7 +162,7 @@ void FastMvm::mvm_times(std::span<const double> t_in,
       t_out[c] = params_.comparator_delay;
       continue;
     }
-    const double* gc = g_cm_.data() + c * rows_;
+    const double* gc = g_cm_.data() + c * rows_pad_;
     double weighted = 0.0;
     for (std::size_t r = 0; r < rows_; ++r) {
       weighted += v_wl[r] * gc[r];
@@ -139,16 +173,9 @@ void FastMvm::mvm_times(std::span<const double> t_in,
   RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
 }
 
-void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
-                              std::span<double> t_out,
-                              BatchScratch& scratch) const {
-  RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times_batch");
-  RESIPE_PERF_KERNEL("resipe_core.fast_mvm.mvm_times_batch",
-                     perf::fast_mvm_batch_cost(rows_, cols_, n));
-  RESIPE_REQUIRE(t_in.size() == n * rows_ && t_out.size() == n * cols_,
-                 "FastMvm batch size mismatch");
-  if (n == 0) return;
-
+void FastMvm::mvm_times_batch_scalar(std::span<const double> t_in,
+                                     std::size_t n, std::span<double> t_out,
+                                     BatchScratch& scratch) const {
   // S1 for every sample up front.
   scratch.v_wl.resize(n * rows_);
   for (std::size_t s = 0; s < n; ++s) {
@@ -168,7 +195,7 @@ void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
       }
       continue;
     }
-    const double* gc = g_cm_.data() + c * rows_;
+    const double* gc = g_cm_.data() + c * rows_pad_;
     for (std::size_t s = 0; s < n; ++s) {
       const double* vs = scratch.v_wl.data() + s * rows_;
       double weighted = 0.0;
@@ -185,13 +212,260 @@ void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
   RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
 }
 
+// --- SIMD path ---------------------------------------------------------
+
+void FastMvm::wordline_voltages_simd(const double* t_pad,
+                                     double* v_wl) const {
+  const vdouble v_s(params_.v_s);
+  const vdouble zero(0.0);
+  const vdouble one(1.0);
+  const vdouble slice(params_.slice_length);
+  const vdouble tau(params_.tau_gd());
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+  for (std::size_t r = 0; r < rows_pad_; r += kW) {
+    const vdouble t = vdouble::load(t_pad + r);
+    // Valid when 0 <= t <= slice; NaN and kNoSpike fail both compares.
+    const auto valid = (t >= zero) & (t <= slice);
+    vdouble v;
+    if (linear) {
+      v = simd::min(v_s * t / tau, v_s);
+    } else {
+      v = v_s * (one - simd::exp(zero - t / tau));
+    }
+    v = simd::select(valid, v, zero);
+    v.store(v_wl + r);
+  }
+}
+
+void FastMvm::recover_block_simd(const double* w, std::size_t c, double* out,
+                                 std::size_t* silent) const {
+  const double tau_gd = params_.tau_gd();
+  const vdouble v_s(params_.v_s);
+  const vdouble zero(0.0);
+  const vdouble delay(params_.comparator_delay);
+  const vdouble slice(params_.slice_length);
+  const vdouble no_spike(kNoSpike);
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+
+  const vdouble weighted = vdouble::load(w);
+  const vdouble g_tot = vdouble::load(g_total_.data() + c);
+  const vdouble k = vdouble::load(k_.data() + c);
+  const vdouble off = vdouble::load(offsets_.data() + c);
+
+  const vdouble v_cog = weighted / g_tot * k;
+  const vdouble threshold =
+      v_cog + vdouble(params_.comparator_offset) + off;
+
+  vdouble crossing;
+  if (linear) {
+    crossing = threshold * vdouble(tau_gd) / v_s;
+  } else {
+    // -tau * log(1 - th/v_s); th >= v_s makes the log argument <= 0,
+    // which the explicit select below resolves to kNoSpike.
+    crossing =
+        (zero - vdouble(tau_gd)) * simd::log(vdouble(1.0) - threshold / v_s);
+    crossing = simd::select(threshold >= v_s, no_spike, crossing);
+  }
+  crossing = simd::select(threshold <= zero, zero, crossing);
+
+  const vdouble t = crossing + delay;
+  const auto programmed = g_tot > zero;
+  const auto in_slice = t <= slice;
+  vdouble result = simd::select(in_slice, t, no_spike);
+  // Unprogrammed (and padding) columns never charge: crossing at t=0.
+  result = simd::select(programmed, result, delay);
+  result.store(out);
+
+  // Silent outputs: programmed columns whose spike fell past the slice.
+  const auto silent_mask = programmed & (t > slice);
+  *silent += simd::mask_count(silent_mask);
+}
+
+void FastMvm::mvm_times_simd(std::span<const double> t_in,
+                             std::span<double> t_out) const {
+  thread_local aligned_vector t_pad;
+  thread_local aligned_vector v_wl;
+  thread_local aligned_vector w_pad;
+  thread_local aligned_vector out_pad;
+  t_pad.resize(rows_pad_);
+  v_wl.resize(rows_pad_);
+  w_pad.resize(cols_pad_);
+  out_pad.resize(cols_pad_);
+
+  // S1 over the padded sample; padding lanes carry kNoSpike -> v = 0.
+  std::copy(t_in.begin(), t_in.end(), t_pad.begin());
+  std::fill(t_pad.begin() + rows_, t_pad.end(), kNoSpike);
+  wordline_voltages_simd(t_pad.data(), v_wl.data());
+
+  // Per-column FMA dot products, four columns per pass so each v_wl
+  // load feeds four accumulator chains.
+  for (std::size_t c0 = 0; c0 < cols_; c0 += 4) {
+    const std::size_t nc = std::min<std::size_t>(4, cols_ - c0);
+    if (nc == 4) {
+      const double* g0 = g_cm_.data() + (c0 + 0) * rows_pad_;
+      const double* g1 = g_cm_.data() + (c0 + 1) * rows_pad_;
+      const double* g2 = g_cm_.data() + (c0 + 2) * rows_pad_;
+      const double* g3 = g_cm_.data() + (c0 + 3) * rows_pad_;
+      vdouble a0(0.0), a1(0.0), a2(0.0), a3(0.0);
+      for (std::size_t r = 0; r < rows_pad_; r += kW) {
+        const vdouble v = vdouble::load(v_wl.data() + r);
+        a0 = simd::fma(vdouble::load(g0 + r), v, a0);
+        a1 = simd::fma(vdouble::load(g1 + r), v, a1);
+        a2 = simd::fma(vdouble::load(g2 + r), v, a2);
+        a3 = simd::fma(vdouble::load(g3 + r), v, a3);
+      }
+      w_pad[c0 + 0] = simd::reduce_add(a0);
+      w_pad[c0 + 1] = simd::reduce_add(a1);
+      w_pad[c0 + 2] = simd::reduce_add(a2);
+      w_pad[c0 + 3] = simd::reduce_add(a3);
+    } else {
+      for (std::size_t j = 0; j < nc; ++j) {
+        const double* gc = g_cm_.data() + (c0 + j) * rows_pad_;
+        vdouble acc(0.0);
+        for (std::size_t r = 0; r < rows_pad_; r += kW) {
+          acc = simd::fma(vdouble::load(gc + r), vdouble::load(v_wl.data() + r),
+                          acc);
+        }
+        w_pad[c0 + j] = simd::reduce_add(acc);
+      }
+    }
+  }
+  std::fill(w_pad.begin() + cols_, w_pad.end(), 0.0);
+
+  // S2 recovery, one vector chunk of columns at a time.
+  std::size_t silent = 0;
+  for (std::size_t c = 0; c < cols_pad_; c += kW) {
+    recover_block_simd(w_pad.data() + c, c, out_pad.data() + c, &silent);
+  }
+  std::copy(out_pad.begin(), out_pad.begin() + cols_, t_out.begin());
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops", rows_ * cols_);
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
+}
+
+void FastMvm::mvm_times_batch_simd(std::span<const double> t_in,
+                                   std::size_t n, std::span<double> t_out,
+                                   BatchScratch& scratch) const {
+  // S1: padded wordline voltages per sample.  Same kernel as the
+  // single-sample path, so every element is bitwise identical to it.
+  thread_local aligned_vector t_pad;
+  t_pad.resize(rows_pad_);
+  scratch.v_wl.resize(n * rows_pad_);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto sample = t_in.subspan(s * rows_, rows_);
+    std::copy(sample.begin(), sample.end(), t_pad.begin());
+    std::fill(t_pad.begin() + rows_, t_pad.end(), kNoSpike);
+    wordline_voltages_simd(t_pad.data(), scratch.v_wl.data() + s * rows_pad_);
+  }
+
+  scratch.weighted.resize(kSampleGroup * cols_pad_);
+  scratch.t_cols.resize(n * cols_pad_);
+  std::size_t silent = 0;
+
+  // Column-block outer loop: a block of g_cm_ stays L2-resident while
+  // the whole batch streams through it.  Within a block, groups of
+  // four samples share each matrix load.
+  for (std::size_t c0 = 0; c0 < cols_; c0 += block_cols_) {
+    const std::size_t c_end = std::min(c0 + block_cols_, cols_);
+    // Recovery chunks must cover full vector widths; blocks start at
+    // multiples of kW, so only the last block pads out.
+    const std::size_t c_end_pad = (c_end == cols_) ? cols_pad_ : c_end;
+
+    for (std::size_t s0 = 0; s0 < n; s0 += kSampleGroup) {
+      const std::size_t ns = std::min(kSampleGroup, n - s0);
+      const double* vw0 = scratch.v_wl.data() + (s0 + 0) * rows_pad_;
+
+      for (std::size_t c = c0; c < c_end; ++c) {
+        const double* gc = g_cm_.data() + c * rows_pad_;
+        if (ns == kSampleGroup) {
+          const double* vw1 = vw0 + rows_pad_;
+          const double* vw2 = vw1 + rows_pad_;
+          const double* vw3 = vw2 + rows_pad_;
+          vdouble a0(0.0), a1(0.0), a2(0.0), a3(0.0);
+          for (std::size_t r = 0; r < rows_pad_; r += kW) {
+            simd::prefetch(gc + r + kPrefetchAhead);
+            const vdouble g = vdouble::load(gc + r);
+            a0 = simd::fma(vdouble::load(vw0 + r), g, a0);
+            a1 = simd::fma(vdouble::load(vw1 + r), g, a1);
+            a2 = simd::fma(vdouble::load(vw2 + r), g, a2);
+            a3 = simd::fma(vdouble::load(vw3 + r), g, a3);
+          }
+          scratch.weighted[0 * cols_pad_ + c] = simd::reduce_add(a0);
+          scratch.weighted[1 * cols_pad_ + c] = simd::reduce_add(a1);
+          scratch.weighted[2 * cols_pad_ + c] = simd::reduce_add(a2);
+          scratch.weighted[3 * cols_pad_ + c] = simd::reduce_add(a3);
+        } else {
+          for (std::size_t j = 0; j < ns; ++j) {
+            const double* vwj = vw0 + j * rows_pad_;
+            vdouble acc(0.0);
+            for (std::size_t r = 0; r < rows_pad_; r += kW) {
+              simd::prefetch(gc + r + kPrefetchAhead);
+              acc = simd::fma(vdouble::load(vwj + r), vdouble::load(gc + r),
+                              acc);
+            }
+            scratch.weighted[j * cols_pad_ + c] = simd::reduce_add(acc);
+          }
+        }
+      }
+
+      // S2 for this (sample group x column block), contiguous per
+      // sample over the padded output row.
+      for (std::size_t j = 0; j < ns; ++j) {
+        double* out_row = scratch.t_cols.data() + (s0 + j) * cols_pad_;
+        const double* w_row = scratch.weighted.data() + j * cols_pad_;
+        for (std::size_t c = c0; c < c_end_pad; c += kW) {
+          recover_block_simd(w_row + c, c, out_row + c, &silent);
+        }
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const double* src = scratch.t_cols.data() + s * cols_pad_;
+    std::copy(src, src + cols_, t_out.begin() + s * cols_);
+  }
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops", n * rows_ * cols_);
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
+}
+
+// --- public entry points -----------------------------------------------
+
+void FastMvm::mvm_times(std::span<const double> t_in,
+                        std::span<double> t_out) const {
+  RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times");
+  RESIPE_PERF_KERNEL("resipe_core.fast_mvm.mvm_times",
+                     perf::fast_mvm_cost(rows_, cols_));
+  RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
+                 "FastMvm vector size mismatch");
+  if (simd::enabled()) {
+    mvm_times_simd(t_in, t_out);
+  } else {
+    mvm_times_scalar(t_in, t_out);
+  }
+}
+
+void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
+                              std::span<double> t_out,
+                              BatchScratch& scratch) const {
+  RESIPE_TELEM_SCOPE("resipe_core.fast_mvm.mvm_times_batch");
+  RESIPE_PERF_KERNEL("resipe_core.fast_mvm.mvm_times_batch",
+                     perf::fast_mvm_batch_cost(rows_, cols_, n));
+  RESIPE_REQUIRE(t_in.size() == n * rows_ && t_out.size() == n * cols_,
+                 "FastMvm batch size mismatch");
+  if (n == 0) return;
+  if (simd::enabled()) {
+    mvm_times_batch_simd(t_in, n, t_out, scratch);
+  } else {
+    mvm_times_batch_scalar(t_in, n, t_out, scratch);
+  }
+}
+
 void FastMvm::ideal_times(std::span<const double> t_in,
                           std::span<double> t_out) const {
   RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
                  "FastMvm vector size mismatch");
   const double gain = params_.linear_gain();
   for (std::size_t c = 0; c < cols_; ++c) {
-    const double* gc = g_cm_.data() + c * rows_;
+    const double* gc = g_cm_.data() + c * rows_pad_;
     double acc = 0.0;
     for (std::size_t r = 0; r < rows_; ++r) {
       const double t = t_in[r];

@@ -373,10 +373,15 @@ void ProgrammedMatrix::set_time_scale(double alpha) {
 
 void ProgrammedMatrix::encode_input(std::span<const double> x,
                                     std::span<double> t) const {
+  // Normalize into the codec's [0, 1] domain, then batch-encode so the
+  // ramp-inversion chain runs through the SIMD codec kernel.
+  thread_local std::vector<double> scaled;
+  scaled.resize(in_);
   for (std::size_t i = 0; i < in_; ++i) {
     const double xn = std::clamp(x[i] / input_scale_, 0.0, 1.0);
-    t[i] = codec_.encode(alpha_ * xn).arrival_time;
+    scaled[i] = alpha_ * xn;
   }
+  codec_.encode_times(scaled, t.first(in_));
 }
 
 void ProgrammedMatrix::accumulate(std::span<const double> t_in,
@@ -458,15 +463,18 @@ void ProgrammedMatrix::forward_probed(std::span<const double> x,
                  "forward vector size mismatch");
   const auto& params = config_.circuit;
   // Encode exactly as encode_input() does, counting clamp engagements
-  // on the side.  `xn` is clamped with the identical expression, so the
-  // spike times — and therefore y — match forward() bit for bit.
+  // on the side.  `xn` is clamped with the identical expression and
+  // fed through the same batched codec kernel, so the spike times —
+  // and therefore y — match forward() bit for bit.
   std::vector<double> t_in(in_, 0.0);
+  std::vector<double> scaled(in_, 0.0);
   for (std::size_t i = 0; i < in_; ++i) {
     const double ratio = x[i] / input_scale_;
     if (ratio < 0.0 || ratio > 1.0) ++stats.inputs_clamped;
     const double xn = std::clamp(ratio, 0.0, 1.0);
-    t_in[i] = codec_.encode(alpha_ * xn).arrival_time;
+    scaled[i] = alpha_ * xn;
   }
+  codec_.encode_times(scaled, t_in);
 
   // accumulate() with per-column health probes.  Saturation taxonomy:
   // a silent column (kNoSpike) means the current-sum never pulled the

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "resipe/common/error.hpp"
+#include "resipe/common/simd.hpp"
 #include "resipe/perf/work_model.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
@@ -35,6 +37,33 @@ namespace {
   RESIPE_TELEM_COUNT("resipe_core.spike_codec.decoded", 1);
   if (silent) {
     RESIPE_TELEM_COUNT("resipe_core.spike_codec.silent_decodes", 1);
+  }
+}
+
+perf::WorkCost scaled(perf::WorkCost c, std::size_t n) {
+  return {c.flops * static_cast<double>(n),
+          c.bytes * static_cast<double>(n)};
+}
+
+[[gnu::noinline]] void record_encode_batch(std::size_t n, std::size_t clipped,
+                                           std::size_t snapped) {
+  RESIPE_PERF_WORK("resipe_core.spike_codec.encode",
+                   scaled(perf::spike_encode_cost(), n));
+  RESIPE_TELEM_COUNT("resipe_core.spike_codec.encoded", n);
+  if (clipped) {
+    RESIPE_TELEM_COUNT("resipe_core.spike_codec.input_clipped", clipped);
+  }
+  if (snapped) {
+    RESIPE_TELEM_COUNT("resipe_core.spike_codec.quantization_snaps", snapped);
+  }
+}
+
+[[gnu::noinline]] void record_decode_batch(std::size_t n, std::size_t silent) {
+  RESIPE_PERF_WORK("resipe_core.spike_codec.decode",
+                   scaled(perf::spike_decode_cost(), n));
+  RESIPE_TELEM_COUNT("resipe_core.spike_codec.decoded", n);
+  if (silent) {
+    RESIPE_TELEM_COUNT("resipe_core.spike_codec.silent_decodes", silent);
   }
 }
 
@@ -86,6 +115,126 @@ double SpikeCodec::voltage_of(double arrival_time) const {
 
 int SpikeCodec::levels() const {
   return static_cast<int>(std::round(t_full_ / params_.clock_period)) + 1;
+}
+
+void SpikeCodec::encode_times(std::span<const double> values,
+                              std::span<double> times) const {
+  RESIPE_REQUIRE(values.size() == times.size(),
+                 "encode_times span size mismatch");
+  const std::size_t n = values.size();
+  if (n == 0) return;
+  if (!simd::enabled()) {
+    // Scalar reference: element-wise encode, historical bit pattern.
+    for (std::size_t i = 0; i < n; ++i) {
+      times[i] = encode(values[i]).arrival_time;
+    }
+    return;
+  }
+
+  using simd::vdouble;
+  constexpr std::size_t kW = simd::native_lanes;
+  thread_local std::vector<double, simd::AlignedAllocator<double>> buf;
+  const std::size_t np = simd::pad_to_lanes(n);
+  buf.resize(np);
+  std::copy(values.begin(), values.end(), buf.begin());
+  std::fill(buf.begin() + n, buf.end(), 0.0);
+
+  const vdouble zero(0.0);
+  const vdouble one(1.0);
+  const vdouble v_full(v_full_);
+  const vdouble v_s(params_.v_s);
+  const vdouble tau(params_.tau_gd());
+  const vdouble t_full(t_full_);
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+  std::size_t clipped = 0;
+  for (std::size_t i = 0; i < np; i += kW) {
+    const vdouble x = vdouble::load(buf.data() + i);
+    // One input cannot be clipped on both sides, so the counts add.
+    clipped += simd::mask_count(x < zero) + simd::mask_count(x > one);
+    const vdouble xc = simd::min(simd::max(x, zero), one);
+    const vdouble v = xc * v_full;
+    // ramp_crossing(v): v_full < v_s in the exact model (the ramp
+    // never reaches its asymptote) and the linear branch has no
+    // saturation case, so only the v <= 0 edge needs a select.
+    vdouble t;
+    if (linear) {
+      t = v * tau / v_s;
+    } else {
+      t = (zero - tau) * simd::log(one - v / v_s);
+    }
+    t = simd::select(v <= zero, zero, t);
+    t = simd::min(t, t_full);
+    t.store(buf.data() + i);
+  }
+
+  std::size_t snapped = 0;
+  if (quantize_) {
+    // std::round (half away from zero) has no vector equivalent with
+    // identical tie behavior, so the snap stays lane-serial.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double exact = buf[i];
+      double t = std::round(exact / params_.clock_period) *
+                 params_.clock_period;
+      t = std::min(t, t_full_);
+      snapped += (t != exact) ? 1 : 0;
+      buf[i] = t;
+    }
+  }
+  std::copy(buf.begin(), buf.begin() + n, times.begin());
+  if (telemetry_) record_encode_batch(n, clipped, snapped);
+}
+
+void SpikeCodec::decode_values(std::span<const double> times,
+                               std::span<double> values) const {
+  RESIPE_REQUIRE(times.size() == values.size(),
+                 "decode_values span size mismatch");
+  const std::size_t n = times.size();
+  if (n == 0) return;
+  if (!simd::enabled()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = decode(circuits::Spike::at(times[i]));
+    }
+    return;
+  }
+
+  using simd::vdouble;
+  constexpr std::size_t kW = simd::native_lanes;
+  thread_local std::vector<double, simd::AlignedAllocator<double>> buf;
+  const std::size_t np = simd::pad_to_lanes(n);
+  buf.resize(np);
+  std::copy(times.begin(), times.end(), buf.begin());
+  std::fill(buf.begin() + n, buf.end(), 0.0);
+
+  const vdouble zero(0.0);
+  const vdouble one(1.0);
+  const vdouble v_full(v_full_);
+  const vdouble v_s(params_.v_s);
+  const vdouble tau(params_.tau_gd());
+  const vdouble t_full(t_full_);
+  const vdouble no_spike(std::numeric_limits<double>::infinity());
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+  std::size_t silent = 0;
+  for (std::size_t i = 0; i < np; i += kW) {
+    const vdouble t_raw = vdouble::load(buf.data() + i);
+    // Spike::valid(): t >= 0 and t != inf.  NaN and inf fail the
+    // window compare, negatives fail the sign compare.
+    const auto valid = (t_raw >= zero) & (t_raw < no_spike);
+    silent += kW - simd::mask_count(valid);
+    const vdouble t = simd::min(t_raw, t_full);
+    vdouble v;
+    if (linear) {
+      v = v_s * t / tau;
+    } else {
+      v = v_s * (one - simd::exp(zero - t / tau));
+    }
+    // ramp_voltage clamps to [0, v_s]; decode then clamps v/v_full to
+    // [0, 1] — fold both into one clamp after the scale.
+    vdouble y = simd::min(simd::max(v / v_full, zero), one);
+    y = simd::select(valid, y, one);
+    y.store(buf.data() + i);
+  }
+  std::copy(buf.begin(), buf.begin() + n, values.begin());
+  if (telemetry_) record_decode_batch(n, silent);
 }
 
 }  // namespace resipe::resipe_core

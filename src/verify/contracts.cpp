@@ -8,6 +8,7 @@
 #include "resipe/circuits/transient.hpp"
 #include "resipe/common/error.hpp"
 #include "resipe/common/parallel.hpp"
+#include "resipe/common/simd.hpp"
 #include "resipe/crossbar/mapping.hpp"
 #include "resipe/nn/model.hpp"
 #include "resipe/perf/work_model.hpp"
@@ -49,6 +50,7 @@ enum Stream : std::uint64_t {
   kStreamOffFlags = 0xC00C,
   kStreamPerfAccounting = 0xC00D,
   kStreamServing = 0xC00E,
+  kStreamSimdEquiv = 0xC00F,
 };
 
 InjectedBug g_injected_bug = InjectedBug::kNone;
@@ -692,6 +694,189 @@ ContractResult check_serving_identity(const CaseSpec& spec) {
   return ContractResult::ok();
 }
 
+// SIMD path vs scalar reference, within a bound derived from the
+// kernel's numeric contract rather than an arbitrary tolerance.
+//
+// The SIMD kernels differ from the scalar reference in exactly two
+// ways (include/resipe/common/simd.hpp):
+//   1. the per-column row sum folds in vector-lane order — classical
+//      summation-error bound gamma_n = n*eps on a sum of non-negative
+//      terms (every v_wl * g product is >= 0);
+//   2. exp/log are polynomial, within simd::kTranscendentalUlp ulp of
+//      libm.
+// Everything else is per-lane IEEE arithmetic, identical to scalar.
+// The check propagates those two sources through the recovery chain:
+//   d_weighted = 2n*eps*weighted + dv*g_total          (sum + S1 exp)
+//   d_threshold = d_weighted * k / g_total + rounding
+//   d_t: linear model  -> d_th * tau / v_s;
+//        exact model   -> tau * d_th / (v_s - th) plus the log's own
+//                         ulp bound — the saturation pole is real, so
+//                         a threshold within its bound of v_s (or a
+//                         spike time within bound of the slice end)
+//                         may legitimately land on either side of the
+//                         silence cut and is not a violation.
+// A network-level pass then requires the argmax decision to match
+// wherever the scalar logit margin exceeds a conservative noise floor.
+ContractResult check_simd_equivalence(const CaseSpec& spec) {
+  if (simd::native_lanes == 1) {
+    return ContractResult::skip("scalar build: no vector path to compare");
+  }
+  if (!simd::enabled()) {
+    return ContractResult::skip("RESIPE_SIMD=scalar: vector path disabled");
+  }
+  const auto& params = spec.config.circuit;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  const double kTrans = simd::kTranscendentalUlp + 8.0;
+  constexpr double kSafety = 4.0;
+  const bool linear = params.model == circuits::TransferModel::kLinear;
+  const double tau = params.tau_gd();
+  const double v_s = params.v_s;
+
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamSimdEquiv));
+  const std::vector<double> g = random_conductances(spec, rng);
+  const FastMvm fast(params, spec.rows, spec.cols, g);
+  const SpikeCodec codec(params, spec.config.quantize_spikes);
+  const std::size_t n = std::max<std::size_t>(spec.batch, 2);
+  std::vector<double> t_in(n * spec.rows);
+  for (double& t : t_in) t = codec.encode(rng.uniform(0.0, 1.0)).arrival_time;
+
+  std::vector<double> vec_out(n * spec.cols, 0.0);
+  FastMvm::BatchScratch scratch;
+  fast.mvm_times_batch(t_in, n, vec_out, scratch);
+  std::vector<double> ref_out(n * spec.cols, 0.0);
+  {
+    simd::ForceScalarGuard guard;
+    FastMvm::BatchScratch ref_scratch;
+    fast.mvm_times_batch(t_in, n, ref_out, ref_scratch);
+  }
+
+  std::vector<double> v_wl(spec.rows, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    // Reference S1 voltages, recomputed scalar for the bound.
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+      const double t = t_in[s * spec.rows + r];
+      if (!(t >= 0.0) || t == FastMvm::kNoSpike || t > params.slice_length) {
+        v_wl[r] = 0.0;
+      } else {
+        v_wl[r] = linear ? std::min(v_s * t / tau, v_s)
+                         : v_s * (1.0 - std::exp(-t / tau));
+      }
+    }
+    for (std::size_t c = 0; c < spec.cols; ++c) {
+      const std::size_t idx = s * spec.cols + c;
+      const double got = vec_out[idx];
+      const double ref = ref_out[idx];
+      if (std::memcmp(&got, &ref, sizeof(double)) == 0) continue;
+      const double g_tot = fast.g_total(c);
+      if (g_tot <= 0.0) {
+        // Unprogrammed column: both paths must report the comparator
+        // delay exactly; any difference is a wiring bug, not rounding.
+        return ContractResult::fail(
+            fail_at("SIMD vs scalar on unprogrammed column", idx, got, ref));
+      }
+
+      double weighted = 0.0;
+      for (std::size_t r = 0; r < spec.rows; ++r) {
+        weighted += v_wl[r] * g[r * spec.cols + c];
+      }
+      // S1 carries a transcendental only in the exact model; linear
+      // lanes are op-for-op identical, leaving pure rounding slack.
+      const double dv = (linear ? 4.0 : kTrans) * kEps * v_s;
+      const double d_weighted =
+          2.0 * static_cast<double>(spec.rows) * kEps * weighted +
+          dv * g_tot;
+      const double k = fast.k(c);
+      const double th_ref = weighted / g_tot * k + params.comparator_offset;
+      const double d_th =
+          d_weighted / g_tot * k + 8.0 * kEps * std::fabs(th_ref);
+
+      // Raw reference crossing (before the slice-silence cut).
+      double t_raw;
+      if (th_ref <= 0.0) {
+        t_raw = 0.0;
+      } else if (linear) {
+        t_raw = th_ref * tau / v_s;
+      } else if (th_ref >= v_s) {
+        t_raw = FastMvm::kNoSpike;
+      } else {
+        t_raw = -tau * std::log(1.0 - th_ref / v_s);
+      }
+      t_raw += params.comparator_delay;
+
+      double d_t;
+      if (linear) {
+        d_t = d_th * tau / v_s + 8.0 * kEps * tau;
+      } else {
+        const double denom = v_s - th_ref - kSafety * d_th;
+        if (denom <= 0.0) {
+          // Threshold within its own error bound of the saturation
+          // pole: either side may (not) spike; no bounded statement.
+          continue;
+        }
+        d_t = tau * d_th / denom +
+              kTrans * kEps * (tau + std::min(t_raw, params.slice_length));
+      }
+      d_t = kSafety * d_t + 1e-21;
+
+      const bool ref_silent = ref == FastMvm::kNoSpike;
+      const bool got_silent = got == FastMvm::kNoSpike;
+      if (ref_silent != got_silent) {
+        // A spike within the bound of the slice end may fall on either
+        // side of the silence cut.
+        if (std::fabs(t_raw - params.slice_length) <= d_t) continue;
+        return ContractResult::fail(fail_at(
+            "SIMD/scalar silence disagreement beyond the derived bound",
+            idx, got, ref));
+      }
+      if (!(std::fabs(got - ref) <= d_t)) {
+        std::ostringstream os;
+        os << "SIMD vs scalar spike time [" << idx
+           << "]: " << describe_mismatch(got, ref) << ", derived bound "
+           << d_t;
+        return ContractResult::fail(os.str());
+      }
+    }
+  }
+
+  // Network level: the classification decision must be SIMD-invariant
+  // wherever the scalar margin clears a conservative noise floor.
+  NetworkFixture fx = build_network_inputs(spec, rng);
+  const ResipeNetwork net(*fx.model, spec.config, fx.calibration);
+  const nn::Tensor vec_logits = net.forward(fx.batch);
+  const nn::Tensor ref_logits = [&] {
+    simd::ForceScalarGuard guard;
+    return net.forward(fx.batch);
+  }();
+  const std::size_t samples = vec_logits.data().size() / spec.classes;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto a = vec_logits.data().subspan(s * spec.classes, spec.classes);
+    const auto b = ref_logits.data().subspan(s * spec.classes, spec.classes);
+    std::size_t best = 0;
+    double scale = 0.0;
+    for (std::size_t j = 0; j < spec.classes; ++j) {
+      if (b[j] > b[best]) best = j;
+      scale = std::max(scale, std::fabs(b[j]));
+    }
+    double runner_up = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < spec.classes; ++j) {
+      if (j != best) runner_up = std::max(runner_up, b[j]);
+    }
+    const double margin = b[best] - runner_up;
+    if (!(margin > 1e-6 * (scale + 1.0))) continue;
+    std::size_t got_best = 0;
+    for (std::size_t j = 0; j < spec.classes; ++j) {
+      if (a[j] > a[got_best]) got_best = j;
+    }
+    if (got_best != best) {
+      std::ostringstream os;
+      os << "SIMD flipped the argmax on sample " << s << ": scalar class "
+         << best << " (margin " << margin << "), SIMD class " << got_best;
+      return ContractResult::fail(os.str());
+    }
+  }
+  return ContractResult::ok();
+}
+
 }  // namespace
 
 void set_injected_bug(InjectedBug bug) { g_injected_bug = bug; }
@@ -745,6 +930,10 @@ const std::vector<Contract>& contract_registry() {
        "the serving path (pool + scheduler) reproduces direct engine "
        "logits bit-for-bit and replays identically at any thread count",
        check_serving_identity},
+      {"simd_equivalence",
+       "SIMD kernels match the scalar reference within the derived "
+       "reassociation/ULP bound and never flip a clear argmax",
+       check_simd_equivalence},
   };
   return registry;
 }

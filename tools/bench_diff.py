@@ -21,9 +21,13 @@ throughput/ops/gflops/gbs/accuracy are higher-is-better; anything else
 never gated.
 
 History entries are matched on machine fingerprint hash (use
-``--ignore-machine`` on shared/heterogeneous CI runners) and per-bench
-``config_hash``, so a config change starts a fresh baseline instead of
-producing bogus diffs.
+``--ignore-machine`` on shared/heterogeneous CI runners), per-bench
+``config_hash`` and per-bench ``simd_isa`` (the vector ISA stamp from
+bench_report.hpp), so a config change or an ISA change starts a fresh
+baseline instead of producing bogus diffs.  Entries recorded under a
+different (or unknown) ISA are never compared — a scalar-build run
+cannot regress against an AVX-512 baseline or vice versa; such skips
+are reported so a silently empty comparison is visible.
 
 ``--self-test`` builds a seeded synthetic history, asserts an injected
 20% slowdown is flagged and that re-running the unperturbed candidate
@@ -115,10 +119,22 @@ def diff(candidate, history, threshold, noise_mult, match_config=True):
     for bench in candidate.get("benches", []):
         name = bench.get("bench")
         config = bench.get("config_hash")
-        prior = [
+        isa = bench.get("simd_isa")
+        pool = [
             b for b in by_name.get(name, [])
             if not match_config or b.get("config_hash") in (None, config)
         ]
+        # Refuse to compare across vector ISAs: a scalar-build candidate
+        # vs an AVX-512 baseline (or the reverse) measures the compiler
+        # flags, not a regression.  Unknown (pre-stamp) history counts
+        # as a different ISA.
+        prior = [b for b in pool if b.get("simd_isa") == isa]
+        skipped_isa = len(pool) - len(prior)
+        if skipped_isa:
+            checked.append(
+                f"{name}: skipped {skipped_isa} history entr"
+                f"{'y' if skipped_isa == 1 else 'ies'} with different or "
+                f"unknown simd_isa (candidate: {isa})")
         if not prior:
             checked.append(f"{name}: no matching history (new baseline)")
             continue
@@ -196,6 +212,7 @@ def self_test():
             "benches": [{
                 "bench": "roofline",
                 "config_hash": "cafecafecafecafe",
+                "simd_isa": "avx2",
                 "wall_time_s": 10.0 * (1.0 + rng.uniform(-0.02, 0.02)),
                 "figures": {
                     "fast_mvm_gflops":
@@ -229,8 +246,20 @@ def self_test():
         assert not regressions, \
             f"clean re-run flagged as regression: {regressions}"
         assert checked, "clean re-run compared nothing"
+
+        # The same 20% slowdown recorded under a different vector ISA
+        # must not gate — those baselines are not comparable — and the
+        # skip must be reported rather than silent.
+        cross_isa = copy.deepcopy(slow)
+        cross_isa["benches"][0]["simd_isa"] = "avx512"
+        regressions, _, checked = diff(cross_isa, history, 0.10, 3.0)
+        assert not regressions, \
+            f"cross-ISA candidate wrongly gated: {regressions}"
+        assert any("simd_isa" in line for line in checked), \
+            "cross-ISA skip not reported"
     print("bench_diff: self-test passed "
-          "(injected 20% slowdown flagged, clean run passes)")
+          "(injected 20% slowdown flagged, clean run passes, "
+          "cross-ISA history skipped)")
     return 0
 
 

@@ -194,6 +194,29 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(regressions, [])
         self.assertTrue(any("no matching history" in s for s in checked))
 
+    def test_isa_change_refuses_comparison(self):
+        # A candidate stamped with a different vector ISA must not be
+        # gated against the old baselines (the numbers measure the
+        # build, not a regression), and the skip must be reported.
+        history = self.history()
+        vectorized = copy.deepcopy(history[0])
+        vectorized["benches"][0]["simd_isa"] = "avx512"
+        vectorized["benches"][0]["wall_time_s"] *= 5.0
+        regressions, _, checked = bench_diff.diff(
+            vectorized, history, 0.10, 3.0)
+        self.assertEqual(regressions, [])
+        self.assertTrue(any("simd_isa" in s for s in checked))
+        self.assertTrue(any("no matching history" in s for s in checked))
+
+    def test_same_isa_still_compares(self):
+        history = self.history()
+        for entry in history:
+            entry["benches"][0]["simd_isa"] = "avx2"
+        slow = copy.deepcopy(history[0])
+        slow["benches"][0]["wall_time_s"] *= 1.20
+        regressions, _, _ = bench_diff.diff(slow, history, 0.10, 3.0)
+        self.assertTrue(any("wall_time_s" in r for r in regressions))
+
     def test_self_test_entrypoint(self):
         self.assertEqual(bench_diff.self_test(), 0)
 
