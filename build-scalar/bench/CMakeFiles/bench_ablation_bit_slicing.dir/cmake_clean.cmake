@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bit_slicing.dir/bench_ablation_bit_slicing.cpp.o"
+  "CMakeFiles/bench_ablation_bit_slicing.dir/bench_ablation_bit_slicing.cpp.o.d"
+  "bench_ablation_bit_slicing"
+  "bench_ablation_bit_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bit_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

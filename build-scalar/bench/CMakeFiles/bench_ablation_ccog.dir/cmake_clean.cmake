@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ccog.dir/bench_ablation_ccog.cpp.o"
+  "CMakeFiles/bench_ablation_ccog.dir/bench_ablation_ccog.cpp.o.d"
+  "bench_ablation_ccog"
+  "bench_ablation_ccog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ccog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

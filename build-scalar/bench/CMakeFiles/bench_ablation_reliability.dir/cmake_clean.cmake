@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reliability.dir/bench_ablation_reliability.cpp.o"
+  "CMakeFiles/bench_ablation_reliability.dir/bench_ablation_reliability.cpp.o.d"
+  "bench_ablation_reliability"
+  "bench_ablation_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

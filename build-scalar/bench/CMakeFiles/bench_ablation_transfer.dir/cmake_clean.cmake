@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transfer.dir/bench_ablation_transfer.cpp.o"
+  "CMakeFiles/bench_ablation_transfer.dir/bench_ablation_transfer.cpp.o.d"
+  "bench_ablation_transfer"
+  "bench_ablation_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_yield.dir/bench_ablation_yield.cpp.o"
+  "CMakeFiles/bench_ablation_yield.dir/bench_ablation_yield.cpp.o.d"
+  "bench_ablation_yield"
+  "bench_ablation_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_characterization.dir/bench_fig5_characterization.cpp.o"
+  "CMakeFiles/bench_fig5_characterization.dir/bench_fig5_characterization.cpp.o.d"
+  "bench_fig5_characterization"
+  "bench_fig5_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inspection.dir/bench_inspection.cpp.o"
+  "CMakeFiles/bench_inspection.dir/bench_inspection.cpp.o.d"
+  "bench_inspection"
+  "bench_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layer_precision.dir/bench_layer_precision.cpp.o"
+  "CMakeFiles/bench_layer_precision.dir/bench_layer_precision.cpp.o.d"
+  "bench_layer_precision"
+  "bench_layer_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layer_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

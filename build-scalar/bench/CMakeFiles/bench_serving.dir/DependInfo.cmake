@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_serving.cpp" "bench/CMakeFiles/bench_serving.dir/bench_serving.cpp.o" "gcc" "bench/CMakeFiles/bench_serving.dir/bench_serving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/eval/CMakeFiles/resipe_eval.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/resipe/CMakeFiles/resipe_core.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/introspect/CMakeFiles/resipe_introspect.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/baselines/CMakeFiles/resipe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/nn/CMakeFiles/resipe_nn.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/perf/CMakeFiles/resipe_perf.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/serve/CMakeFiles/resipe_serve.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/crossbar/CMakeFiles/resipe_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/circuits/CMakeFiles/resipe_circuits.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/reliability/CMakeFiles/resipe_reliability.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/device/CMakeFiles/resipe_device.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/energy/CMakeFiles/resipe_energy.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/telemetry/CMakeFiles/resipe_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

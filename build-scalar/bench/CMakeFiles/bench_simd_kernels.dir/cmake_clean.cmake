@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simd_kernels.dir/bench_simd_kernels.cpp.o"
+  "CMakeFiles/bench_simd_kernels.dir/bench_simd_kernels.cpp.o.d"
+  "bench_simd_kernels"
+  "bench_simd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_cnn.dir/cifar_cnn.cpp.o"
+  "CMakeFiles/cifar_cnn.dir/cifar_cnn.cpp.o.d"
+  "cifar_cnn"
+  "cifar_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_mlp.dir/mnist_mlp.cpp.o"
+  "CMakeFiles/mnist_mlp.dir/mnist_mlp.cpp.o.d"
+  "mnist_mlp"
+  "mnist_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_throughput.dir/pipeline_throughput.cpp.o"
+  "CMakeFiles/pipeline_throughput.dir/pipeline_throughput.cpp.o.d"
+  "pipeline_throughput"
+  "pipeline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

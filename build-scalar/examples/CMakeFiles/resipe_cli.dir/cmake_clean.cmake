@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_cli.dir/resipe_cli.cpp.o"
+  "CMakeFiles/resipe_cli.dir/resipe_cli.cpp.o.d"
+  "resipe_cli"
+  "resipe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_fuzz.dir/resipe_fuzz.cpp.o"
+  "CMakeFiles/resipe_fuzz.dir/resipe_fuzz.cpp.o.d"
+  "resipe_fuzz"
+  "resipe_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

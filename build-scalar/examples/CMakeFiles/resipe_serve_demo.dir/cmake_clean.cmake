@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_serve_demo.dir/resipe_serve.cpp.o"
+  "CMakeFiles/resipe_serve_demo.dir/resipe_serve.cpp.o.d"
+  "resipe_serve"
+  "resipe_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_serve_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

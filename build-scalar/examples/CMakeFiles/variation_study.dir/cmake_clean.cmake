@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_study.dir/variation_study.cpp.o"
+  "CMakeFiles/variation_study.dir/variation_study.cpp.o.d"
+  "variation_study"
+  "variation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-scalar/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("telemetry")
+subdirs("perf")
+subdirs("device")
+subdirs("reliability")
+subdirs("circuits")
+subdirs("crossbar")
+subdirs("energy")
+subdirs("nn")
+subdirs("resipe")
+subdirs("introspect")
+subdirs("baselines")
+subdirs("eval")
+subdirs("serve")
+subdirs("verify")

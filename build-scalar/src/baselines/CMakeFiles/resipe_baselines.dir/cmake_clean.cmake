@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_baselines.dir/level_based.cpp.o"
+  "CMakeFiles/resipe_baselines.dir/level_based.cpp.o.d"
+  "CMakeFiles/resipe_baselines.dir/pwm_based.cpp.o"
+  "CMakeFiles/resipe_baselines.dir/pwm_based.cpp.o.d"
+  "CMakeFiles/resipe_baselines.dir/rate_coding.cpp.o"
+  "CMakeFiles/resipe_baselines.dir/rate_coding.cpp.o.d"
+  "CMakeFiles/resipe_baselines.dir/temporal_coding.cpp.o"
+  "CMakeFiles/resipe_baselines.dir/temporal_coding.cpp.o.d"
+  "libresipe_baselines.a"
+  "libresipe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

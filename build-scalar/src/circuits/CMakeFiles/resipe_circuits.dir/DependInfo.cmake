@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/column_output_generator.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/column_output_generator.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/column_output_generator.cpp.o.d"
+  "/root/repo/src/circuits/global_decoder.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/global_decoder.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/global_decoder.cpp.o.d"
+  "/root/repo/src/circuits/params.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/params.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/params.cpp.o.d"
+  "/root/repo/src/circuits/rc_stage.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/rc_stage.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/rc_stage.cpp.o.d"
+  "/root/repo/src/circuits/sample_hold.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/sample_hold.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/sample_hold.cpp.o.d"
+  "/root/repo/src/circuits/transient.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/transient.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/transient.cpp.o.d"
+  "/root/repo/src/circuits/waveform.cpp" "src/circuits/CMakeFiles/resipe_circuits.dir/waveform.cpp.o" "gcc" "src/circuits/CMakeFiles/resipe_circuits.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/perf/CMakeFiles/resipe_perf.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/telemetry/CMakeFiles/resipe_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_circuits.dir/column_output_generator.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/column_output_generator.cpp.o.d"
+  "CMakeFiles/resipe_circuits.dir/global_decoder.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/global_decoder.cpp.o.d"
+  "CMakeFiles/resipe_circuits.dir/params.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/params.cpp.o.d"
+  "CMakeFiles/resipe_circuits.dir/rc_stage.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/rc_stage.cpp.o.d"
+  "CMakeFiles/resipe_circuits.dir/sample_hold.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/sample_hold.cpp.o.d"
+  "CMakeFiles/resipe_circuits.dir/transient.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/transient.cpp.o.d"
+  "CMakeFiles/resipe_circuits.dir/waveform.cpp.o"
+  "CMakeFiles/resipe_circuits.dir/waveform.cpp.o.d"
+  "libresipe_circuits.a"
+  "libresipe_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

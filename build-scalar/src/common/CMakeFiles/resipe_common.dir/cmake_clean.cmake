@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_common.dir/csv.cpp.o"
+  "CMakeFiles/resipe_common.dir/csv.cpp.o.d"
+  "CMakeFiles/resipe_common.dir/parallel.cpp.o"
+  "CMakeFiles/resipe_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/resipe_common.dir/rng.cpp.o"
+  "CMakeFiles/resipe_common.dir/rng.cpp.o.d"
+  "CMakeFiles/resipe_common.dir/stats.cpp.o"
+  "CMakeFiles/resipe_common.dir/stats.cpp.o.d"
+  "CMakeFiles/resipe_common.dir/table.cpp.o"
+  "CMakeFiles/resipe_common.dir/table.cpp.o.d"
+  "libresipe_common.a"
+  "libresipe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

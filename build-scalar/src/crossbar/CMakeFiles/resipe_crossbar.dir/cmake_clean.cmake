@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_crossbar.dir/crossbar.cpp.o"
+  "CMakeFiles/resipe_crossbar.dir/crossbar.cpp.o.d"
+  "CMakeFiles/resipe_crossbar.dir/ir_drop.cpp.o"
+  "CMakeFiles/resipe_crossbar.dir/ir_drop.cpp.o.d"
+  "CMakeFiles/resipe_crossbar.dir/mapping.cpp.o"
+  "CMakeFiles/resipe_crossbar.dir/mapping.cpp.o.d"
+  "libresipe_crossbar.a"
+  "libresipe_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

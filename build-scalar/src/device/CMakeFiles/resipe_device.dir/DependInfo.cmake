@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/reram.cpp" "src/device/CMakeFiles/resipe_device.dir/reram.cpp.o" "gcc" "src/device/CMakeFiles/resipe_device.dir/reram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/telemetry/CMakeFiles/resipe_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

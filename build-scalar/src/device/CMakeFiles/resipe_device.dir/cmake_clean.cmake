@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_device.dir/reram.cpp.o"
+  "CMakeFiles/resipe_device.dir/reram.cpp.o.d"
+  "libresipe_device.a"
+  "libresipe_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

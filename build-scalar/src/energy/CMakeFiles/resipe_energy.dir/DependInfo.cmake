@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/components.cpp" "src/energy/CMakeFiles/resipe_energy.dir/components.cpp.o" "gcc" "src/energy/CMakeFiles/resipe_energy.dir/components.cpp.o.d"
+  "/root/repo/src/energy/design.cpp" "src/energy/CMakeFiles/resipe_energy.dir/design.cpp.o" "gcc" "src/energy/CMakeFiles/resipe_energy.dir/design.cpp.o.d"
+  "/root/repo/src/energy/report.cpp" "src/energy/CMakeFiles/resipe_energy.dir/report.cpp.o" "gcc" "src/energy/CMakeFiles/resipe_energy.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_energy.dir/components.cpp.o"
+  "CMakeFiles/resipe_energy.dir/components.cpp.o.d"
+  "CMakeFiles/resipe_energy.dir/design.cpp.o"
+  "CMakeFiles/resipe_energy.dir/design.cpp.o.d"
+  "CMakeFiles/resipe_energy.dir/report.cpp.o"
+  "CMakeFiles/resipe_energy.dir/report.cpp.o.d"
+  "libresipe_energy.a"
+  "libresipe_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

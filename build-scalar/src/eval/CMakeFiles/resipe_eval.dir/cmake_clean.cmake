@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_eval.dir/accuracy.cpp.o"
+  "CMakeFiles/resipe_eval.dir/accuracy.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/characterization.cpp.o"
+  "CMakeFiles/resipe_eval.dir/characterization.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/comparison.cpp.o"
+  "CMakeFiles/resipe_eval.dir/comparison.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/fault_tolerance.cpp.o"
+  "CMakeFiles/resipe_eval.dir/fault_tolerance.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/fidelity.cpp.o"
+  "CMakeFiles/resipe_eval.dir/fidelity.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/precision.cpp.o"
+  "CMakeFiles/resipe_eval.dir/precision.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/taxonomy.cpp.o"
+  "CMakeFiles/resipe_eval.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/throughput.cpp.o"
+  "CMakeFiles/resipe_eval.dir/throughput.cpp.o.d"
+  "CMakeFiles/resipe_eval.dir/yield.cpp.o"
+  "CMakeFiles/resipe_eval.dir/yield.cpp.o.d"
+  "libresipe_eval.a"
+  "libresipe_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_introspect.dir/inspect.cpp.o"
+  "CMakeFiles/resipe_introspect.dir/inspect.cpp.o.d"
+  "CMakeFiles/resipe_introspect.dir/report.cpp.o"
+  "CMakeFiles/resipe_introspect.dir/report.cpp.o.d"
+  "libresipe_introspect.a"
+  "libresipe_introspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

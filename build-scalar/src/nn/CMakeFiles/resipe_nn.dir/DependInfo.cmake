@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/resipe_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/resipe_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/resipe_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/data.cpp" "src/nn/CMakeFiles/resipe_nn.dir/data.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/data.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/resipe_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/resipe_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/resipe_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/resipe_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/resipe_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/resipe_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/train.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/resipe_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/resipe_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

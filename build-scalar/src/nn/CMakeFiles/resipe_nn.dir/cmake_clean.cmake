@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_nn.dir/activation.cpp.o"
+  "CMakeFiles/resipe_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/resipe_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/conv.cpp.o"
+  "CMakeFiles/resipe_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/data.cpp.o"
+  "CMakeFiles/resipe_nn.dir/data.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/dense.cpp.o"
+  "CMakeFiles/resipe_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/model.cpp.o"
+  "CMakeFiles/resipe_nn.dir/model.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/pool.cpp.o"
+  "CMakeFiles/resipe_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/serialize.cpp.o"
+  "CMakeFiles/resipe_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/tensor.cpp.o"
+  "CMakeFiles/resipe_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/train.cpp.o"
+  "CMakeFiles/resipe_nn.dir/train.cpp.o.d"
+  "CMakeFiles/resipe_nn.dir/zoo.cpp.o"
+  "CMakeFiles/resipe_nn.dir/zoo.cpp.o.d"
+  "libresipe_nn.a"
+  "libresipe_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresipe_nn.a"
+)

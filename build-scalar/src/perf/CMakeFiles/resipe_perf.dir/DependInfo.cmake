@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/machine.cpp" "src/perf/CMakeFiles/resipe_perf.dir/machine.cpp.o" "gcc" "src/perf/CMakeFiles/resipe_perf.dir/machine.cpp.o.d"
+  "/root/repo/src/perf/perf_counters.cpp" "src/perf/CMakeFiles/resipe_perf.dir/perf_counters.cpp.o" "gcc" "src/perf/CMakeFiles/resipe_perf.dir/perf_counters.cpp.o.d"
+  "/root/repo/src/perf/roofline.cpp" "src/perf/CMakeFiles/resipe_perf.dir/roofline.cpp.o" "gcc" "src/perf/CMakeFiles/resipe_perf.dir/roofline.cpp.o.d"
+  "/root/repo/src/perf/work_model.cpp" "src/perf/CMakeFiles/resipe_perf.dir/work_model.cpp.o" "gcc" "src/perf/CMakeFiles/resipe_perf.dir/work_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/telemetry/CMakeFiles/resipe_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_perf.dir/machine.cpp.o"
+  "CMakeFiles/resipe_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/resipe_perf.dir/perf_counters.cpp.o"
+  "CMakeFiles/resipe_perf.dir/perf_counters.cpp.o.d"
+  "CMakeFiles/resipe_perf.dir/roofline.cpp.o"
+  "CMakeFiles/resipe_perf.dir/roofline.cpp.o.d"
+  "CMakeFiles/resipe_perf.dir/work_model.cpp.o"
+  "CMakeFiles/resipe_perf.dir/work_model.cpp.o.d"
+  "libresipe_perf.a"
+  "libresipe_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

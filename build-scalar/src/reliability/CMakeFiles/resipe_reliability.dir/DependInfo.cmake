@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/config.cpp" "src/reliability/CMakeFiles/resipe_reliability.dir/config.cpp.o" "gcc" "src/reliability/CMakeFiles/resipe_reliability.dir/config.cpp.o.d"
+  "/root/repo/src/reliability/fault_mapper.cpp" "src/reliability/CMakeFiles/resipe_reliability.dir/fault_mapper.cpp.o" "gcc" "src/reliability/CMakeFiles/resipe_reliability.dir/fault_mapper.cpp.o.d"
+  "/root/repo/src/reliability/fault_model.cpp" "src/reliability/CMakeFiles/resipe_reliability.dir/fault_model.cpp.o" "gcc" "src/reliability/CMakeFiles/resipe_reliability.dir/fault_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/telemetry/CMakeFiles/resipe_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/device/CMakeFiles/resipe_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_reliability.dir/config.cpp.o"
+  "CMakeFiles/resipe_reliability.dir/config.cpp.o.d"
+  "CMakeFiles/resipe_reliability.dir/fault_mapper.cpp.o"
+  "CMakeFiles/resipe_reliability.dir/fault_mapper.cpp.o.d"
+  "CMakeFiles/resipe_reliability.dir/fault_model.cpp.o"
+  "CMakeFiles/resipe_reliability.dir/fault_model.cpp.o.d"
+  "libresipe_reliability.a"
+  "libresipe_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

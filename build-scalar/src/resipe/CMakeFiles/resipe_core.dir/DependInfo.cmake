@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resipe/bit_slicing.cpp" "src/resipe/CMakeFiles/resipe_core.dir/bit_slicing.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/bit_slicing.cpp.o.d"
+  "/root/repo/src/resipe/chip.cpp" "src/resipe/CMakeFiles/resipe_core.dir/chip.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/chip.cpp.o.d"
+  "/root/repo/src/resipe/design.cpp" "src/resipe/CMakeFiles/resipe_core.dir/design.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/design.cpp.o.d"
+  "/root/repo/src/resipe/fast_mvm.cpp" "src/resipe/CMakeFiles/resipe_core.dir/fast_mvm.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/fast_mvm.cpp.o.d"
+  "/root/repo/src/resipe/network.cpp" "src/resipe/CMakeFiles/resipe_core.dir/network.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/network.cpp.o.d"
+  "/root/repo/src/resipe/pipeline.cpp" "src/resipe/CMakeFiles/resipe_core.dir/pipeline.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/resipe/spike_code.cpp" "src/resipe/CMakeFiles/resipe_core.dir/spike_code.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/spike_code.cpp.o.d"
+  "/root/repo/src/resipe/tile.cpp" "src/resipe/CMakeFiles/resipe_core.dir/tile.cpp.o" "gcc" "src/resipe/CMakeFiles/resipe_core.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/telemetry/CMakeFiles/resipe_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/perf/CMakeFiles/resipe_perf.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/device/CMakeFiles/resipe_device.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/circuits/CMakeFiles/resipe_circuits.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/crossbar/CMakeFiles/resipe_crossbar.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/energy/CMakeFiles/resipe_energy.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/nn/CMakeFiles/resipe_nn.dir/DependInfo.cmake"
+  "/root/repo/build-scalar/src/reliability/CMakeFiles/resipe_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_core.dir/bit_slicing.cpp.o"
+  "CMakeFiles/resipe_core.dir/bit_slicing.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/chip.cpp.o"
+  "CMakeFiles/resipe_core.dir/chip.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/design.cpp.o"
+  "CMakeFiles/resipe_core.dir/design.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/fast_mvm.cpp.o"
+  "CMakeFiles/resipe_core.dir/fast_mvm.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/network.cpp.o"
+  "CMakeFiles/resipe_core.dir/network.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/pipeline.cpp.o"
+  "CMakeFiles/resipe_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/spike_code.cpp.o"
+  "CMakeFiles/resipe_core.dir/spike_code.cpp.o.d"
+  "CMakeFiles/resipe_core.dir/tile.cpp.o"
+  "CMakeFiles/resipe_core.dir/tile.cpp.o.d"
+  "libresipe_core.a"
+  "libresipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_serve.dir/pool.cpp.o"
+  "CMakeFiles/resipe_serve.dir/pool.cpp.o.d"
+  "CMakeFiles/resipe_serve.dir/scheduler.cpp.o"
+  "CMakeFiles/resipe_serve.dir/scheduler.cpp.o.d"
+  "CMakeFiles/resipe_serve.dir/traffic.cpp.o"
+  "CMakeFiles/resipe_serve.dir/traffic.cpp.o.d"
+  "libresipe_serve.a"
+  "libresipe_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

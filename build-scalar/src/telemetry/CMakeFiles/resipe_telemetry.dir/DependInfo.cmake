@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/export.cpp" "src/telemetry/CMakeFiles/resipe_telemetry.dir/export.cpp.o" "gcc" "src/telemetry/CMakeFiles/resipe_telemetry.dir/export.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/telemetry/CMakeFiles/resipe_telemetry.dir/metrics.cpp.o" "gcc" "src/telemetry/CMakeFiles/resipe_telemetry.dir/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/timer.cpp" "src/telemetry/CMakeFiles/resipe_telemetry.dir/timer.cpp.o" "gcc" "src/telemetry/CMakeFiles/resipe_telemetry.dir/timer.cpp.o.d"
+  "/root/repo/src/telemetry/trace.cpp" "src/telemetry/CMakeFiles/resipe_telemetry.dir/trace.cpp.o" "gcc" "src/telemetry/CMakeFiles/resipe_telemetry.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-scalar/src/common/CMakeFiles/resipe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_telemetry.dir/export.cpp.o"
+  "CMakeFiles/resipe_telemetry.dir/export.cpp.o.d"
+  "CMakeFiles/resipe_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/resipe_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/resipe_telemetry.dir/timer.cpp.o"
+  "CMakeFiles/resipe_telemetry.dir/timer.cpp.o.d"
+  "CMakeFiles/resipe_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/resipe_telemetry.dir/trace.cpp.o.d"
+  "libresipe_telemetry.a"
+  "libresipe_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

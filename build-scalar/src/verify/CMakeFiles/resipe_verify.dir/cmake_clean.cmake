@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resipe_verify.dir/approx.cpp.o"
+  "CMakeFiles/resipe_verify.dir/approx.cpp.o.d"
+  "CMakeFiles/resipe_verify.dir/contracts.cpp.o"
+  "CMakeFiles/resipe_verify.dir/contracts.cpp.o.d"
+  "CMakeFiles/resipe_verify.dir/fuzzer.cpp.o"
+  "CMakeFiles/resipe_verify.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/resipe_verify.dir/generators.cpp.o"
+  "CMakeFiles/resipe_verify.dir/generators.cpp.o.d"
+  "CMakeFiles/resipe_verify.dir/ode_oracle.cpp.o"
+  "CMakeFiles/resipe_verify.dir/ode_oracle.cpp.o.d"
+  "CMakeFiles/resipe_verify.dir/serialize.cpp.o"
+  "CMakeFiles/resipe_verify.dir/serialize.cpp.o.d"
+  "CMakeFiles/resipe_verify.dir/shrink.cpp.o"
+  "CMakeFiles/resipe_verify.dir/shrink.cpp.o.d"
+  "libresipe_verify.a"
+  "libresipe_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resipe_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_slicing.dir/test_bit_slicing.cpp.o"
+  "CMakeFiles/test_bit_slicing.dir/test_bit_slicing.cpp.o.d"
+  "test_bit_slicing"
+  "test_bit_slicing.pdb"
+  "test_bit_slicing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar.dir/test_crossbar.cpp.o"
+  "CMakeFiles/test_crossbar.dir/test_crossbar.cpp.o.d"
+  "test_crossbar"
+  "test_crossbar.pdb"
+  "test_crossbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

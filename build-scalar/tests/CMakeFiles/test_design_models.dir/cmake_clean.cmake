@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_models.dir/test_design_models.cpp.o"
+  "CMakeFiles/test_design_models.dir/test_design_models.cpp.o.d"
+  "test_design_models"
+  "test_design_models.pdb"
+  "test_design_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

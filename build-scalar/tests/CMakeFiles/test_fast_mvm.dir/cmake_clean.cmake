@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_mvm.dir/test_fast_mvm.cpp.o"
+  "CMakeFiles/test_fast_mvm.dir/test_fast_mvm.cpp.o.d"
+  "test_fast_mvm"
+  "test_fast_mvm.pdb"
+  "test_fast_mvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_mvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fast_mvm.
+# This may be replaced when dependencies are built.

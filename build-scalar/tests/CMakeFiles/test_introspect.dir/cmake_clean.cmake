@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_introspect.dir/test_introspect.cpp.o"
+  "CMakeFiles/test_introspect.dir/test_introspect.cpp.o.d"
+  "test_introspect"
+  "test_introspect.pdb"
+  "test_introspect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

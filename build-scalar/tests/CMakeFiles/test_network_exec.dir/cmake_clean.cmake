@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_exec.dir/test_network_exec.cpp.o"
+  "CMakeFiles/test_network_exec.dir/test_network_exec.cpp.o.d"
+  "test_network_exec"
+  "test_network_exec.pdb"
+  "test_network_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_data.dir/test_nn_data.cpp.o"
+  "CMakeFiles/test_nn_data.dir/test_nn_data.cpp.o.d"
+  "test_nn_data"
+  "test_nn_data.pdb"
+  "test_nn_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_grad.dir/test_nn_grad.cpp.o"
+  "CMakeFiles/test_nn_grad.dir/test_nn_grad.cpp.o.d"
+  "test_nn_grad"
+  "test_nn_grad.pdb"
+  "test_nn_grad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_tensor.dir/test_nn_tensor.cpp.o"
+  "CMakeFiles/test_nn_tensor.dir/test_nn_tensor.cpp.o.d"
+  "test_nn_tensor"
+  "test_nn_tensor.pdb"
+  "test_nn_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_stage.dir/test_rc_stage.cpp.o"
+  "CMakeFiles/test_rc_stage.dir/test_rc_stage.cpp.o.d"
+  "test_rc_stage"
+  "test_rc_stage.pdb"
+  "test_rc_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spike_codec.dir/test_spike_codec.cpp.o"
+  "CMakeFiles/test_spike_codec.dir/test_spike_codec.cpp.o.d"
+  "test_spike_codec"
+  "test_spike_codec.pdb"
+  "test_spike_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spike_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
