@@ -13,6 +13,11 @@
 // work, and the served accuracy must stay within 0.5% of the
 // fault-free pool.
 //
+// Part 3 (tracing & SLO): a traced run at the knee with three tenants
+// must pass the span-conservation audit; the SLO monitor scores it
+// into error-budget figures, and the journal's wall-clock overhead is
+// measured against an untraced twin (budget: < 2%).
+//
 // Everything runs on the virtual clock, so every figure is
 // deterministic and thread-count invariant.
 //
@@ -31,7 +36,10 @@
 #include "resipe/resipe/network.hpp"
 #include "resipe/serve/pool.hpp"
 #include "resipe/serve/scheduler.hpp"
+#include "resipe/serve/slo.hpp"
+#include "resipe/serve/trace.hpp"
 #include "resipe/serve/traffic.hpp"
+#include "resipe/telemetry/timer.hpp"
 
 namespace {
 
@@ -55,23 +63,31 @@ bool has_flag(int argc, char** argv, const char* name) {
 struct RunResult {
   serve::ServingStats stats;
   double accuracy = 0.0;  ///< over served responses, joined via tag
+  std::vector<serve::Response> responses;
+  std::uint64_t run_ns = 0;  ///< wall-clock of scheduler.run() alone
 };
 
 RunResult run_trace(serve::ChipPool& pool, const serve::ServeConfig& scfg,
                     const nn::Dataset& data, double rate, double duration,
-                    std::uint64_t traffic_seed) {
+                    std::uint64_t traffic_seed,
+                    serve::EventJournal* journal = nullptr,
+                    std::uint64_t tenants = 1) {
   serve::TrafficConfig traffic;
   traffic.rate = rate;
   traffic.duration = duration;
   traffic.seed = traffic_seed;
+  traffic.tenants = tenants;
   const std::vector<serve::Request> trace =
       serve::poisson_traffic(data.images, traffic);
 
   serve::Scheduler scheduler(pool, scfg);
+  scheduler.attach_journal(journal);
   for (const serve::Request& r : trace) scheduler.submit(r);
-  const std::vector<serve::Response> responses = scheduler.run();
+  const std::uint64_t t0 = telemetry::now_ns();
+  std::vector<serve::Response> responses = scheduler.run();
 
   RunResult out;
+  out.run_ns = telemetry::now_ns() - t0;
   out.stats = scheduler.stats();
   std::size_t correct = 0, served = 0;
   for (const serve::Response& r : responses) {
@@ -86,6 +102,7 @@ RunResult run_trace(serve::ChipPool& pool, const serve::ServeConfig& scfg,
   out.accuracy = served > 0 ? static_cast<double>(correct) /
                                   static_cast<double>(served)
                             : 0.0;
+  out.responses = std::move(responses);
   return out;
 }
 
@@ -243,6 +260,65 @@ int main(int argc, char** argv) {
     std::printf("served accuracy delta vs clean pool: %+.4f (budget 0.005)\n",
                 acc_delta);
 
+    // ============ part 3: lifecycle tracing & SLO scorecard ============
+    // One traced run at the knee with three tenants: the journal must
+    // pass the span-conservation audit (deterministic, so a failure
+    // here is a real scheduler bug, not flakiness), and the SLO monitor
+    // scores the same responses into error-budget figures.
+    const double slo_rate = 1.0 * capacity;
+    const double slo_duration = capped_duration(slo_rate);
+    serve::EventJournal journal;
+    serve::ChipPool slo_pool(model, calib, clean_pool_cfg, scfg);
+    const RunResult traced =
+        run_trace(slo_pool, scfg, test, slo_rate, slo_duration,
+                  hash_seed(seed, 0x7AFFull), &journal, /*tenants=*/3);
+    const serve::TraceAudit audit = serve::audit_trace(journal, traced.stats);
+    std::puts("\n== lifecycle trace & SLO (load 1.0, 3 tenants) ==");
+    std::fputs(audit.render().c_str(), stdout);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "trace audit failed\n");
+      return 1;
+    }
+
+    serve::SloConfig slo;
+    slo.window = slo_duration / 10.0;
+    slo.latency_target = scfg.default_deadline / 2.0;
+    serve::SloMonitor monitor(slo);
+    monitor.ingest(traced.responses);
+    const serve::SloReport slo_report = monitor.report();
+    std::fputs(slo_report.render().c_str(), stdout);
+
+    // Tracing overhead: the same trace through identically-evolving
+    // pools with and without a journal attached, min-of-reps wall
+    // clock.  The acceptance budget is < 2% — one slot write per
+    // lifecycle edge against inference-dominated service.
+    const std::size_t reps = quick ? 5 : 9;
+    serve::ChipPool plain_pool(model, calib, clean_pool_cfg, scfg);
+    serve::ChipPool traced_pool(model, calib, clean_pool_cfg, scfg);
+    std::uint64_t plain_ns = ~std::uint64_t{0};
+    std::uint64_t traced_ns = ~std::uint64_t{0};
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const RunResult off =
+          run_trace(plain_pool, scfg, test, slo_rate, slo_duration,
+                    hash_seed(seed, 0x7AFFull));
+      serve::EventJournal j;
+      const RunResult on =
+          run_trace(traced_pool, scfg, test, slo_rate, slo_duration,
+                    hash_seed(seed, 0x7AFFull), &j);
+      plain_ns = std::min(plain_ns, off.run_ns);
+      traced_ns = std::min(traced_ns, on.run_ns);
+    }
+    const double overhead_frac =
+        plain_ns > 0 ? (static_cast<double>(traced_ns) -
+                        static_cast<double>(plain_ns)) /
+                           static_cast<double>(plain_ns)
+                     : 0.0;
+    std::printf(
+        "tracing overhead: %.2f%% (run %.3f ms untraced vs %.3f ms "
+        "traced, %zu events; budget 2%%)\n",
+        overhead_frac * 100.0, static_cast<double>(plain_ns) * 1e-6,
+        static_cast<double>(traced_ns) * 1e-6, journal.size());
+
     report.add("pool_capacity_rps", capacity);
     report.add("peak_served_rps", peak_throughput);
     report.add("p99_below_knee_ms", below_knee_p99 * 1e3);
@@ -254,6 +330,16 @@ int main(int argc, char** argv) {
     report.add("failover_quarantines", static_cast<double>(quarantines));
     report.add("failover_retries",
                static_cast<double>(faulty_run.stats.retries));
+    report.add("trace_events", static_cast<double>(journal.size()));
+    report.add("trace_dropped", static_cast<double>(journal.dropped()));
+    report.add("trace_overhead_frac", overhead_frac);
+    report.add("slo_availability_budget_used",
+               slo_report.total.availability_budget_used);
+    report.add("slo_latency_budget_used",
+               slo_report.total.latency_budget_used);
+    report.add("slo_availability_burn_max",
+               slo_report.total.availability_burn_max);
+    report.add("slo_latency_burn_max", slo_report.total.latency_burn_max);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

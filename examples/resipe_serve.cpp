@@ -9,7 +9,19 @@
 //
 //   resipe_serve [--chips N] [--rate R] [--duration S] [--deadline S]
 //                [--defects RATE] [--train N] [--images N] [--epochs N]
-//                [--seed K] [--out FILE]
+//                [--seed K] [--tenants N] [--out FILE]
+//                [--trace FILE] [--events FILE]
+//                [--slo-window S] [--slo-latency S]
+//                [--slo-latency-obj F] [--slo-avail-obj F]
+//
+// Every run journals the full request lifecycle (serve/trace.hpp),
+// verifies the span-conservation audit (exit 1 on violation — every
+// offered request must have exactly one terminal event and the journal
+// must reconcile with the stats), and renders the per-tenant SLO /
+// error-budget dashboard.  --trace exports the journal as a Chrome
+// trace (chrome://tracing / ui.perfetto.dev) with one lane per chip
+// and flow arrows per request; --events exports the raw NDJSON that
+// tools/trace_check.py validates in CI.
 //
 // Everything runs on the virtual clock, so the whole trace is
 // deterministic and bit-identical at any thread count.
@@ -26,7 +38,10 @@
 #include "resipe/resipe/network.hpp"
 #include "resipe/serve/pool.hpp"
 #include "resipe/serve/scheduler.hpp"
+#include "resipe/serve/slo.hpp"
+#include "resipe/serve/trace.hpp"
 #include "resipe/serve/traffic.hpp"
+#include "resipe/telemetry/trace.hpp"
 
 namespace {
 
@@ -59,12 +74,27 @@ int main(int argc, char** argv) {
       std::atoi(arg_value(argc, argv, "--epochs", "3")));
   const auto seed = static_cast<std::uint64_t>(
       std::atoll(arg_value(argc, argv, "--seed", "42")));
+  const auto tenants = static_cast<std::uint64_t>(
+      std::atoll(arg_value(argc, argv, "--tenants", "3")));
   const std::string out = arg_value(argc, argv, "--out", "");
+  const std::string trace_out = arg_value(argc, argv, "--trace", "");
+  const std::string events_out = arg_value(argc, argv, "--events", "");
+  serve::SloConfig slo;
+  slo.window = std::atof(arg_value(argc, argv, "--slo-window", "0.01"));
+  // Default latency target: half the deadline — "answered comfortably",
+  // not "squeaked in".
+  slo.latency_target = std::atof(
+      arg_value(argc, argv, "--slo-latency",
+                std::to_string(deadline / 2.0).c_str()));
+  slo.latency_objective =
+      std::atof(arg_value(argc, argv, "--slo-latency-obj", "0.95"));
+  slo.availability_objective =
+      std::atof(arg_value(argc, argv, "--slo-avail-obj", "0.99"));
   if (chips == 0 || rate <= 0.0 || duration <= 0.0 || deadline <= 0.0 ||
-      train_n == 0 || test_n == 0) {
+      train_n == 0 || test_n == 0 || tenants == 0) {
     std::fprintf(stderr,
-                 "--chips/--rate/--duration/--deadline/--train/--images "
-                 "must be positive\n");
+                 "--chips/--rate/--duration/--deadline/--train/--images/"
+                 "--tenants must be positive\n");
     return 2;
   }
 
@@ -118,10 +148,13 @@ int main(int argc, char** argv) {
     traffic.rate = rate;
     traffic.duration = duration;
     traffic.seed = hash_seed(seed, 0x7AFFull);
+    traffic.tenants = tenants;
     const std::vector<serve::Request> trace =
         serve::poisson_traffic(test.images, traffic);
 
+    serve::EventJournal journal;
     serve::Scheduler scheduler(pool, scfg);
+    scheduler.attach_journal(&journal);
     for (const serve::Request& r : trace) scheduler.submit(r);
     const std::vector<serve::Response> responses = scheduler.run();
     const serve::ServingStats& stats = scheduler.stats();
@@ -162,6 +195,37 @@ int main(int argc, char** argv) {
     std::puts("");
     std::fputs(chip_table.str().c_str(), stdout);
 
+    // --- span-conservation audit: every offered request must close
+    // with exactly one terminal event and the journal must reconcile
+    // exactly with the stats above.  A violation is a scheduler bug,
+    // so it fails the run.
+    const serve::TraceAudit audit = serve::audit_trace(journal, stats);
+    std::puts("");
+    std::fputs(audit.render().c_str(), stdout);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "trace audit failed\n");
+      return 1;
+    }
+
+    // --- per-tenant SLO / error-budget dashboard.
+    serve::SloMonitor monitor(slo);
+    monitor.ingest(responses);
+    const serve::SloReport slo_report = monitor.report();
+    std::puts("");
+    std::fputs(slo_report.render().c_str(), stdout);
+
+    if (!events_out.empty()) {
+      serve::write_events_ndjson_file(journal, stats, events_out);
+      std::printf("wrote %s (%zu events, %zu dropped)\n",
+                  events_out.c_str(), journal.size(), journal.dropped());
+    }
+    if (!trace_out.empty()) {
+      auto& session = telemetry::TraceSession::instance();
+      serve::export_chrome_trace(journal, session);
+      session.write_chrome_trace_file(trace_out);
+      std::printf("wrote %s\n", trace_out.c_str());
+    }
+
     if (!out.empty()) {
       std::ofstream os(out);
       if (!os) {
@@ -186,7 +250,19 @@ int main(int argc, char** argv) {
          << "  \"latency_p99_s\": " << stats.p99 << ",\n"
          << "  \"served_accuracy\": " << acc << ",\n"
          << "  \"healthy_chips\": " << pool.healthy_count() << ",\n"
-         << "  \"pool_size\": " << pool.size() << "\n"
+         << "  \"pool_size\": " << pool.size() << ",\n"
+         << "  \"trace_events\": " << journal.size() << ",\n"
+         << "  \"trace_dropped\": " << journal.dropped() << ",\n"
+         << "  \"audit_ok\": " << (audit.ok() ? "true" : "false") << ",\n"
+         << "  \"tenants\": " << tenants << ",\n"
+         << "  \"slo_availability_budget_used\": "
+         << slo_report.total.availability_budget_used << ",\n"
+         << "  \"slo_latency_budget_used\": "
+         << slo_report.total.latency_budget_used << ",\n"
+         << "  \"slo_availability_burn_max\": "
+         << slo_report.total.availability_burn_max << ",\n"
+         << "  \"slo_latency_burn_max\": "
+         << slo_report.total.latency_burn_max << "\n"
          << "}\n";
       std::printf("wrote %s\n", out.c_str());
     }

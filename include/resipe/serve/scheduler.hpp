@@ -53,6 +53,8 @@ inline constexpr std::size_t kNoChip =
 struct Request {
   std::uint64_t id = 0;       ///< unique; responses are sorted by it
   std::uint64_t tag = 0;      ///< caller cookie (e.g. dataset row, label)
+  std::uint64_t tenant = 0;   ///< billing/SLO bucket; echoed on the
+                              ///< response and every trace event
   double arrival = 0.0;       ///< virtual arrival time (s)
   /// Absolute virtual deadline; 0 = arrival + config.default_deadline.
   double deadline = 0.0;
@@ -80,6 +82,7 @@ struct Response {
 
   std::uint64_t id = 0;
   std::uint64_t tag = 0;
+  std::uint64_t tenant = 0;      ///< copied from the request
   Status status = Status::kRejected;
   RejectReason reason = RejectReason::kNone;
   std::vector<double> logits;    ///< empty when rejected
@@ -125,12 +128,16 @@ struct ServingStats {
   std::string render() const;
 };
 
-/// Exact percentile over served-response latencies (nearest-rank on the
-/// sorted latencies; q in [0, 1]).
+/// Exact percentile over served-response latencies (q in [0, 1]).
+/// Routes through telemetry::percentile_sorted — the repo-wide
+/// rank-mass linear-interpolation convention — so ServingStats, the
+/// SLO dashboard and the metrics registry agree on every quantile.
 double latency_percentile(const std::vector<Response>& responses, double q);
 
 /// Computes the roll-up from a response stream.
 ServingStats summarize(const std::vector<Response>& responses);
+
+class EventJournal;  // serve/trace.hpp
 
 /// The scheduler.  Bind it to a pool, submit a trace, run it.
 class Scheduler {
@@ -140,6 +147,15 @@ class Scheduler {
   /// Buffers one request (any order; run() sorts by arrival).  Input
   /// length must match the pool; ids must be unique.
   void submit(Request request);
+
+  /// Attaches a lifecycle-event journal (serve/trace.hpp); every
+  /// admission, shed, batch formation, dispatch, attempt, retry,
+  /// completion and health transition of subsequent run() calls is
+  /// recorded.  Pass nullptr to detach.  The journal observes but
+  /// never steers: responses are bit-identical with or without one
+  /// (fuzzer contract `serving_trace_identity`).  Caller keeps
+  /// ownership and must outlive run().
+  void attach_journal(EventJournal* journal) { journal_ = journal; }
 
   /// Replays every submitted request through the serving path and
   /// returns one Response per request, sorted by id.  Submissions are
@@ -154,6 +170,7 @@ class Scheduler {
   ServeConfig config_;
   std::vector<Request> pending_;
   ServingStats stats_;
+  EventJournal* journal_ = nullptr;
 };
 
 }  // namespace resipe::serve

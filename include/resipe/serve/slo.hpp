@@ -1,0 +1,119 @@
+// Service-level objective monitoring for the serving layer.
+//
+// An SLO is a target on an SLI over a window: "99% of requests get an
+// answer" (availability) and "95% of served requests finish within the
+// latency target" (latency).  The complement of the objective is the
+// *error budget* — the fraction of requests that are allowed to be bad
+// before the objective is violated.  `SloMonitor` ingests the
+// scheduler's responses (virtual-time, so results are deterministic and
+// thread-count invariant), splits them per tenant, and reports:
+//
+//  * the whole-trace SLI for each objective,
+//  * error-budget consumption (bad fraction / allowed fraction; > 1
+//    means the objective was violated over the trace),
+//  * the *maximum sliding-window burn rate*: the worst
+//    bad_fraction / (1 - objective) over any window of config.window
+//    virtual seconds, found with a two-pointer sweep.  Burn rate 1
+//    means the budget is being spent exactly as fast as it accrues;
+//    alerting practice pages on sustained burn well above 1.
+//
+// Latency percentiles route through telemetry::percentile_sorted — the
+// repo-wide percentile convention — so the dashboard, ServingStats and
+// the metrics registry can never disagree on what "p99" means.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "resipe/serve/scheduler.hpp"
+
+namespace resipe::serve {
+
+/// Objectives shared by every tenant.  Deliberately NOT part of
+/// ServeConfig: SLOs judge a trace after the fact and must never
+/// influence scheduling decisions (or the bit-identity contract).
+struct SloConfig {
+  double window = 1.0;          ///< sliding-window length (virtual s)
+  double latency_target = 0.05; ///< "fast enough" bound on latency (s)
+  /// Fraction of *served* requests that must meet latency_target.
+  double latency_objective = 0.95;
+  /// Fraction of *submitted* requests that must be served (not shed).
+  double availability_objective = 0.99;
+  /// Windows with fewer samples than this are skipped by the burn-rate
+  /// sweep — a single bad request in a near-empty window is noise, not
+  /// an incident.
+  std::size_t min_window_count = 10;
+
+  /// Throws on nonsensical values (objective outside (0, 1), etc.).
+  void validate() const;
+};
+
+/// Per-tenant scorecard.  `budget_used` > 1 or `burn_max` >> 1 are the
+/// alerting signals.
+struct SloTenantReport {
+  std::uint64_t tenant = 0;
+  std::size_t requests = 0;    ///< submitted
+  std::size_t served = 0;      ///< got an answer (ok or degraded)
+  std::size_t latency_ok = 0;  ///< served within latency_target
+
+  double availability_sli = 1.0;  ///< served / requests
+  double latency_sli = 1.0;       ///< latency_ok / served
+  /// Whole-trace budget consumption: bad_fraction / (1 - objective).
+  double availability_budget_used = 0.0;
+  double latency_budget_used = 0.0;
+  /// Worst sliding-window burn rate (same ratio, per window).
+  double availability_burn_max = 0.0;
+  double latency_burn_max = 0.0;
+
+  /// Served-latency percentiles (telemetry::percentile_sorted).
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+
+  bool availability_met() const { return availability_budget_used <= 1.0; }
+  bool latency_met() const { return latency_budget_used <= 1.0; }
+};
+
+/// Full report: one row per tenant plus the all-tenant aggregate.
+struct SloReport {
+  SloConfig config;
+  std::vector<SloTenantReport> tenants;  ///< ascending tenant id
+  SloTenantReport total;                 ///< aggregate over every tenant
+
+  /// ASCII dashboard: objectives banner, one row per tenant with
+  /// budget-consumption bars and burn rates, verdict column.
+  std::string render() const;
+};
+
+/// Ingests responses, reports SLIs / budgets / burn.  Not thread-safe;
+/// feed it from the (single-threaded) post-run response vector.
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloConfig& config);
+
+  /// Accounts one response under `tenant`.  Every response counts
+  /// toward availability; only served ones count toward latency.
+  void ingest(const Response& response, std::uint64_t tenant);
+
+  /// Accounts a whole response vector using each response's own tenant.
+  void ingest(const std::vector<Response>& responses);
+
+  /// Scores everything ingested so far.
+  SloReport report() const;
+
+  void clear();
+
+ private:
+  struct Sample {
+    double time = 0.0;  ///< terminal virtual time (completion or shed)
+    bool served = false;
+    bool latency_ok = false;
+    double latency = 0.0;
+  };
+
+  SloConfig config_;
+  std::map<std::uint64_t, std::vector<Sample>> samples_;
+};
+
+}  // namespace resipe::serve

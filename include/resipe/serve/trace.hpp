@@ -1,0 +1,223 @@
+// Request-lifecycle tracing for the serving layer: a structured event
+// journal, causally-linked request traces, and exporters.
+//
+// Every decision the Scheduler makes about a request already exists as
+// a moment in the discrete-event replay — admission or shed, batch
+// formation, dispatch to a chip, retry with its exact backoff, the
+// canary verdict that quarantined the chip it was about to use.  This
+// header turns those moments into first-class, auditable events:
+//
+//  * `ServeEvent` — one lifecycle edge, stamped with virtual time, the
+//    request / batch / chip it touches and the edge-specific payload.
+//  * `EventJournal` — a bounded lock-free buffer the scheduler appends
+//    to.  Overflow is *counted, never silent*: the journal refuses to
+//    overwrite (the stored prefix stays causally complete) and every
+//    event beyond capacity increments an explicit drop counter that
+//    the audit and both exporters surface.  Appends are a single
+//    fetch_add + slot write, safe for concurrent producers — the same
+//    substrate the event-driven sparse executor will reuse.
+//  * `RequestTrace` / `assemble_traces` — the journal regrouped into
+//    one causal span chain per request id.
+//  * `audit_trace` — the conservation contract: every request has
+//    exactly one terminal event (complete or shed), per-request event
+//    order is causal, and the journal's counts reconcile *exactly*
+//    with the ServingStats buckets (served_ok/degraded, each shed
+//    reason, late completions, batches, retries-by-attempt identity).
+//  * `write_events_ndjson` — line-delimited JSON (schema line, one
+//    event per line, stats trailer) that tools/trace_check.py
+//    validates in CI.
+//  * `export_chrome_trace` — replays the journal into the telemetry
+//    TraceSession as virtual-time lanes (scheduler queue, one lane per
+//    chip, health lane) with flow arrows linking each request's
+//    admission -> batch dispatch -> completion, so a serving trace
+//    opens directly in chrome://tracing next to the live spans.
+//
+// Tracing is strictly additive: a Scheduler without an attached
+// journal takes one pointer-null branch per edge and produces
+// bit-identical responses (fuzzer contract `serving_trace_identity`).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "resipe/serve/scheduler.hpp"
+
+namespace resipe::telemetry {
+class TraceSession;
+}  // namespace resipe::telemetry
+
+namespace resipe::serve {
+
+/// Sentinel for "no request / no batch attached to this event".
+inline constexpr std::uint64_t kNoId =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// One lifecycle edge.  The `code`/`value`/`aux` payload is
+/// kind-specific; see the field comments.
+enum class ServeEventKind : int {
+  kAdmit = 0,       ///< request entered the queue (value = depth after;
+                    ///< attempt > 0 marks a retry re-admission)
+  kShed,            ///< TERMINAL: rejected (code = RejectReason,
+                    ///< attempt = attempts consumed)
+  kBatchForm,       ///< batch sealed (batch, chip, value = size,
+                    ///< code = BatchFillReason)
+  kDispatch,        ///< request rode a batch onto a chip (request,
+                    ///< batch, chip, attempt = prior attempts)
+  kAttemptDone,     ///< one inference attempt finished (request, batch,
+                    ///< chip, attempt = attempts now consumed,
+                    ///< value = fault-flagged outputs)
+  kRetrySchedule,   ///< retry queued (attempt = attempts so far,
+                    ///< value = backoff delay s, aux = jitter factor,
+                    ///< chip = replica being excluded)
+  kComplete,        ///< TERMINAL: served (code = 0 ok / 1 degraded,
+                    ///< chip, attempt = attempts, value = fault flags)
+  kProbe,           ///< canary verdict (chip, code = 0 clean / 1 fail,
+                    ///< value = argmax mismatch, aux = logit RMSE)
+  kQuarantine,      ///< chip left the rotation (chip)
+  kReadmit,         ///< chip recovered (chip)
+};
+
+const char* to_string(ServeEventKind k);
+
+/// Why a batch stopped accumulating and dispatched.
+enum class BatchFillReason : int {
+  kFull = 0,         ///< reached batch_max
+  kWindowExpired,    ///< oldest waiter aged out batch_window
+  kWorkConserving,   ///< a freed chip drained the queue early
+};
+
+const char* to_string(BatchFillReason r);
+
+/// One structured journal entry.  POD-sized on purpose: recording is a
+/// slot write, and the NDJSON/Chrome exporters do all naming offline.
+struct ServeEvent {
+  double time = 0.0;                ///< virtual seconds
+  ServeEventKind kind = ServeEventKind::kAdmit;
+  std::uint64_t seq = 0;            ///< journal order (assigned on record)
+  std::uint64_t request = kNoId;
+  std::uint64_t tenant = 0;
+  std::uint64_t batch = kNoId;
+  std::size_t chip = kNoChip;
+  std::size_t attempt = 0;
+  int code = 0;
+  double value = 0.0;
+  double aux = 0.0;
+};
+
+/// Bounded lock-free event buffer.  `record` claims a slot with one
+/// atomic fetch_add; once capacity is reached further events bump the
+/// drop counter instead of overwriting — the committed prefix is always
+/// causally complete and loss is always visible.  Readers (snapshot /
+/// exporters / audit) run after producers quiesce, which the
+/// single-threaded discrete-event scheduler guarantees by construction.
+class EventJournal {
+ public:
+  /// Default capacity holds ~8 events per request for a 100k-request
+  /// trace tail; see docs/observability.md for sizing guidance.
+  explicit EventJournal(std::size_t capacity = std::size_t{1} << 20);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Appends one event (lock-free).  Assigns `seq`; over-capacity
+  /// events are counted in dropped() and discarded.
+  void record(ServeEvent event) noexcept;
+
+  /// Committed events (<= capacity()).
+  std::size_t size() const noexcept;
+  /// Events refused because the journal was full.  Non-zero means the
+  /// audit can no longer prove conservation — it says so explicitly.
+  std::size_t dropped() const noexcept;
+
+  /// Copy of the committed prefix, in journal (seq) order.
+  std::vector<ServeEvent> events() const;
+
+  /// Forgets everything and reuses the allocation.
+  void clear() noexcept;
+
+ private:
+  std::vector<ServeEvent> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The causal span chain of one request, regrouped from the journal.
+struct RequestTrace {
+  std::uint64_t id = kNoId;
+  std::uint64_t tenant = 0;
+  bool terminal_seen = false;
+  bool served = false;           ///< terminal was kComplete
+  bool degraded = false;
+  RejectReason reason = RejectReason::kNone;
+  std::size_t admits = 0;        ///< first admission + retry re-entries
+  std::size_t attempts = 0;      ///< kAttemptDone events
+  std::size_t retries_scheduled = 0;
+  double first_time = 0.0;       ///< first event (admission decision)
+  double terminal_time = 0.0;
+  std::vector<ServeEvent> events;  ///< seq-ordered
+};
+
+/// Groups journal events by request id (chip-level probe/quarantine
+/// events carry no request and are skipped).  Keyed map so iteration
+/// order is deterministic.
+std::map<std::uint64_t, RequestTrace> assemble_traces(
+    const std::vector<ServeEvent>& events);
+
+/// Conservation audit result.  `ok()` only when every check passed AND
+/// nothing was dropped; a lossy journal reports itself instead of
+/// pretending.
+struct TraceAudit {
+  std::size_t requests = 0;      ///< distinct request ids seen
+  std::size_t terminals = 0;     ///< terminal events seen
+  std::size_t events = 0;
+  std::size_t dropped = 0;
+  std::vector<std::string> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string render() const;
+};
+
+/// Verifies the correctness contract of a (journal, stats) pair from
+/// one Scheduler::run():
+///  1. zero dropped events (else the audit reports exactly that);
+///  2. every request id has exactly one terminal event, preceded by a
+///     causally-ordered chain (admit first, attempts monotone);
+///  3. journal counts reconcile exactly with the ServingStats buckets:
+///     submitted, served_ok, served_degraded, shed per reason, late
+///     completions, batches, and the attempts identity
+///     (#kAttemptDone - #served - #late == stats.retries).
+TraceAudit audit_trace(const EventJournal& journal,
+                       const ServingStats& stats);
+
+/// Writes the journal as line-delimited JSON: a schema header line
+/// (`resipe.serve.trace/1`), one event object per line, and a summary
+/// trailer carrying the ServingStats buckets plus the drop counter so
+/// a validator can reconcile without any side channel.
+void write_events_ndjson(const EventJournal& journal,
+                         const ServingStats& stats, std::ostream& os);
+void write_events_ndjson_file(const EventJournal& journal,
+                              const ServingStats& stats,
+                              const std::string& path);
+
+/// Synthetic lane ids used by the Chrome export (pid kServePid).
+inline constexpr std::uint32_t kServePid = 2;
+inline constexpr std::uint32_t kSchedulerLane = 1;
+inline constexpr std::uint32_t kHealthLane = 2;
+inline constexpr std::uint32_t kChipLaneBase = 10;
+
+/// Replays the journal into `session` as virtual-time events under
+/// pid kServePid: queue-wait spans on the scheduler lane, batch spans
+/// on per-chip lanes, instants for sheds/probe failures/state
+/// transitions, a queue-depth counter track, and one flow arrow per
+/// request linking admission -> dispatch -> completion.  Virtual
+/// seconds map to trace nanoseconds (1 s = 1e9 ns).  Lanes are named
+/// via TraceSession metadata events.
+void export_chrome_trace(const EventJournal& journal,
+                         telemetry::TraceSession& session);
+
+}  // namespace resipe::serve

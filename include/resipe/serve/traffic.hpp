@@ -25,6 +25,12 @@ struct TrafficConfig {
   double deadline = 0.0;
   std::uint64_t seed = 1;    ///< inter-arrival + sample-pick stream
   std::uint64_t first_id = 0;
+  /// Number of tenants (SLO buckets) to spread requests over; each
+  /// request's tenant is hash_seed(seed, id) % tenants — a pure
+  /// function of the id, drawing nothing from the arrival stream, so
+  /// tenants = 1 (the default) generates the exact same trace as
+  /// before the field existed.
+  std::uint64_t tenants = 1;
 };
 
 /// Draws a Poisson arrival trace whose request inputs are rows sampled

@@ -207,6 +207,18 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Exact-sample percentile (q in [0, 1]) over an ascending-sorted value
+/// vector.  This is THE percentile convention of the repo: the same
+/// rank-mass linear interpolation `histogram_percentile` applies to
+/// bucketed data, specialized to one sample per bucket — feeding the
+/// sorted samples of a dataset as the bucket bounds of a histogram
+/// yields bit-identical percentiles (pinned by a shared test).  Every
+/// exact-sample consumer (ServingStats latency percentiles, SLO
+/// windows) routes through here so "p99" means one thing everywhere.
+/// Contract: empty -> 0, single sample -> the sample, q=0 -> min,
+/// q=1 -> max.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
 /// Estimates the q-th quantile (q in [0, 1]) of a bucketed histogram by
 /// linear interpolation inside the bucket holding the q-th observation.
 /// The open-ended first and overflow buckets are clamped to the exact

@@ -5,10 +5,20 @@
 // file loads directly in chrome://tracing or https://ui.perfetto.dev.
 // The event's `cat` field is the `subsystem` prefix of the span name
 // (everything before the first '.').
+//
+// Beyond the live-instrumentation API (record_complete / instant /
+// counter, stamped with the real clock), external exporters can append
+// fully-formed events via add_event() — the serving layer uses this to
+// replay its *virtual-clock* event journal as request/batch/chip lanes
+// with flow arrows ('s'/'t'/'f' phases) linking a request's admission to
+// its batch and its chip (serve/trace.hpp).  Tracks get human-readable
+// names through set_thread_name(), emitted as Chrome metadata ('M')
+// events ahead of the event stream.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -18,11 +28,15 @@ namespace resipe::telemetry {
 
 struct TraceEvent {
   std::string name;
-  char phase = 'X';        // 'X' complete span, 'i' instant, 'C' counter
+  char phase = 'X';         // 'X' span, 'i' instant, 'C' counter,
+                            // 's'/'t'/'f' flow start/step/end
   std::uint64_t ts_ns = 0;  // relative to session start
   std::uint64_t dur_ns = 0;
+  std::uint32_t pid = 1;    // lane group (1 = live instrumentation)
   std::uint32_t tid = 0;
-  double value = 0.0;      // counter-track sample ('C' events only)
+  double value = 0.0;       // counter-track sample ('C' events only)
+  std::uint64_t flow_id = 0;  // binds 's'/'t'/'f' events into one arrow
+  std::string args_json;    // pre-serialized "args" object ("" = none)
 };
 
 class TraceSession {
@@ -46,6 +60,23 @@ class TraceSession {
   /// draws one stacked-area track per distinct name.
   void counter(const char* name, double value);
 
+  /// Appends a fully-formed event (external exporters replaying their
+  /// own clock; the caller fills ts_ns/pid/tid itself).  Unlike the live
+  /// recorders this does not require an active session — an exporter
+  /// must never lose events to a stopped flag — but it honors the
+  /// capacity cap and drop counter like every other path.
+  void add_event(TraceEvent event);
+
+  /// Names a track for the viewer (Chrome `thread_name` metadata,
+  /// emitted per distinct (pid, tid) ahead of the event stream).
+  /// First writer wins so a thread's original name sticks.
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       const std::string& name);
+  /// Names the calling thread's live-instrumentation track.
+  void name_current_thread(const std::string& name);
+  /// The calling thread's live-instrumentation tid.
+  static std::uint32_t current_thread_id();
+
   /// Caps the in-memory event buffer; further events are counted as
   /// dropped instead of stored.  Default: 1 << 20 events.
   void set_capacity(std::size_t max_events);
@@ -54,8 +85,12 @@ class TraceSession {
   }
 
   std::vector<TraceEvent> snapshot() const;
+  /// Registered (pid, tid) -> name track labels.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+  thread_names() const;
 
-  /// Writes `{"traceEvents": [...]}` with events sorted by timestamp.
+  /// Writes `{"traceEvents": [...]}` with metadata first, then events
+  /// sorted by timestamp.
   void write_chrome_trace(std::ostream& os) const;
   void write_chrome_trace_file(const std::string& path) const;
 
@@ -67,6 +102,7 @@ class TraceSession {
   std::atomic<std::size_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> names_;
   std::size_t capacity_ = std::size_t{1} << 20;
 };
 

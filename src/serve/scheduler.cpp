@@ -9,6 +9,8 @@
 #include "resipe/common/error.hpp"
 #include "resipe/common/rng.hpp"
 #include "resipe/common/table.hpp"
+#include "resipe/serve/trace.hpp"
+#include "resipe/telemetry/metrics.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
 namespace resipe::serve {
@@ -82,20 +84,13 @@ const char* to_string(Response::Status s) {
 }
 
 double latency_percentile(const std::vector<Response>& responses, double q) {
-  RESIPE_REQUIRE(q >= 0.0 && q <= 1.0,
-                 "percentile must be in [0, 1], got " << q);
   std::vector<double> lat;
   lat.reserve(responses.size());
   for (const Response& r : responses) {
     if (r.served()) lat.push_back(r.latency());
   }
-  if (lat.empty()) return 0.0;
   std::sort(lat.begin(), lat.end());
-  const double rank = q * static_cast<double>(lat.size());
-  std::size_t idx =
-      rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
-  idx = std::min(idx, lat.size() - 1);
-  return lat[idx];
+  return telemetry::percentile_sorted(lat, q);
 }
 
 ServingStats summarize(const std::vector<Response>& responses) {
@@ -214,10 +209,34 @@ std::vector<Response> Scheduler::run() {
     pq.push(Event{trace[i].arrival, kArrival, seq++, i});
   }
 
+  // Lifecycle journal hook: one null check per edge when detached, one
+  // slot write when attached.  Never steers scheduling.
+  const auto journal = [this](const ServeEvent& e) {
+    if (journal_ != nullptr) journal_->record(e);
+  };
+  // Pre-filled request-scoped event; the call site sets the payload and
+  // hands it to `journal`.
+  const auto request_event = [](ServeEventKind kind, double time,
+                                const Waiting& w) {
+    ServeEvent e;
+    e.time = time;
+    e.kind = kind;
+    e.request = w.req.id;
+    e.tenant = w.req.tenant;
+    e.attempt = w.attempts;
+    return e;
+  };
+
   const auto reject = [&](Waiting w, RejectReason reason, double now) {
+    if (journal_ != nullptr) {
+      ServeEvent e = request_event(ServeEventKind::kShed, now, w);
+      e.code = static_cast<int>(reason);
+      journal(e);
+    }
     Response r;
     r.id = w.req.id;
     r.tag = w.req.tag;
+    r.tenant = w.req.tenant;
     r.status = Response::Status::kRejected;
     r.reason = reason;
     r.arrival = w.req.arrival;
@@ -273,10 +292,10 @@ std::vector<Response> Scheduler::run() {
         }
         return;
       }
-      const bool ripe = queue.size() >= config_.batch_max ||
-                        work_conserving ||
-                        now >= queue.front().admit_time +
-                                   config_.batch_window;
+      const bool full = queue.size() >= config_.batch_max;
+      const bool window_expired =
+          now >= queue.front().admit_time + config_.batch_window;
+      const bool ripe = full || work_conserving || window_expired;
       if (!ripe) return;
       const std::size_t chip = free_chip(queue.front().exclude);
       if (chip >= pool_.size()) return;  // all healthy chips busy
@@ -296,6 +315,26 @@ std::vector<Response> Scheduler::run() {
       RESIPE_TELEM_OBSERVE("serve.scheduler.batch_size",
                            static_cast<double>(n), 1.0, 2.0, 4.0, 8.0,
                            16.0, 32.0);
+      const std::uint64_t batch_id = batches.size();
+      if (journal_ != nullptr) {
+        ServeEvent form;
+        form.time = now;
+        form.kind = ServeEventKind::kBatchForm;
+        form.batch = batch_id;
+        form.chip = chip;
+        form.code = static_cast<int>(full ? BatchFillReason::kFull
+                                     : window_expired
+                                         ? BatchFillReason::kWindowExpired
+                                         : BatchFillReason::kWorkConserving);
+        form.value = static_cast<double>(n);
+        journal(form);
+        for (const Waiting& w : batch.items) {
+          ServeEvent d = request_event(ServeEventKind::kDispatch, now, w);
+          d.batch = batch_id;
+          d.chip = chip;
+          journal(d);
+        }
+      }
       batches.push_back(std::move(batch));
       pq.push(Event{batches.back().completion, kCompletion, seq++,
                     batches.size() - 1});
@@ -320,6 +359,11 @@ std::vector<Response> Scheduler::run() {
       return;
     }
     w.admit_time = now;
+    if (journal_ != nullptr) {
+      ServeEvent e = request_event(ServeEventKind::kAdmit, now, w);
+      e.value = static_cast<double>(queue.size() + 1);  // depth after
+      journal(e);
+    }
     queue.push_back(std::move(w));
     RESIPE_TELEM_COUNT("serve.scheduler.admitted", 1);
     RESIPE_TELEM_OBSERVE("serve.scheduler.queue_depth",
@@ -340,7 +384,42 @@ std::vector<Response> Scheduler::run() {
     while (next_probe <= ev.time) {
       const double t = next_probe;
       next_probe += config_.health.canary_period;
-      if (pool_.run_probe_round() > 0) {
+      // Snapshot per-chip health so the probe verdicts and state
+      // transitions can be journaled by diffing (pool internals stay
+      // untouched; skipped entirely when no journal is attached).
+      std::vector<std::pair<ChipState, std::size_t>> before;
+      if (journal_ != nullptr) {
+        before.reserve(pool_.size());
+        for (std::size_t c = 0; c < pool_.size(); ++c) {
+          const ChipStatus& s = pool_.status(c);
+          before.emplace_back(s.state, s.consecutive_failed);
+        }
+      }
+      const std::size_t transitions = pool_.run_probe_round();
+      if (journal_ != nullptr) {
+        for (std::size_t c = 0; c < pool_.size(); ++c) {
+          const ChipStatus& s = pool_.status(c);
+          ServeEvent probe;
+          probe.time = t;
+          probe.kind = ServeEventKind::kProbe;
+          probe.chip = c;
+          // A probe failed iff its consecutive-failure streak grew.
+          probe.code = s.consecutive_failed > before[c].second ? 1 : 0;
+          probe.value = s.last_canary_mismatch;
+          probe.aux = s.last_canary_rmse;
+          journal(probe);
+          if (s.state != before[c].first) {
+            ServeEvent tr;
+            tr.time = t;
+            tr.kind = s.state == ChipState::kQuarantined
+                          ? ServeEventKind::kQuarantine
+                          : ServeEventKind::kReadmit;
+            tr.chip = c;
+            journal(tr);
+          }
+        }
+      }
+      if (transitions > 0) {
         // Readmitted chips pick up queued work; an all-quarantined
         // pool sheds the queue instead of deadlocking.
         try_dispatch(t, false);
@@ -387,6 +466,14 @@ std::vector<Response> Scheduler::run() {
         for (std::size_t i = 0; i < n; ++i) {
           Waiting& w = batch.items[i];
           w.attempts += 1;
+          if (journal_ != nullptr) {
+            ServeEvent a =
+                request_event(ServeEventKind::kAttemptDone, ev.time, w);
+            a.batch = ev.index;
+            a.chip = batch.chip;
+            a.value = static_cast<double>(degraded);
+            journal(a);
+          }
           if (ev.time > w.deadline) {
             // Served, but too late to be useful: drop the logits and
             // report the miss explicitly.
@@ -406,17 +493,35 @@ std::vector<Response> Scheduler::run() {
             delay = std::min(delay, config_.backoff_max);
             Rng jitter_rng(
                 hash_seed(config_.seed, w.req.id, attempt));
-            delay *= 1.0 + config_.backoff_jitter * jitter_rng.uniform();
+            const double jitter = jitter_rng.uniform();
+            delay *= 1.0 + config_.backoff_jitter * jitter;
             w.exclude = batch.chip;
             RESIPE_TELEM_COUNT("serve.scheduler.retries", 1);
+            if (journal_ != nullptr) {
+              ServeEvent rs =
+                  request_event(ServeEventKind::kRetrySchedule, ev.time, w);
+              rs.chip = batch.chip;  // replica being excluded
+              rs.value = delay;
+              rs.aux = jitter;
+              journal(rs);
+            }
             retries.push_back(std::move(w));
             pq.push(Event{ev.time + delay, kRetry, seq++,
                           retries.size() - 1});
             continue;
           }
+          if (journal_ != nullptr) {
+            ServeEvent done =
+                request_event(ServeEventKind::kComplete, ev.time, w);
+            done.chip = batch.chip;
+            done.code = degraded > 0 ? 1 : 0;
+            done.value = static_cast<double>(degraded);
+            journal(done);
+          }
           Response r;
           r.id = w.req.id;
           r.tag = w.req.tag;
+          r.tenant = w.req.tenant;
           r.status = degraded > 0 ? Response::Status::kDegraded
                                   : Response::Status::kOk;
           r.reason = RejectReason::kNone;

@@ -1,0 +1,202 @@
+#include "resipe/serve/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "resipe/common/error.hpp"
+#include "resipe/common/table.hpp"
+#include "resipe/telemetry/metrics.hpp"
+
+namespace resipe::serve {
+
+void SloConfig::validate() const {
+  RESIPE_REQUIRE(window > 0.0, "SLO window must be positive, got " << window);
+  RESIPE_REQUIRE(latency_target > 0.0,
+                 "latency target must be positive, got " << latency_target);
+  RESIPE_REQUIRE(latency_objective > 0.0 && latency_objective < 1.0,
+                 "latency objective must be in (0, 1), got "
+                     << latency_objective);
+  RESIPE_REQUIRE(availability_objective > 0.0 && availability_objective < 1.0,
+                 "availability objective must be in (0, 1), got "
+                     << availability_objective);
+  RESIPE_REQUIRE(min_window_count > 0,
+                 "min_window_count must be at least 1");
+}
+
+SloMonitor::SloMonitor(const SloConfig& config) : config_(config) {
+  config_.validate();
+}
+
+void SloMonitor::ingest(const Response& response, std::uint64_t tenant) {
+  Sample s;
+  s.time = response.completion;
+  s.served = response.served();
+  if (s.served) {
+    s.latency = response.latency();
+    s.latency_ok = s.latency <= config_.latency_target;
+  }
+  samples_[tenant].push_back(s);
+}
+
+void SloMonitor::ingest(const std::vector<Response>& responses) {
+  for (const Response& r : responses) ingest(r, r.tenant);
+}
+
+void SloMonitor::clear() { samples_.clear(); }
+
+namespace {
+
+/// Worst bad_fraction / allowed over any `window`-second span, found
+/// with a two-pointer sweep over time-sorted samples.  `bad` marks
+/// which samples count against the budget; `eligible` which samples
+/// count at all (availability: every sample; latency: served only).
+struct SampleView {
+  double time;
+  bool eligible;
+  bool bad;
+};
+
+double sweep_burn(const std::vector<SampleView>& samples, double window,
+                  double allowed, std::size_t min_count) {
+  double worst = 0.0;
+  std::size_t lo = 0;
+  std::size_t in_window = 0, bad_in_window = 0;
+  for (std::size_t hi = 0; hi < samples.size(); ++hi) {
+    if (samples[hi].eligible) {
+      ++in_window;
+      if (samples[hi].bad) ++bad_in_window;
+    }
+    while (samples[hi].time - samples[lo].time > window) {
+      if (samples[lo].eligible) {
+        --in_window;
+        if (samples[lo].bad) --bad_in_window;
+      }
+      ++lo;
+    }
+    if (in_window >= min_count && bad_in_window > 0) {
+      const double bad_frac = static_cast<double>(bad_in_window) /
+                              static_cast<double>(in_window);
+      worst = std::max(worst, bad_frac / allowed);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+SloReport SloMonitor::report() const {
+  SloReport out;
+  out.config = config_;
+  const double avail_allowed = 1.0 - config_.availability_objective;
+  const double lat_allowed = 1.0 - config_.latency_objective;
+
+  std::vector<Sample> all;
+  for (const auto& [tenant, samples] : samples_) {
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+
+  const auto score = [&](std::uint64_t tenant,
+                         std::vector<Sample> samples) {
+    SloTenantReport r;
+    r.tenant = tenant;
+    r.requests = samples.size();
+    if (samples.empty()) return r;
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) { return a.time < b.time; });
+
+    std::vector<double> latencies;
+    for (const Sample& s : samples) {
+      if (!s.served) continue;
+      ++r.served;
+      if (s.latency_ok) ++r.latency_ok;
+      latencies.push_back(s.latency);
+    }
+    r.availability_sli = static_cast<double>(r.served) /
+                         static_cast<double>(r.requests);
+    r.latency_sli = r.served == 0 ? 1.0
+                                  : static_cast<double>(r.latency_ok) /
+                                        static_cast<double>(r.served);
+    r.availability_budget_used = (1.0 - r.availability_sli) / avail_allowed;
+    r.latency_budget_used = (1.0 - r.latency_sli) / lat_allowed;
+
+    std::vector<SampleView> avail_view, lat_view;
+    avail_view.reserve(samples.size());
+    lat_view.reserve(samples.size());
+    for (const Sample& s : samples) {
+      avail_view.push_back({s.time, true, !s.served});
+      lat_view.push_back({s.time, s.served, s.served && !s.latency_ok});
+    }
+    r.availability_burn_max = sweep_burn(avail_view, config_.window,
+                                         avail_allowed,
+                                         config_.min_window_count);
+    r.latency_burn_max = sweep_burn(lat_view, config_.window, lat_allowed,
+                                    config_.min_window_count);
+
+    std::sort(latencies.begin(), latencies.end());
+    r.p50 = telemetry::percentile_sorted(latencies, 0.50);
+    r.p95 = telemetry::percentile_sorted(latencies, 0.95);
+    r.p99 = telemetry::percentile_sorted(latencies, 0.99);
+    return r;
+  };
+
+  for (const auto& [tenant, samples] : samples_) {
+    out.tenants.push_back(score(tenant, samples));
+  }
+  out.total = score(0, std::move(all));
+  return out;
+}
+
+namespace {
+
+/// 10-cell consumption bar: '#' per 10% of budget used, '!' overflow.
+std::string budget_bar(double used) {
+  std::string bar(10, '.');
+  const int cells = static_cast<int>(std::ceil(std::min(used, 1.0) * 10.0));
+  for (int i = 0; i < cells; ++i) bar[static_cast<std::size_t>(i)] = '#';
+  if (used > 1.0) bar += '!';
+  return bar;
+}
+
+std::string format_burn(double burn) {
+  if (burn == 0.0) return "0";
+  return format_fixed(burn, burn >= 10.0 ? 0 : 1) + "x";
+}
+
+}  // namespace
+
+std::string SloReport::render() const {
+  std::ostringstream os;
+  os << "SLO dashboard  (window " << format_fixed(config.window, 2)
+     << " s, latency <= " << format_si(config.latency_target, "s") << " @ "
+     << format_percent(config.latency_objective) << " of served, availability @ "
+     << format_percent(config.availability_objective) << " of submitted)\n";
+  TextTable t({"tenant", "req", "served", "avail SLI", "avail budget",
+               "burn", "lat SLI", "lat budget", "burn", "p99", "verdict"});
+  const auto row = [&t](const SloTenantReport& r, const std::string& name) {
+    const bool met = r.availability_met() && r.latency_met();
+    t.add_row({name, std::to_string(r.requests), std::to_string(r.served),
+               format_percent(r.availability_sli, 2),
+               budget_bar(r.availability_budget_used) + " " +
+                   format_percent(r.availability_budget_used, 0),
+               format_burn(r.availability_burn_max),
+               format_percent(r.latency_sli, 2),
+               budget_bar(r.latency_budget_used) + " " +
+                   format_percent(r.latency_budget_used, 0),
+               format_burn(r.latency_burn_max), format_si(r.p99, "s"),
+               met ? "OK" : "VIOLATED"});
+  };
+  for (const SloTenantReport& r : tenants) {
+    std::string name = "t";
+    name += std::to_string(r.tenant);
+    row(r, name);
+  }
+  if (tenants.size() > 1) {
+    t.add_separator();
+    row(total, "all");
+  }
+  os << t.str();
+  return os.str();
+}
+
+}  // namespace resipe::serve

@@ -16,6 +16,8 @@ std::vector<Request> poisson_traffic(const nn::Tensor& samples,
                      << config.duration);
   RESIPE_REQUIRE(config.deadline >= 0.0 && std::isfinite(config.deadline),
                  "traffic deadline must be >= 0, got " << config.deadline);
+  RESIPE_REQUIRE(config.tenants > 0,
+                 "traffic needs at least one tenant");
   RESIPE_REQUIRE(samples.rank() >= 2,
                  "traffic samples must be a batch tensor, got shape "
                      << samples.shape_str());
@@ -36,6 +38,9 @@ std::vector<Request> poisson_traffic(const nn::Tensor& samples,
     Request req;
     req.id = config.first_id + k++;
     req.tag = row;
+    // Hash of the id, not an rng draw: the arrival/sample streams stay
+    // bit-identical whatever `tenants` is set to.
+    req.tenant = hash_seed(config.seed, req.id) % config.tenants;
     req.arrival = t;
     req.deadline = config.deadline > 0.0 ? t + config.deadline : 0.0;
     req.input.assign(

@@ -1,12 +1,14 @@
 #include "resipe/telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 
 #include "resipe/common/error.hpp"
 #include "resipe/common/parallel.hpp"
+#include "resipe/telemetry/trace.hpp"
 
 namespace resipe::telemetry {
 
@@ -54,7 +56,19 @@ namespace {
 
 thread_local CounterShard t_region_shard;
 
-void region_begin() noexcept { detail::t_counter_shard = &t_region_shard; }
+void region_begin() noexcept {
+  detail::t_counter_shard = &t_region_shard;
+  // Label this thread's trace lane once, so chrome://tracing shows
+  // "worker-N" instead of a bare tid.  First-wins naming keeps the
+  // caller thread's "main" label when it participates in a region.
+  thread_local bool named = false;
+  if (!named) {
+    named = true;
+    const std::uint32_t tid = TraceSession::current_thread_id();
+    TraceSession::instance().set_thread_name(
+        1, tid, "worker-" + std::to_string(tid));
+  }
+}
 
 void region_end() noexcept {
   t_region_shard.flush();
@@ -135,6 +149,27 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  RESIPE_REQUIRE(q >= 0.0 && q <= 1.0,
+                 "percentile must be in [0, 1], got " << q);
+  RESIPE_REQUIRE(std::is_sorted(sorted.begin(), sorted.end()),
+                 "percentile_sorted needs ascending-sorted input");
+  const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return sorted[0];
+  // Rank-mass convention shared with histogram_percentile: the q-th
+  // observation sits at rank q*n; interpolate between the two samples
+  // bracketing that rank.  Matches a histogram whose bucket bounds are
+  // exactly these samples, bit for bit.
+  const double rank = q * static_cast<double>(n);
+  if (rank <= 1.0) return sorted[0];
+  std::size_t i = static_cast<std::size_t>(std::ceil(rank)) - 1;
+  i = std::min(i, n - 1);
+  const double frac = rank - static_cast<double>(i);
+  return sorted[i - 1] + std::clamp(frac, 0.0, 1.0) *
+                             (sorted[i] - sorted[i - 1]);
 }
 
 double histogram_percentile(const MetricsSnapshot::HistogramData& h,

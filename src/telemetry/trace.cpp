@@ -49,10 +49,13 @@ TraceSession& TraceSession::instance() {
 void TraceSession::start() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  // Track names survive session restarts on purpose: pool workers label
+  // themselves once per process, not once per session.
   dropped_.store(0, std::memory_order_relaxed);
   t0_ns_ = now_ns();
   active_.store(true, std::memory_order_relaxed);
   set_enabled(true);
+  names_[{1, this_thread_id()}] = "main";
 }
 
 void TraceSession::stop() { active_.store(false, std::memory_order_relaxed); }
@@ -106,6 +109,27 @@ void TraceSession::counter(const char* name, double value) {
   events_.push_back(std::move(e));
 }
 
+void TraceSession::add_event(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                   const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  names_.emplace(std::make_pair(pid, tid), name);  // first writer wins
+}
+
+void TraceSession::name_current_thread(const std::string& name) {
+  set_thread_name(1, this_thread_id(), name);
+}
+
+std::uint32_t TraceSession::current_thread_id() { return this_thread_id(); }
+
 void TraceSession::set_capacity(std::size_t max_events) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = max_events;
@@ -116,14 +140,31 @@ std::vector<TraceEvent> TraceSession::snapshot() const {
   return events_;
 }
 
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+TraceSession::thread_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
 void TraceSession::write_chrome_trace(std::ostream& os) const {
   std::vector<TraceEvent> events = snapshot();
+  const auto names = thread_names();
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_ns < b.ts_ns;
                    });
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Metadata first: one thread_name record per registered track so the
+  // viewer labels lanes before any event references them.
+  for (const auto& [key, label] : names) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"";
+    json_escape(os, label);
+    os << "\"}}";
+  }
   for (const TraceEvent& e : events) {
     if (!first) os << ",";
     first = false;
@@ -146,11 +187,19 @@ void TraceSession::write_chrome_trace(std::ostream& os) const {
       os << ",\"dur\":" << buf;
     }
     if (e.phase == 'i') os << ",\"s\":\"t\"";
-    if (e.phase == 'C') {
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      os << ",\"id\":" << e.flow_id;
+      // Bind the arrow's end to the enclosing slice, the conventional
+      // rendering for request flows.
+      if (e.phase == 'f') os << ",\"bp\":\"e\"";
+    }
+    if (e.phase == 'C' && e.args_json.empty()) {
       std::snprintf(buf, sizeof buf, "%.17g", e.value);
       os << ",\"args\":{\"value\":" << buf << "}";
+    } else if (!e.args_json.empty()) {
+      os << ",\"args\":" << e.args_json;
     }
-    os << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << "}";
   }
   os << "],\"displayTimeUnit\":\"ns\"}\n";
 }

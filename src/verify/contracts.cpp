@@ -17,6 +17,7 @@
 #include "resipe/resipe/tile.hpp"
 #include "resipe/serve/pool.hpp"
 #include "resipe/serve/scheduler.hpp"
+#include "resipe/serve/trace.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 #include "resipe/verify/approx.hpp"
 #include "resipe/verify/ode_oracle.hpp"
@@ -51,6 +52,7 @@ enum Stream : std::uint64_t {
   kStreamPerfAccounting = 0xC00D,
   kStreamServing = 0xC00E,
   kStreamSimdEquiv = 0xC00F,
+  kStreamServingTrace = 0xC010,
 };
 
 InjectedBug g_injected_bug = InjectedBug::kNone;
@@ -694,6 +696,90 @@ ContractResult check_serving_identity(const CaseSpec& spec) {
   return ContractResult::ok();
 }
 
+// Tracing must observe, never steer: a Scheduler with an attached
+// EventJournal has to produce bit-identical responses to one without,
+// and the journal it fills has to survive the conservation audit
+// against the run's own stats.  The drawn ServeConfig is used as-is —
+// sheds, retries and quarantines are exactly the edge cases whose
+// journaling must not perturb the replay.  ChipPool health state
+// persists across runs, so each arm gets its own identically-lowered
+// pool (lowering is a pure function of the config).
+ContractResult check_serving_trace_identity(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamServingTrace));
+  NetworkFixture fx = build_network_inputs(spec, rng);
+
+  EngineConfig cfg = spec.config;
+  const serve::ServeConfig& scfg = cfg.serve;
+
+  constexpr std::size_t kRequests = 8;
+  constexpr std::uint64_t kTenants = 3;
+  const std::size_t calib_n = fx.calibration.dim(0);
+  std::vector<serve::Request> trace;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const std::size_t row = i % calib_n;
+    serve::Request req;
+    req.id = i;
+    req.tag = row;
+    req.tenant = i % kTenants;
+    req.arrival = static_cast<double>(i) * 1.0e-6;
+    const auto src =
+        fx.calibration.data().subspan(row * spec.inputs, spec.inputs);
+    req.input.assign(src.begin(), src.end());
+    trace.push_back(std::move(req));
+  }
+
+  const auto run_arm = [&](serve::EventJournal* journal,
+                           serve::ServingStats& stats_out) {
+    serve::ChipPool pool(*fx.model, fx.calibration, {cfg, cfg}, scfg);
+    serve::Scheduler scheduler(pool, scfg);
+    scheduler.attach_journal(journal);
+    for (const serve::Request& r : trace) scheduler.submit(r);
+    std::vector<serve::Response> out = scheduler.run();
+    stats_out = scheduler.stats();
+    return out;
+  };
+
+  serve::ServingStats stats_plain, stats_traced;
+  serve::EventJournal journal;
+  const std::vector<serve::Response> plain = run_arm(nullptr, stats_plain);
+  const std::vector<serve::Response> traced =
+      run_arm(&journal, stats_traced);
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const serve::Response& a = plain[i];
+    const serve::Response& b = traced[i];
+    if (a.id != b.id || a.tag != b.tag || a.tenant != b.tenant ||
+        a.status != b.status || a.reason != b.reason ||
+        a.attempts != b.attempts || a.chip != b.chip ||
+        a.degraded_outputs != b.degraded_outputs ||
+        std::memcmp(&a.arrival, &b.arrival, sizeof(double)) != 0 ||
+        std::memcmp(&a.completion, &b.completion, sizeof(double)) != 0 ||
+        !bit_identical(a.logits, b.logits)) {
+      std::ostringstream os;
+      os << "attaching a journal changed response " << i << " (status "
+         << serve::to_string(a.status) << " vs "
+         << serve::to_string(b.status) << ")";
+      return ContractResult::fail(os.str());
+    }
+  }
+
+  const serve::TraceAudit audit = serve::audit_trace(journal, stats_traced);
+  if (!audit.ok()) {
+    std::ostringstream os;
+    os << "journal failed the conservation audit: "
+       << audit.issues.front() << " (" << audit.issues.size()
+       << " issue(s) total)";
+    return ContractResult::fail(os.str());
+  }
+  if (audit.requests != kRequests) {
+    std::ostringstream os;
+    os << "journal saw " << audit.requests << " requests, submitted "
+       << kRequests;
+    return ContractResult::fail(os.str());
+  }
+  return ContractResult::ok();
+}
+
 // SIMD path vs scalar reference, within a bound derived from the
 // kernel's numeric contract rather than an arbitrary tolerance.
 //
@@ -934,6 +1020,10 @@ const std::vector<Contract>& contract_registry() {
        "SIMD kernels match the scalar reference within the derived "
        "reassociation/ULP bound and never flip a clear argmax",
        check_simd_equivalence},
+      {"serving_trace_identity",
+       "attaching an event journal leaves every response bit-identical "
+       "and the journal passes the conservation audit",
+       check_serving_trace_identity},
   };
   return registry;
 }

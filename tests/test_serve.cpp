@@ -450,8 +450,10 @@ TEST(ServingStats, SummarizeCountsAndPercentiles) {
   EXPECT_EQ(s.shed_queue_full, 1u);
   EXPECT_EQ(s.shed(), 1u);
   EXPECT_DOUBLE_EQ(s.shed_rate(), 0.25);
-  EXPECT_NEAR(s.p50, 0.002, 1e-12);  // latencies 1/2/3 ms
-  EXPECT_NEAR(s.p99, 0.003, 1e-12);
+  // Latencies 1/2/3 ms through the repo-wide interpolated percentile
+  // (telemetry::percentile_sorted): rank q*n bracketed and lerped.
+  EXPECT_NEAR(s.p50, 0.0015, 1e-12);   // rank 1.5 between 1 and 2 ms
+  EXPECT_NEAR(s.p99, 0.00297, 1e-12);  // rank 2.97 between 2 and 3 ms
   EXPECT_NEAR(s.max_latency, 0.003, 1e-12);
 }
 

@@ -501,6 +501,89 @@ TEST_F(TelemetryTest, TraceCapacityDropsInsteadOfGrowing) {
   session.set_capacity(std::size_t{1} << 20);
 }
 
+TEST_F(TelemetryTest, AddEventIgnoresActiveFlagButHonorsCapacity) {
+  // External exporters replay their own (virtual) clock after the fact:
+  // a stopped session must still accept their events, but the capacity
+  // cap and drop accounting apply like everywhere else.
+  TraceSession& session = TraceSession::instance();
+  session.start();  // clear
+  session.stop();
+  session.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent e;
+    e.name = "replayed";
+    e.ts_ns = static_cast<std::uint64_t>(i);
+    e.pid = 2;
+    e.tid = 7;
+    session.add_event(e);
+  }
+  EXPECT_EQ(session.snapshot().size(), 3u);
+  EXPECT_EQ(session.dropped(), 2u);
+  session.set_capacity(std::size_t{1} << 20);
+}
+
+TEST_F(TelemetryTest, ThreadNameMetadataPrecedesEventsInChromeExport) {
+  TraceSession& session = TraceSession::instance();
+  session.start();  // clear
+  session.stop();
+  session.set_thread_name(2, 7, "serve lane");
+  // First writer wins: a later rename must not clobber the label.
+  session.set_thread_name(2, 7, "impostor");
+  TraceEvent e;
+  e.name = "replayed.span";
+  e.pid = 2;
+  e.tid = 7;
+  session.add_event(e);
+
+  std::ostringstream os;
+  session.write_chrome_trace(os);
+  const std::string json = os.str();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.parse()) << json;
+  const std::size_t meta = json.find("thread_name");
+  const std::size_t lane = json.find("serve lane");
+  const std::size_t span = json.find("replayed.span");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(lane, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  EXPECT_EQ(json.find("impostor"), std::string::npos);
+  EXPECT_LT(meta, span) << "'M' metadata must precede the event stream";
+}
+
+TEST_F(TelemetryTest, PercentileSortedMatchesHistogramOnSampleBounds) {
+  // THE percentile pin: percentile_sorted is histogram_percentile
+  // specialized to one observation per bucket.  Feeding the sorted
+  // samples as the bucket bounds must reproduce every quantile bit for
+  // bit — this is what lets ServingStats, the SLO dashboard and the
+  // metrics registry all claim the same "p99".
+  const std::vector<double> samples = {0.001, 0.002, 0.002, 0.004,
+                                       0.0075, 0.01,  0.02,  0.05, 0.31};
+  MetricsSnapshot::HistogramData h;
+  h.bounds = samples;
+  h.buckets.assign(samples.size() + 1, 0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    h.buckets[i] = 1;
+    h.sum += samples[i];
+  }
+  h.count = samples.size();
+  h.min = samples.front();
+  h.max = samples.back();
+
+  for (int k = 0; k <= 100; ++k) {
+    const double q = static_cast<double>(k) / 100.0;
+    const double exact = percentile_sorted(samples, q);
+    const double bucketed = histogram_percentile(h, q);
+    EXPECT_EQ(exact, bucketed) << "q=" << q << " diverged";
+  }
+  // Contract edges: empty -> 0, single sample -> the sample.
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({3.25}, 0.99), 3.25);
+  EXPECT_DOUBLE_EQ(percentile_sorted(samples, 0.0), samples.front());
+  EXPECT_DOUBLE_EQ(percentile_sorted(samples, 1.0), samples.back());
+  // Unsorted input is a caller bug, surfaced immediately.
+  EXPECT_THROW(percentile_sorted({2.0, 1.0}, 0.5), Error);
+}
+
 TEST_F(TelemetryTest, InstrumentedWorkloadCoversFourSubsystems) {
   // End-to-end: a small workload touching the device, crossbar,
   // resipe_core and eval layers must leave spans from all four in the

@@ -16,6 +16,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_diff
 import collect_bench
+import trace_check
 
 
 def report_line(name, figures=None, **extra):
@@ -219,6 +220,163 @@ class BenchDiffTest(unittest.TestCase):
 
     def test_self_test_entrypoint(self):
         self.assertEqual(bench_diff.self_test(), 0)
+
+
+class TraceCheckTest(unittest.TestCase):
+    """trace_check.py against hand-built NDJSON / Chrome documents."""
+
+    @staticmethod
+    def events_doc(events, summary):
+        lines = [json.dumps({"schema": trace_check.SCHEMA,
+                             "events": len(events),
+                             "dropped": summary.get("dropped", 0)})]
+        lines += [json.dumps(e) for e in events]
+        lines.append(json.dumps({"summary": summary}))
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def summary(**overrides):
+        doc = {"submitted": 0, "served_ok": 0, "served_degraded": 0,
+               "shed_queue_full": 0, "shed_deadline": 0,
+               "shed_quarantine": 0, "late_completions": 0, "retries": 0,
+               "batches": 0, "dropped": 0}
+        doc.update(overrides)
+        return doc
+
+    @staticmethod
+    def clean_chain(rid, tenant=0):
+        return [
+            {"t": 0.0, "kind": "admit", "request": rid, "tenant": tenant,
+             "attempt": 0, "queue_depth": 1},
+            {"t": 0.1, "kind": "dispatch", "request": rid,
+             "tenant": tenant, "batch": rid, "chip": 0, "attempt": 0},
+            {"t": 0.2, "kind": "attempt_done", "request": rid,
+             "tenant": tenant, "batch": rid, "chip": 0, "attempt": 1},
+            {"t": 0.2, "kind": "complete", "request": rid,
+             "tenant": tenant, "chip": 0, "attempt": 1, "status": "ok"},
+        ]
+
+    def run_on(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".ndjson", delete=False) as fh:
+            fh.write(text)
+            path = fh.name
+        try:
+            problems = []
+            header, events, summary = trace_check.load_ndjson(
+                path, problems)
+            trace_check.check_counts(path, header, events, summary,
+                                     problems)
+            trace_check.check_conservation(path, events, summary,
+                                           problems)
+            return problems
+        finally:
+            os.unlink(path)
+
+    def test_clean_trace_passes(self):
+        events = (self.clean_chain(0) + self.clean_chain(1, tenant=1)
+                  + [{"t": 0.05, "kind": "batch_form", "batch": 0,
+                      "chip": 0, "attempt": 0, "fill": "full", "size": 1},
+                     {"t": 0.05, "kind": "batch_form", "batch": 1,
+                      "chip": 0, "attempt": 0, "fill": "full", "size": 1}])
+        text = self.events_doc(events, self.summary(
+            submitted=2, served_ok=2, batches=2))
+        self.assertEqual(self.run_on(text), [])
+
+    def test_missing_terminal_reported(self):
+        events = self.clean_chain(0)[:-1]  # drop the complete
+        text = self.events_doc(events, self.summary(submitted=1))
+        problems = self.run_on(text)
+        self.assertTrue(any("terminal" in p for p in problems))
+
+    def test_double_terminal_reported(self):
+        events = self.clean_chain(0) + [self.clean_chain(0)[-1]]
+        text = self.events_doc(events, self.summary(
+            submitted=1, served_ok=1))
+        problems = self.run_on(text)
+        self.assertTrue(any("terminal" in p for p in problems))
+
+    def test_count_mismatch_reported(self):
+        text = self.events_doc(self.clean_chain(0), self.summary(
+            submitted=1, served_ok=0, shed_deadline=1))
+        problems = self.run_on(text)
+        self.assertTrue(any("served_ok" in p for p in problems))
+
+    def test_dropped_events_fail_loudly(self):
+        text = self.events_doc(self.clean_chain(0), self.summary(
+            submitted=1, served_ok=1, dropped=3))
+        problems = self.run_on(text)
+        self.assertTrue(any("dropped" in p for p in problems))
+
+    def test_late_completion_bucketing(self):
+        # A deadline shed with attempts consumed is a late completion,
+        # not a fresh deadline shed — mirror of summarize().
+        events = self.clean_chain(0)
+        events[-1] = {"t": 0.2, "kind": "shed", "request": 0,
+                      "tenant": 0, "attempt": 1,
+                      "reason": "deadline_expired"}
+        text = self.events_doc(events, self.summary(
+            submitted=1, late_completions=1))
+        self.assertEqual(self.run_on(text), [])
+
+    def test_chrome_flow_balance(self):
+        doc = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 2, "tid": 1,
+             "args": {"name": "serve: scheduler queue"}},
+            {"name": "serve.request", "ph": "s", "id": 7, "ts": 0.0,
+             "pid": 2, "tid": 1},
+        ]}
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as fh:
+            json.dump(doc, fh)
+            path = fh.name
+        try:
+            problems = []
+            trace_check.check_chrome(path, problems)
+            self.assertTrue(any("flow 7" in p for p in problems))
+            doc["traceEvents"].append(
+                {"name": "serve.request", "ph": "f", "id": 7, "ts": 1.0,
+                 "pid": 2, "tid": 1, "bp": "e"})
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            problems = []
+            trace_check.check_chrome(path, problems)
+            self.assertEqual(problems, [])
+        finally:
+            os.unlink(path)
+
+    def test_unnamed_lane_reported(self):
+        doc = {"traceEvents": [
+            {"name": "serve.shed", "ph": "i", "ts": 0.0, "pid": 2,
+             "tid": 9}]}
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as fh:
+            json.dump(doc, fh)
+            path = fh.name
+        try:
+            problems = []
+            trace_check.check_chrome(path, problems)
+            self.assertTrue(any("thread_name" in p for p in problems))
+        finally:
+            os.unlink(path)
+
+    def test_main_exit_codes(self):
+        events = self.clean_chain(0)
+        text = self.events_doc(events, self.summary(
+            submitted=1, served_ok=1))
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".ndjson", delete=False) as fh:
+            fh.write(text)
+            path = fh.name
+        try:
+            self.assertEqual(trace_check.main(["--events", path]), 0)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(
+                    {"t": 9.9, "kind": "admit", "request": 0,
+                     "tenant": 0, "attempt": 0}) + "\n")
+            self.assertEqual(trace_check.main(["--events", path]), 1)
+        finally:
+            os.unlink(path)
 
 
 if __name__ == "__main__":

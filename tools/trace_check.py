@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Validate serving-trace exports (NDJSON event journal + Chrome trace).
+
+The serving layer journals every request-lifecycle edge and exports it
+two ways (see include/resipe/serve/trace.hpp):
+
+* ``--events FILE``: line-delimited JSON — a schema header line
+  (``resipe.serve.trace/1``), one event object per line, and a summary
+  trailer carrying the run's ServingStats buckets.
+* ``--trace FILE``: Chrome trace-event JSON for chrome://tracing.
+
+This tool re-verifies the span-conservation contract *offline*, from
+the files alone — the same checks ``audit_trace`` runs in-process, so a
+broken exporter (as opposed to a broken scheduler) cannot slip through:
+
+1. schema line first, summary trailer last, every line valid JSON;
+2. ``events`` / ``dropped`` header counts match the actual line count
+   and the trailer;
+3. every request id has exactly one terminal event (``complete`` or
+   ``shed``), no events after its terminal, attempts numbered 1..n;
+4. journal counts reconcile exactly with the summary buckets
+   (served_ok/degraded, shed per reason, late completions, batches,
+   and the attempts identity for retries);
+5. for the Chrome file: valid JSON, every flow arrow balanced
+   (one 's' and one 'f' per flow id), metadata 'M' thread names
+   present for every (pid, tid) lane the serve events reference.
+
+Exit status 0 = clean, 1 = violations (each printed on stderr),
+2 = bad invocation.
+
+    python3 tools/trace_check.py --events serve_events.ndjson \
+        --trace serve_trace.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "resipe.serve.trace/1"
+TERMINALS = ("complete", "shed")
+
+
+def load_ndjson(path, problems):
+    """Parses the NDJSON export into (header, events, summary)."""
+    header, events, summary = None, [], None
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            if lineno == 1:
+                header = doc
+                if doc.get("schema") != SCHEMA:
+                    problems.append(
+                        f"{path}:1: schema {doc.get('schema')!r}, "
+                        f"want {SCHEMA!r}")
+            elif "summary" in doc:
+                if summary is not None:
+                    problems.append(
+                        f"{path}:{lineno}: duplicate summary trailer")
+                summary = doc["summary"]
+            else:
+                if summary is not None:
+                    problems.append(
+                        f"{path}:{lineno}: event after the summary trailer")
+                events.append(doc)
+    if header is None:
+        problems.append(f"{path}: empty file (no schema header)")
+    if summary is None:
+        problems.append(f"{path}: missing summary trailer")
+    return header, events, summary
+
+
+def check_counts(path, header, events, summary, problems):
+    if header is None or summary is None:
+        return
+    if header.get("events") != len(events):
+        problems.append(
+            f"{path}: header says {header.get('events')} events, "
+            f"file holds {len(events)}")
+    if header.get("dropped") != summary.get("dropped"):
+        problems.append(
+            f"{path}: header dropped {header.get('dropped')} != "
+            f"summary dropped {summary.get('dropped')}")
+    if summary.get("dropped", 0) > 0:
+        problems.append(
+            f"{path}: journal dropped {summary['dropped']} event(s); "
+            "conservation cannot be proven on a lossy journal")
+
+
+def check_conservation(path, events, summary, problems):
+    """Per-request chains + exact reconciliation with the summary."""
+    if summary is None or summary.get("dropped", 0) > 0:
+        return
+    by_request = {}
+    batch_forms = 0
+    for ev in events:
+        if ev.get("kind") == "batch_form":
+            batch_forms += 1
+        if "request" in ev:
+            by_request.setdefault(ev["request"], []).append(ev)
+
+    counts = {
+        "served_ok": 0, "served_degraded": 0, "shed_queue_full": 0,
+        "shed_deadline": 0, "shed_quarantine": 0, "late_completions": 0,
+    }
+    attempts_total = 0
+    for rid, chain in sorted(by_request.items()):
+        terminals = [e for e in chain if e["kind"] in TERMINALS]
+        if len(terminals) != 1:
+            problems.append(
+                f"{path}: request {rid}: {len(terminals)} terminal "
+                "event(s), want exactly 1")
+            continue
+        if chain[-1]["kind"] not in TERMINALS:
+            problems.append(
+                f"{path}: request {rid}: events after its terminal "
+                f"({chain[-1]['kind']})")
+        attempts = [e for e in chain if e["kind"] == "attempt_done"]
+        for i, ev in enumerate(attempts, 1):
+            if ev.get("attempt") != i:
+                problems.append(
+                    f"{path}: request {rid}: attempt_done numbered "
+                    f"{ev.get('attempt')}, expected {i}")
+        attempts_total += len(attempts)
+        tenants = {e.get("tenant") for e in chain}
+        if len(tenants) != 1:
+            problems.append(
+                f"{path}: request {rid}: inconsistent tenants {tenants}")
+        term = terminals[0]
+        if term["kind"] == "complete":
+            key = ("served_degraded" if term.get("status") == "degraded"
+                   else "served_ok")
+            counts[key] += 1
+        else:
+            reason = term.get("reason")
+            if reason == "queue_full":
+                counts["shed_queue_full"] += 1
+            elif reason == "all_chips_quarantined":
+                counts["shed_quarantine"] += 1
+            elif term.get("attempt", 0) > 0:
+                counts["late_completions"] += 1
+            else:
+                counts["shed_deadline"] += 1
+
+    recon = dict(counts)
+    recon["submitted"] = len(by_request)
+    recon["batches"] = batch_forms
+    served = counts["served_ok"] + counts["served_degraded"]
+    recon["retries"] = attempts_total - served - counts["late_completions"]
+    for key, got in recon.items():
+        want = summary.get(key)
+        if got != want:
+            problems.append(
+                f"{path}: {key}: journal says {got}, summary says {want}")
+
+
+def check_chrome(path, problems):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"{path}: unreadable Chrome trace: {exc}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append(f"{path}: no traceEvents array")
+        return
+
+    named = {(e.get("pid"), e.get("tid"))
+             for e in events
+             if e.get("ph") == "M" and e.get("name") == "thread_name"}
+    flows = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        lane = (e.get("pid"), e.get("tid"))
+        if lane not in named:
+            problems.append(
+                f"{path}: lane pid={lane[0]} tid={lane[1]} used by "
+                f"{e.get('name')!r} has no thread_name metadata")
+            named.add(lane)  # report each lane once
+        if ph in ("s", "t", "f"):
+            flows.setdefault(e.get("id"), []).append(ph)
+    for fid, phases in sorted(flows.items()):
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            problems.append(
+                f"{path}: flow {fid}: {phases.count('s')} start(s) / "
+                f"{phases.count('f')} end(s), want exactly 1 each")
+        if phases[0] != "s" or phases[-1] != "f":
+            problems.append(
+                f"{path}: flow {fid}: phases out of order: {phases}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="validate serving-trace exports")
+    parser.add_argument("--events", help="NDJSON event journal export")
+    parser.add_argument("--trace", help="Chrome trace JSON export")
+    args = parser.parse_args(argv)
+    if not args.events and not args.trace:
+        parser.error("nothing to check: pass --events and/or --trace")
+
+    problems = []
+    if args.events:
+        header, events, summary = load_ndjson(args.events, problems)
+        check_counts(args.events, header, events, summary, problems)
+        check_conservation(args.events, events, summary, problems)
+        if not problems:
+            print(f"{args.events}: OK ({len(events)} events, "
+                  f"{len({e['request'] for e in events if 'request' in e})} "
+                  "requests, conservation verified)")
+    if args.trace:
+        before = len(problems)
+        check_chrome(args.trace, problems)
+        if len(problems) == before:
+            print(f"{args.trace}: OK (flows balanced, lanes named)")
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
