@@ -212,6 +212,17 @@ inline std::size_t mask_count(const basic_mask<T, N>& m) {
   return n;
 }
 
+/// Per-lane rounding to nearest with halves away from zero, bit-equal
+/// to std::round on every backend — including -0.0 (preserved), the
+/// infinities and NaN (propagated).  Exactness matters: the codec's
+/// clock-snap quantization goes through this, and snapped spike times
+/// feed the bit-identity contracts.
+template <typename T, std::size_t N>
+inline simd<T, N> round(simd<T, N> v) {
+  for (std::size_t i = 0; i < N; ++i) v.lane[i] = std::round(v.lane[i]);
+  return v;
+}
+
 /// Lane-serial libm transcendentals for the generic backend: bit-equal
 /// to the scalar expressions, trivially inside kTranscendentalUlp.
 template <typename T, std::size_t N>
@@ -335,6 +346,23 @@ inline double reduce_add(const simd<double, 8>& x) {
 }
 inline std::size_t mask_count(simd<double, 8>::mask m) {
   return static_cast<std::size_t>(__builtin_popcount(m));
+}
+
+inline simd<double, 8> round(simd<double, 8> x) {
+  // std::round semantics (half away from zero) are not a roundscale
+  // mode, so: truncate, then push |frac| >= 0.5 lanes one signed unit
+  // further.  mask_add leaves untouched lanes (incl. -0.0) verbatim;
+  // inf/NaN make frac NaN, the ordered compare stays false, and the
+  // truncation (inf -> inf, NaN -> NaN) passes through.
+  const __m512d sign = _mm512_set1_pd(-0.0);
+  const __m512d t =
+      _mm512_roundscale_pd(x.v, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  const __m512d frac = _mm512_sub_pd(x.v, t);
+  const __mmask8 half = _mm512_cmp_pd_mask(
+      _mm512_andnot_pd(sign, frac), _mm512_set1_pd(0.5), _CMP_GE_OQ);
+  const __m512d one_signed =
+      _mm512_or_pd(_mm512_set1_pd(1.0), _mm512_and_pd(x.v, sign));
+  return simd<double, 8>(_mm512_mask_add_pd(t, half, t, one_signed));
 }
 
 inline simd<double, 8> exp(simd<double, 8> x) {
@@ -505,6 +533,24 @@ inline std::size_t mask_count(simd<double, 4>::mask m) {
       __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(m.m))));
 }
 
+inline simd<double, 4> round(simd<double, 4> x) {
+  // std::round (half away from zero): truncate, then push |frac| >= 0.5
+  // lanes one signed unit further.  The adjustment must be a blend, not
+  // an and+add — adding +0.0 to a -0.0 lane would flip it to +0.0 and
+  // break bit-equality with std::round.  inf/NaN lanes leave frac NaN,
+  // the ordered compare stays false, and truncation passes them through.
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d t =
+      _mm256_round_pd(x.v, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  const __m256d frac = _mm256_sub_pd(x.v, t);
+  const __m256d half = _mm256_cmp_pd(_mm256_andnot_pd(sign, frac),
+                                     _mm256_set1_pd(0.5), _CMP_GE_OQ);
+  const __m256d one_signed =
+      _mm256_or_pd(_mm256_set1_pd(1.0), _mm256_and_pd(x.v, sign));
+  return simd<double, 4>(
+      _mm256_blendv_pd(t, _mm256_add_pd(t, one_signed), half));
+}
+
 inline simd<double, 4> exp(simd<double, 4> x) {
   using V = simd<double, 4>;
   const __m256d clamped = _mm256_max_pd(
@@ -668,6 +714,11 @@ inline double reduce_add(const simd<double, 2>& x) {
 inline std::size_t mask_count(simd<double, 2>::mask m) {
   return (vgetq_lane_u64(m.m, 0) ? 1u : 0u) +
          (vgetq_lane_u64(m.m, 1) ? 1u : 0u);
+}
+
+inline simd<double, 2> round(simd<double, 2> x) {
+  // vrndaq_f64 is exactly std::round: nearest, ties away from zero.
+  return simd<double, 2>(vrndaq_f64(x.v));
 }
 
 /// NEON transcendentals stay lane-serial libm: at two lanes the

@@ -85,6 +85,28 @@ WorkCost tile_execute_cost(std::size_t rows, std::size_t cols);
 WorkCost spike_encode_cost();
 WorkCost spike_decode_cost();
 
+/// events::EventQueue::build over n input lines: the activity
+/// predicate (2 compares + the slice bound, counted as 3 flops per
+/// line); bytes read the times and write up to one event per line
+/// (time + row at double width, conservatively).
+WorkCost event_queue_build_cost(std::size_t rows);
+
+/// FastMvm::mvm_times_sparse with `active` woken rows over cols
+/// columns: S1 wordline ramp 4 flops per active row, current sums
+/// 2 flops per active cell, S2 recovery 10 flops per column; bytes
+/// read the wake set + staged times, stream only the active rows of
+/// the matrix, and keep the dense per-column constant/output traffic.
+WorkCost event_mvm_sparse_cost(std::size_t active, std::size_t cols);
+
+/// FastMvm::idle_times (a sleeping column group): S2 recovery only,
+/// 10 flops per column; bytes the per-column constants + output.
+WorkCost event_idle_cost(std::size_t cols);
+
+/// Skipped-group resolution in accumulate_events: one add per column
+/// from the baked idle-recovery constants; bytes read the constants
+/// and read-modify-write the accumulator.
+WorkCost event_idle_resolve_cost(std::size_t cols);
+
 /// crossbar::drives_with_ir_drop: per cell the wire-divider effective_g
 /// (6 flops) plus the two accumulations (3 flops), per column the v_eq
 /// division (2 flops); bytes 8 * (rows + rows*cols + 2*cols).

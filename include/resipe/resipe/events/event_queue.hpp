@@ -1,0 +1,85 @@
+// Indexed spike-event queue for one input vector.
+//
+// The codec's spike-time semantics decide what counts as an event: a
+// row carries a spike exactly when its arrival time is finite,
+// strictly positive and inside the slice.  Everything else — t = 0
+// (the encoding of value 0, a wordline that never leaves 0 V),
+// kNoSpike (= +infinity, a silent line), NaN/negative garbage, or a
+// spike past the slice — is silent under the dense reference's own
+// validity predicate and contributes exactly +0.0 to every current
+// sum, which is what makes skipping it bit-exact.
+//
+// The queue keeps two deterministic views of the same spikes:
+//   * events(): dispatch order, sorted by (time, row) — the tie-break
+//     on the row index makes simultaneous spikes replay identically
+//     on every run and at every thread count;
+//   * active_rows(): row-ascending index used by the sparse kernels,
+//     which must preserve the dense summation order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace resipe::resipe_core::events {
+
+/// One spike: arrival time (seconds into the slice) + source row.
+struct SpikeEvent {
+  double time = 0.0;
+  std::uint32_t row = 0;
+};
+
+class EventQueue {
+ public:
+  /// The activity predicate shared with the dense reference: rows
+  /// failing it hold their wordline at exactly 0 V for the whole
+  /// slice (FastMvm::wordline_voltages maps them to +0.0).
+  static bool carries_spike(double t, double slice_length) {
+    return t > 0.0 && t <= slice_length;
+  }
+
+  /// Rebuilds the queue from one input vector of spike times.
+  /// Deterministic: same input, same queue, regardless of thread
+  /// count or build flags.
+  void build(std::span<const double> t_in, double slice_length);
+
+  /// Spikes in dispatch order: ascending (time, row).
+  std::span<const SpikeEvent> events() const { return events_; }
+
+  /// Rows that carry a spike, ascending by row index.
+  std::span<const std::uint32_t> active_rows() const { return active_rows_; }
+
+  /// Active rows with global index in [row0, row0 + rows) — the wake
+  /// set of a column group owning that row window.  The returned span
+  /// aliases active_rows() (row-ascending); O(log n) binary search.
+  std::span<const std::uint32_t> rows_in_range(std::size_t row0,
+                                               std::size_t rows) const;
+
+  /// True when any event falls inside the row window.
+  bool any_in_range(std::size_t row0, std::size_t rows) const {
+    return !rows_in_range(row0, rows).empty();
+  }
+
+  /// Number of queued events (== number of active rows: single-spike
+  /// coding carries at most one event per row per slice).
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Rows the queue was built over.
+  std::size_t total_rows() const { return total_rows_; }
+
+  /// Fraction of rows carrying a spike, in [0, 1] (0 for empty input).
+  double activity() const {
+    return total_rows_ == 0
+               ? 0.0
+               : static_cast<double>(events_.size()) /
+                     static_cast<double>(total_rows_);
+  }
+
+ private:
+  std::vector<SpikeEvent> events_;          // sorted by (time, row)
+  std::vector<std::uint32_t> active_rows_;  // sorted by row
+  std::size_t total_rows_ = 0;
+};
+
+}  // namespace resipe::resipe_core::events

@@ -1,0 +1,55 @@
+// Event-driven execution of programmed column groups.
+//
+// The executor is the wake/sleep policy between an EventQueue and the
+// FastMvm kernels: a column group (one programmed tile block) runs
+// only when input events fall inside its row window.  A sleeping
+// group's outputs are still physical — every comparator watches a COG
+// that never charged — so they are recovered in O(cols) by
+// FastMvm::idle_times; a woken group runs the sparse kernel over its
+// wake set only.  Both paths are bit-identical to the dense
+// mvm_times on the same input (see fast_mvm.hpp), which is what keeps
+// the engine-level determinism contract intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "resipe/resipe/events/event_queue.hpp"
+#include "resipe/resipe/fast_mvm.hpp"
+
+namespace resipe::resipe_core::events {
+
+/// Work counters for one event-driven pass (one input vector through
+/// one programmed matrix).  These are what "activity-proportional"
+/// means operationally: groups_skipped * O(rows x cols) is the dense
+/// work the executor never performed.
+struct ExecStats {
+  std::uint64_t events_delivered = 0;  ///< wake events routed to groups
+  std::uint64_t groups_woken = 0;      ///< blocks that ran the sparse MVM
+  std::uint64_t groups_skipped = 0;    ///< blocks recovered idle in O(cols)
+  std::uint64_t rows_skipped = 0;      ///< silent rows never driven
+
+  void merge(const ExecStats& other) {
+    events_delivered += other.events_delivered;
+    groups_woken += other.groups_woken;
+    groups_skipped += other.groups_skipped;
+    rows_skipped += other.rows_skipped;
+  }
+};
+
+class EventExecutor {
+ public:
+  /// Runs one column group event-driven.  `row0` is the group's global
+  /// row offset, `t_group_in` its staged input times (fast.rows()
+  /// entries), `t_out` its output spike times (fast.cols() entries).
+  /// Bit-identical to fast.mvm_times(t_group_in, t_out).
+  void run_group(const FastMvm& fast, const EventQueue& queue,
+                 std::size_t row0, std::span<const double> t_group_in,
+                 std::span<double> t_out, ExecStats& stats);
+
+ private:
+  std::vector<std::uint32_t> local_rows_;  // group-local wake set scratch
+};
+
+}  // namespace resipe::resipe_core::events

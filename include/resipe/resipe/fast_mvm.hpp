@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -98,6 +99,27 @@ class FastMvm {
   void mvm_times_batch(std::span<const double> t_in, std::size_t n,
                        std::span<double> t_out, BatchScratch& scratch) const;
 
+  /// Event-driven recovery for a group with no input events: every
+  /// wordline held 0 V for the whole slice, so only the per-column
+  /// comparator outcome remains — O(cols) instead of O(rows x cols).
+  /// Bit-identical to mvm_times on an input whose every row fails the
+  /// events::EventQueue::carries_spike predicate (the current sums of
+  /// such an input are exactly +0.0 on both kernel paths).
+  void idle_times(std::span<double> t_out) const;
+
+  /// Event-driven MVM: `active_rows` (strictly ascending, group-local
+  /// indices) lists the rows that carry a spike inside the slice;
+  /// every other row is guaranteed silent by the caller (its dense
+  /// wordline voltage is exactly +0.0).  Bit-identical to mvm_times on
+  /// the same full input on either kernel path: the scalar sum skips
+  /// only exact +0.0 terms, and the SIMD path skips whole vector-width
+  /// row chunks, which leaves the fixed FMA/reduction tree — and so
+  /// every rounding — untouched.  Cost is O(active x cols) for the dot
+  /// products.
+  void mvm_times_sparse(std::span<const double> t_in,
+                        std::span<const std::uint32_t> active_rows,
+                        std::span<double> t_out) const;
+
   /// The ideal Eq.(6) linear-model times for the same inputs.
   void ideal_times(std::span<const double> t_in,
                    std::span<double> t_out) const;
@@ -123,6 +145,9 @@ class FastMvm {
   void mvm_times_batch_scalar(std::span<const double> t_in, std::size_t n,
                               std::span<double> t_out,
                               BatchScratch& scratch) const;
+  void mvm_times_sparse_scalar(std::span<const double> t_in,
+                               std::span<const std::uint32_t> active_rows,
+                               std::span<double> t_out) const;
 
   // --- SIMD path -----------------------------------------------------
 
@@ -142,6 +167,9 @@ class FastMvm {
   void mvm_times_batch_simd(std::span<const double> t_in, std::size_t n,
                             std::span<double> t_out,
                             BatchScratch& scratch) const;
+  void mvm_times_sparse_simd(std::span<const double> t_in,
+                             std::span<const std::uint32_t> active_rows,
+                             std::span<double> t_out) const;
 
   std::size_t rows_pad() const { return rows_pad_; }
 

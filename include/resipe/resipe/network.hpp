@@ -39,6 +39,9 @@
 #include "resipe/introspect/options.hpp"
 #include "resipe/nn/model.hpp"
 #include "resipe/reliability/config.hpp"
+#include "resipe/resipe/events/config.hpp"
+#include "resipe/resipe/events/event_queue.hpp"
+#include "resipe/resipe/events/executor.hpp"
 #include "resipe/resipe/fast_mvm.hpp"
 #include "resipe/resipe/spike_code.hpp"
 #include "resipe/serve/config.hpp"
@@ -97,6 +100,16 @@ struct EngineConfig {
   /// engine_config_hash.  Living here keeps one config object the unit
   /// of generation and validation for the verify fuzzer.
   serve::ServeConfig serve;
+
+  /// Event-driven sparse execution (see resipe/events/ and DESIGN.md
+  /// §15).  Disabled by default: the engine runs the exact legacy
+  /// dense per-slice path.  Enabled, inputs become timestamped spike
+  /// events, column groups without events sleep, and silent rows are
+  /// skipped — with logits bit-identical to the dense reference at
+  /// any thread count (pinned by the sparse_dense_identity contract
+  /// and tests/test_events.cpp).  Like `serve`, the flag cannot
+  /// affect logits, so it is excluded from engine_config_hash.
+  events::EventConfig events;
 
   /// "Ideal" configuration: linearized transfers, continuous timing,
   /// noiseless devices — the reference accuracy in Fig. 7.
@@ -180,6 +193,8 @@ class ProgrammedMatrix {
     std::vector<double> t_out;      // [n, block.slots] block spike times
     std::vector<double> recovered;  // [n, physical cols] current-sums
     FastMvm::BatchScratch mvm;
+    events::EventQueue queue;       // event path only
+    events::EventExecutor exec;     // event path only
   };
 
   /// Batched forward: x is row-major [n, in], y row-major [n, out].
@@ -232,6 +247,12 @@ class ProgrammedMatrix {
     /// Physical slot of each data column (empty = identity).
     std::vector<std::size_t> slot_of_col;
     std::unique_ptr<FastMvm> mvm;
+    /// Baked recovery contribution of this block when its row group is
+    /// silent (length cols).  idle_times() output is input-independent,
+    /// so the per-column constants are computed once at programming and
+    /// let accumulate_events resolve a sleeping block with one add per
+    /// column — bit-identical to running the full recovery arithmetic.
+    std::vector<double> idle_recovery;
   };
 
   void encode_input(std::span<const double> x, std::span<double> t) const;
@@ -239,6 +260,14 @@ class ProgrammedMatrix {
   /// (sum_i V_i G_ij) per physical column.
   void accumulate(std::span<const double> t_in,
                   std::span<double> recovered) const;
+  /// Event-driven accumulate: same block order and same per-column
+  /// recovery arithmetic, but each block runs through the event
+  /// executor (sleeping when no input event falls in its row window).
+  /// Bit-identical to accumulate() on the same times.
+  void accumulate_events(std::span<const double> t_in,
+                         std::span<double> recovered,
+                         events::EventQueue& queue,
+                         events::EventExecutor& exec) const;
   /// Converts accumulated recovered sums + bias into outputs.
   void decode(std::span<const double> recovered, std::span<double> y) const;
 
@@ -247,6 +276,10 @@ class ProgrammedMatrix {
   /// detects + remaps + compensates per the mitigation policy, and
   /// programs through the bounded write-verify loop.
   void program_blocks_with_faults(Rng& rng);
+
+  /// Bakes each block's Block::idle_recovery constants (runs once at
+  /// the end of both programming paths).
+  void finalize_idle_recovery();
 
   EngineConfig config_;
   SpikeCodec codec_;

@@ -38,10 +38,11 @@ class SpikeCodec {
   double decode(const circuits::Spike& spike) const;
 
   /// Batched encode: times[i] receives encode(values[i]).arrival_time.
-  /// On vector builds the clamp / ramp-inversion chain runs through
-  /// common/simd.hpp (quantization rounding stays lane-serial), so
-  /// pre-quantization times may differ from element-wise encode() by
-  /// the documented transcendental bound; with the scalar fallback (or
+  /// On vector builds the whole chain — clamp, ramp inversion, and the
+  /// clock-snap quantization (simd::round, bit-equal to std::round) —
+  /// runs through common/simd.hpp, so pre-quantization times may
+  /// differ from element-wise encode() by the documented
+  /// transcendental bound; with the scalar fallback (or
   /// RESIPE_SIMD=scalar) this is bit-identical to calling encode() in
   /// a loop.  Telemetry counters aggregate over the batch.
   void encode_times(std::span<const double> values,

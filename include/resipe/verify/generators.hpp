@@ -26,7 +26,9 @@ namespace resipe::verify {
 /// v2: added the serving-layer draws (ServeConfig) at the end of the
 /// stream — earlier draws are unchanged, so v1 corpus entries replay
 /// from their serialized specs exactly as before.
-inline constexpr std::uint32_t kSchemaVersion = 2;
+/// v3: appended the event-engine flag draw (EventConfig::enabled)
+/// after the v2 serving draws, same append-only discipline.
+inline constexpr std::uint32_t kSchemaVersion = 3;
 
 /// Replayable identity of one generated case.
 struct CaseDescriptor {

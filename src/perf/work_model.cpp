@@ -59,6 +59,28 @@ WorkCost spike_encode_cost() { return {8.0, 16.0}; }
 
 WorkCost spike_decode_cost() { return {6.0, 16.0}; }
 
+WorkCost event_queue_build_cost(std::size_t rows) {
+  const double r = static_cast<double>(rows);
+  return {3.0 * r, 8.0 * (r + 2.0 * r)};
+}
+
+WorkCost event_mvm_sparse_cost(std::size_t active, std::size_t cols) {
+  const double a = static_cast<double>(active);
+  const double c = static_cast<double>(cols);
+  return {4.0 * a + 2.0 * a * c + 10.0 * c,
+          8.0 * (2.0 * a + 2.0 * a * c + 3.0 * c + c)};
+}
+
+WorkCost event_idle_cost(std::size_t cols) {
+  const double c = static_cast<double>(cols);
+  return {10.0 * c, 8.0 * (3.0 * c + c)};
+}
+
+WorkCost event_idle_resolve_cost(std::size_t cols) {
+  const double c = static_cast<double>(cols);
+  return {c, 8.0 * 3.0 * c};
+}
+
 WorkCost ir_drop_solve_cost(std::size_t rows, std::size_t cols) {
   const double r = static_cast<double>(rows);
   const double c = static_cast<double>(cols);

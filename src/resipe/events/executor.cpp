@@ -1,0 +1,33 @@
+#include "resipe/resipe/events/executor.hpp"
+
+#include "resipe/common/error.hpp"
+
+namespace resipe::resipe_core::events {
+
+void EventExecutor::run_group(const FastMvm& fast, const EventQueue& queue,
+                              std::size_t row0,
+                              std::span<const double> t_group_in,
+                              std::span<double> t_out, ExecStats& stats) {
+  const std::size_t rows = fast.rows();
+  RESIPE_REQUIRE(t_group_in.size() == rows,
+                 "event executor: staged input size mismatch");
+  const auto wake = queue.rows_in_range(row0, rows);
+  if (wake.empty()) {
+    // No event reaches this group in the slice: every wordline holds
+    // 0 V, so only the per-column comparator outcome needs recovering.
+    fast.idle_times(t_out);
+    ++stats.groups_skipped;
+    stats.rows_skipped += rows;
+    return;
+  }
+  local_rows_.resize(wake.size());
+  for (std::size_t i = 0; i < wake.size(); ++i) {
+    local_rows_[i] = static_cast<std::uint32_t>(wake[i] - row0);
+  }
+  fast.mvm_times_sparse(t_group_in, local_rows_, t_out);
+  ++stats.groups_woken;
+  stats.events_delivered += wake.size();
+  stats.rows_skipped += rows - wake.size();
+}
+
+}  // namespace resipe::resipe_core::events

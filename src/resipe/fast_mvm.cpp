@@ -427,6 +427,158 @@ void FastMvm::mvm_times_batch_simd(std::span<const double> t_in,
   RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
 }
 
+// --- event-driven sparse kernels ---------------------------------------
+//
+// Bit-identity with the dense kernels rests on two IEEE facts the
+// dense paths already rely on:
+//   * a silent row's wordline voltage is exactly +0.0 — invalid times
+//     are zeroed by the validity branch/mask, and t = 0 (the encoding
+//     of input value 0) gives v_s * (1 - exp(-0)) = +0.0 because
+//     exp(+-0.0) == 1.0 exactly on every backend (see common/simd.hpp);
+//   * adding +0.0 (scalar) or fma(g, 0-vector, acc) (SIMD) leaves a
+//     non-negative accumulator bitwise unchanged, so skipping those
+//     terms preserves every partial sum the dense loop would produce.
+// The SIMD kernel therefore skips whole kW-row chunks — never
+// compacting active rows into fewer lanes, which would re-shape the
+// fixed FMA/reduction tree and change the rounding.
+
+void FastMvm::mvm_times_sparse_scalar(
+    std::span<const double> t_in, std::span<const std::uint32_t> active_rows,
+    std::span<double> t_out) const {
+  // S1 only at the active rows; the expressions match
+  // wordline_voltages() and every active row passes its validity
+  // predicate by the caller's contract.
+  thread_local std::vector<double> v_act;
+  v_act.resize(active_rows.size());
+  const double tau_gd = params_.tau_gd();
+  const double v_s = params_.v_s;
+  const bool linear = params_.model == circuits::TransferModel::kLinear;
+  for (std::size_t i = 0; i < active_rows.size(); ++i) {
+    const double t = t_in[active_rows[i]];
+    v_act[i] = linear ? std::min(v_s * t / tau_gd, v_s)
+                      : v_s * (1.0 - std::exp(-t / tau_gd));
+  }
+
+  std::size_t silent = 0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (g_total_[c] <= 0.0) {
+      t_out[c] = params_.comparator_delay;
+      continue;
+    }
+    const double* gc = g_cm_.data() + c * rows_pad_;
+    // Row-ascending over the active set: the same partial-sum sequence
+    // as the dense loop minus its exact-zero terms.
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < active_rows.size(); ++i) {
+      weighted += v_act[i] * gc[active_rows[i]];
+    }
+    t_out[c] = recover_time(weighted, c, &silent);
+  }
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops",
+                     active_rows.size() * cols_);
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
+}
+
+void FastMvm::mvm_times_sparse_simd(
+    std::span<const double> t_in, std::span<const std::uint32_t> active_rows,
+    std::span<double> t_out) const {
+  thread_local aligned_vector t_pad;
+  thread_local aligned_vector v_wl;
+  thread_local aligned_vector w_pad;
+  thread_local aligned_vector out_pad;
+  thread_local std::vector<std::uint32_t> chunks;
+  t_pad.resize(rows_pad_);
+  v_wl.resize(rows_pad_);
+  w_pad.resize(cols_pad_);
+  out_pad.resize(cols_pad_);
+
+  std::copy(t_in.begin(), t_in.end(), t_pad.begin());
+  std::fill(t_pad.begin() + rows_, t_pad.end(), kNoSpike);
+
+  // Active kW-row chunks, ascending (active_rows is ascending so the
+  // dedup is a running comparison).  Inactive chunks are never staged:
+  // their v_wl slots may hold stale data, and no FMA ever reads them.
+  chunks.clear();
+  for (const std::uint32_t r : active_rows) {
+    const std::uint32_t ch = r / static_cast<std::uint32_t>(kW);
+    if (chunks.empty() || chunks.back() != ch) chunks.push_back(ch);
+  }
+
+  // S1 per active chunk — the wordline_voltages_simd loop body, run
+  // only where an event landed.  Lanes of an active chunk that are
+  // themselves silent (or padding) still come out exactly 0 through
+  // the same validity mask the dense kernel applies.
+  {
+    const vdouble v_s(params_.v_s);
+    const vdouble zero(0.0);
+    const vdouble one(1.0);
+    const vdouble slice(params_.slice_length);
+    const vdouble tau(params_.tau_gd());
+    const bool linear = params_.model == circuits::TransferModel::kLinear;
+    for (const std::uint32_t ch : chunks) {
+      const std::size_t r = static_cast<std::size_t>(ch) * kW;
+      const vdouble t = vdouble::load(t_pad.data() + r);
+      const auto valid = (t >= zero) & (t <= slice);
+      vdouble v;
+      if (linear) {
+        v = simd::min(v_s * t / tau, v_s);
+      } else {
+        v = v_s * (one - simd::exp(zero - t / tau));
+      }
+      v = simd::select(valid, v, zero);
+      v.store(v_wl.data() + r);
+    }
+  }
+
+  // Dot products over active chunks only.  The dense kernel folds all
+  // chunks in ascending order; a skipped chunk contributes
+  // fma(g, 0, acc) == acc bitwise, so the accumulator states at every
+  // active chunk — and the final pairwise reduction — are identical.
+  for (std::size_t c0 = 0; c0 < cols_; c0 += 4) {
+    const std::size_t nc = std::min<std::size_t>(4, cols_ - c0);
+    if (nc == 4) {
+      const double* g0 = g_cm_.data() + (c0 + 0) * rows_pad_;
+      const double* g1 = g_cm_.data() + (c0 + 1) * rows_pad_;
+      const double* g2 = g_cm_.data() + (c0 + 2) * rows_pad_;
+      const double* g3 = g_cm_.data() + (c0 + 3) * rows_pad_;
+      vdouble a0(0.0), a1(0.0), a2(0.0), a3(0.0);
+      for (const std::uint32_t ch : chunks) {
+        const std::size_t r = static_cast<std::size_t>(ch) * kW;
+        const vdouble v = vdouble::load(v_wl.data() + r);
+        a0 = simd::fma(vdouble::load(g0 + r), v, a0);
+        a1 = simd::fma(vdouble::load(g1 + r), v, a1);
+        a2 = simd::fma(vdouble::load(g2 + r), v, a2);
+        a3 = simd::fma(vdouble::load(g3 + r), v, a3);
+      }
+      w_pad[c0 + 0] = simd::reduce_add(a0);
+      w_pad[c0 + 1] = simd::reduce_add(a1);
+      w_pad[c0 + 2] = simd::reduce_add(a2);
+      w_pad[c0 + 3] = simd::reduce_add(a3);
+    } else {
+      for (std::size_t j = 0; j < nc; ++j) {
+        const double* gc = g_cm_.data() + (c0 + j) * rows_pad_;
+        vdouble acc(0.0);
+        for (const std::uint32_t ch : chunks) {
+          const std::size_t r = static_cast<std::size_t>(ch) * kW;
+          acc = simd::fma(vdouble::load(gc + r), vdouble::load(v_wl.data() + r),
+                          acc);
+        }
+        w_pad[c0 + j] = simd::reduce_add(acc);
+      }
+    }
+  }
+  std::fill(w_pad.begin() + cols_, w_pad.end(), 0.0);
+
+  std::size_t silent = 0;
+  for (std::size_t c = 0; c < cols_pad_; c += kW) {
+    recover_block_simd(w_pad.data() + c, c, out_pad.data() + c, &silent);
+  }
+  std::copy(out_pad.begin(), out_pad.begin() + cols_, t_out.begin());
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.mac_ops",
+                     chunks.size() * kW * cols_);
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
+}
+
 // --- public entry points -----------------------------------------------
 
 void FastMvm::mvm_times(std::span<const double> t_in,
@@ -456,6 +608,54 @@ void FastMvm::mvm_times_batch(std::span<const double> t_in, std::size_t n,
     mvm_times_batch_simd(t_in, n, t_out, scratch);
   } else {
     mvm_times_batch_scalar(t_in, n, t_out, scratch);
+  }
+}
+
+void FastMvm::idle_times(std::span<double> t_out) const {
+  RESIPE_TELEM_SCOPE("resipe_core.events.idle_times");
+  RESIPE_PERF_KERNEL("resipe_core.events.idle_times",
+                     perf::event_idle_cost(cols_));
+  RESIPE_REQUIRE(t_out.size() == cols_, "FastMvm vector size mismatch");
+  std::size_t silent = 0;
+  if (simd::enabled()) {
+    thread_local aligned_vector w_pad;
+    thread_local aligned_vector out_pad;
+    w_pad.assign(cols_pad_, 0.0);
+    out_pad.resize(cols_pad_);
+    for (std::size_t c = 0; c < cols_pad_; c += kW) {
+      recover_block_simd(w_pad.data() + c, c, out_pad.data() + c, &silent);
+    }
+    std::copy(out_pad.begin(), out_pad.begin() + cols_, t_out.begin());
+  } else {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (g_total_[c] <= 0.0) {
+        t_out[c] = params_.comparator_delay;
+        continue;
+      }
+      // The dense loop's current sum over all-zero wordlines is
+      // exactly +0.0 on either kernel path; recover from that.
+      t_out[c] = recover_time(0.0, c, &silent);
+    }
+  }
+  RESIPE_TELEM_COUNT("resipe_core.fast_mvm.silent_outputs", silent);
+}
+
+void FastMvm::mvm_times_sparse(std::span<const double> t_in,
+                               std::span<const std::uint32_t> active_rows,
+                               std::span<double> t_out) const {
+  RESIPE_TELEM_SCOPE("resipe_core.events.mvm_times_sparse");
+  RESIPE_PERF_KERNEL(
+      "resipe_core.events.mvm_times_sparse",
+      perf::event_mvm_sparse_cost(active_rows.size(), cols_));
+  RESIPE_REQUIRE(t_in.size() == rows_ && t_out.size() == cols_,
+                 "FastMvm vector size mismatch");
+  RESIPE_REQUIRE(active_rows.size() <= rows_ &&
+                     (active_rows.empty() || active_rows.back() < rows_),
+                 "FastMvm sparse wake set out of range");
+  if (simd::enabled()) {
+    mvm_times_sparse_simd(t_in, active_rows, t_out);
+  } else {
+    mvm_times_sparse_scalar(t_in, active_rows, t_out);
   }
 }
 

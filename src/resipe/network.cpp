@@ -6,6 +6,7 @@
 
 #include "resipe/common/error.hpp"
 #include "resipe/common/parallel.hpp"
+#include "resipe/perf/work_model.hpp"
 #include "resipe/reliability/fault_mapper.hpp"
 #include "resipe/telemetry/telemetry.hpp"
 
@@ -28,6 +29,7 @@ void EngineConfig::validate() const {
   device.validate();
   reliability.validate();
   serve.validate();
+  events.validate();
   RESIPE_REQUIRE(tile_rows > 0 && tile_cols > 0,
                  "tile dimensions must be positive, got "
                      << tile_rows << "x" << tile_cols);
@@ -75,6 +77,7 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
   output_ok_.assign(out_, true);
   if (config_.reliability.enabled) {
     program_blocks_with_faults(rng);
+    finalize_idle_recovery();
     return;
   }
 
@@ -124,6 +127,34 @@ ProgrammedMatrix::ProgrammedMatrix(const EngineConfig& config,
         block.mvm->set_column_offsets(std::move(offsets));
       }
       blocks_.push_back(std::move(block));
+    }
+  }
+  finalize_idle_recovery();
+}
+
+void ProgrammedMatrix::finalize_idle_recovery() {
+  // A sleeping group's block output is input-independent, so its
+  // recovery contribution is a per-column constant.  Bake it with the
+  // exact operation sequence accumulate() applies — idle comparator
+  // outcome, slice-boundary substitution, ramp sample, conductance
+  // normalization — so adding the constant reproduces the dense bits.
+  const auto& params = config_.circuit;
+  std::vector<double> t_idle;
+  for (Block& block : blocks_) {
+    t_idle.assign(block.slots, 0.0);
+    block.mvm->idle_times(t_idle);
+    block.idle_recovery.assign(block.cols, 0.0);
+    const bool remapped = !block.slot_of_col.empty();
+    for (std::size_t c = 0; c < block.cols; ++c) {
+      const std::size_t s = remapped ? block.slot_of_col[c] : c;
+      double t = t_idle[s];
+      if (t == FastMvm::kNoSpike) t = params.slice_length;
+      const double v_cog = params.ramp_voltage(t);
+      const double k = block.mvm->k(s);
+      const double g_total = block.mvm->g_total(s);
+      if (k > 0.0) {
+        block.idle_recovery[c] = v_cog * g_total / k;
+      }
     }
   }
 }
@@ -414,6 +445,56 @@ void ProgrammedMatrix::accumulate(std::span<const double> t_in,
   }
 }
 
+void ProgrammedMatrix::accumulate_events(std::span<const double> t_in,
+                                         std::span<double> recovered,
+                                         events::EventQueue& queue,
+                                         events::EventExecutor& exec) const {
+  RESIPE_TELEM_COUNT("resipe_core.matrix.block_mvms", blocks_.size());
+  std::fill(recovered.begin(), recovered.end(), 0.0);
+  const auto& params = config_.circuit;
+  queue.build(t_in, params.slice_length);
+  events::ExecStats stats;
+  thread_local std::vector<double> t_block_out;
+  for (const Block& block : blocks_) {
+    if (queue.rows_in_range(block.row0, block.rows).empty()) {
+      // Sleeping group: the baked constants replace the comparator
+      // recovery and ramp evaluation (bit-identical by construction).
+      RESIPE_PERF_WORK("resipe_core.events.idle_resolve",
+                       perf::event_idle_resolve_cost(block.cols));
+      ++stats.groups_skipped;
+      stats.rows_skipped += block.rows;
+      for (std::size_t c = 0; c < block.cols; ++c) {
+        recovered[block.col0 + c] += block.idle_recovery[c];
+      }
+      continue;
+    }
+    t_block_out.assign(block.slots, 0.0);
+    const std::span<const double> t_rows(t_in.data() + block.row0,
+                                         block.rows);
+    exec.run_group(*block.mvm, queue, block.row0, t_rows, t_block_out,
+                   stats);
+    // Recovery arithmetic identical to accumulate(), applied to
+    // bit-identical block outputs.
+    const bool remapped = !block.slot_of_col.empty();
+    for (std::size_t c = 0; c < block.cols; ++c) {
+      const std::size_t s = remapped ? block.slot_of_col[c] : c;
+      double t = t_block_out[s];
+      if (t == FastMvm::kNoSpike) t = params.slice_length;
+      const double v_cog = params.ramp_voltage(t);
+      const double k = block.mvm->k(s);
+      const double g_total = block.mvm->g_total(s);
+      if (k > 0.0) {
+        recovered[block.col0 + c] += v_cog * g_total / k;
+      }
+    }
+  }
+  RESIPE_TELEM_COUNT("resipe_core.events.delivered", stats.events_delivered);
+  RESIPE_TELEM_COUNT("resipe_core.events.groups_woken", stats.groups_woken);
+  RESIPE_TELEM_COUNT("resipe_core.events.groups_skipped",
+                     stats.groups_skipped);
+  RESIPE_TELEM_COUNT("resipe_core.events.rows_skipped", stats.rows_skipped);
+}
+
 void ProgrammedMatrix::decode(std::span<const double> recovered,
                               std::span<double> y) const {
   // recovered[j] = sum_i V_i G_ij with V_i = alpha * x_hat_i * v_full;
@@ -438,7 +519,13 @@ void ProgrammedMatrix::forward(std::span<const double> x,
   t_in.resize(in_);
   encode_input(x, t_in);
   recovered.assign(mapping_.cols, 0.0);
-  accumulate(t_in, recovered);
+  if (config_.events.enabled) {
+    thread_local events::EventQueue queue;
+    thread_local events::EventExecutor exec;
+    accumulate_events(t_in, recovered, queue, exec);
+  } else {
+    accumulate(t_in, recovered);
+  }
   decode(recovered, y);
 }
 
@@ -530,7 +617,6 @@ void ProgrammedMatrix::forward_batch(std::span<const double> x, std::size_t n,
   RESIPE_REQUIRE(x.size() == n * in_ && y.size() == n * out_,
                  "forward_batch size mismatch");
   if (n == 0) return;
-  RESIPE_TELEM_COUNT("resipe_core.matrix.block_mvms", n * blocks_.size());
   const auto& params = config_.circuit;
 
   ws.t_in.resize(n * in_);
@@ -539,6 +625,28 @@ void ProgrammedMatrix::forward_batch(std::span<const double> x, std::size_t n,
                  std::span<double>(ws.t_in.data() + s * in_, in_));
   }
 
+  if (config_.events.enabled) {
+    // Event-driven batch path: the batched dense kernel is documented
+    // bitwise-identical to n single calls per backend, so the sparse
+    // path runs each sample through accumulate_events() — which books
+    // its own block_mvms count per sample.
+    ws.recovered.resize(n * mapping_.cols);
+    for (std::size_t s = 0; s < n; ++s) {
+      accumulate_events(
+          std::span<const double>(ws.t_in.data() + s * in_, in_),
+          std::span<double>(ws.recovered.data() + s * mapping_.cols,
+                            mapping_.cols),
+          ws.queue, ws.exec);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      decode(std::span<const double>(ws.recovered.data() + s * mapping_.cols,
+                                     mapping_.cols),
+             y.subspan(s * out_, out_));
+    }
+    return;
+  }
+
+  RESIPE_TELEM_COUNT("resipe_core.matrix.block_mvms", n * blocks_.size());
   // Same block order and same per-column recovery arithmetic as
   // accumulate(); only the batching differs.
   ws.recovered.assign(n * mapping_.cols, 0.0);

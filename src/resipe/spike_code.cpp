@@ -169,15 +169,17 @@ void SpikeCodec::encode_times(std::span<const double> values,
 
   std::size_t snapped = 0;
   if (quantize_) {
-    // std::round (half away from zero) has no vector equivalent with
-    // identical tie behavior, so the snap stays lane-serial.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double exact = buf[i];
-      double t = std::round(exact / params_.clock_period) *
-                 params_.clock_period;
-      t = std::min(t, t_full_);
-      snapped += (t != exact) ? 1 : 0;
-      buf[i] = t;
+    // Vectorized clock snap: simd::round is bit-equal to std::round on
+    // every backend (half away from zero — the tie behavior is part of
+    // the quantization contract, pinned in test_simd.cpp).
+    const vdouble clock(params_.clock_period);
+    for (std::size_t i = 0; i < np; i += kW) {
+      const vdouble exact = vdouble::load(buf.data() + i);
+      const vdouble q = simd::min(simd::round(exact / clock) * clock, t_full);
+      // Masks only compose with &, so count q == exact as <= and >=;
+      // padding lanes snap 0 to 0 and never inflate the count.
+      snapped += kW - simd::mask_count((q <= exact) & (q >= exact));
+      q.store(buf.data() + i);
     }
   }
   std::copy(buf.begin(), buf.begin() + n, times.begin());

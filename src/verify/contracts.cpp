@@ -53,6 +53,7 @@ enum Stream : std::uint64_t {
   kStreamServing = 0xC00E,
   kStreamSimdEquiv = 0xC00F,
   kStreamServingTrace = 0xC010,
+  kStreamSparseDense = 0xC011,
 };
 
 InjectedBug g_injected_bug = InjectedBug::kNone;
@@ -963,6 +964,45 @@ ContractResult check_simd_equivalence(const CaseSpec& spec) {
   return ContractResult::ok();
 }
 
+ContractResult check_sparse_dense_identity(const CaseSpec& spec) {
+  Rng rng(hash_seed(spec.descriptor.seed, kStreamSparseDense));
+  NetworkFixture fx = build_network_inputs(spec, rng);
+  // Zero out a random half of the batch so the event path actually
+  // meets silent rows (the fixture draws dense positive activations);
+  // fully dense and fully silent inputs are covered by the extremes of
+  // the bernoulli draw across cases.
+  for (double& v : fx.batch.data()) {
+    if (rng.bernoulli(0.5)) v = 0.0;
+  }
+
+  EngineConfig cfg_dense = spec.config;
+  cfg_dense.events.enabled = false;
+  EngineConfig cfg_event = spec.config;
+  cfg_event.events.enabled = true;
+  // The flag is never consulted while programming, so both engines
+  // hold identical conductances.
+  const ResipeNetwork net_dense(*fx.model, cfg_dense, fx.calibration);
+  const ResipeNetwork net_event(*fx.model, cfg_event, fx.calibration);
+
+  const nn::Tensor ref = net_dense.forward(fx.batch);
+  const nn::Tensor got = net_event.forward(fx.batch);
+  if (!bit_identical(ref.data(), got.data())) {
+    return ContractResult::fail(
+        "event-driven logits differ from the dense reference");
+  }
+
+  ThreadGuard guard;
+  for (const std::size_t threads : {1, 2, 8}) {
+    set_default_threads(threads);
+    const nn::Tensor again = net_event.forward(fx.batch);
+    if (!bit_identical(ref.data(), again.data())) {
+      return ContractResult::fail("event-driven logits drift at " +
+                                  std::to_string(threads) + " threads");
+    }
+  }
+  return ContractResult::ok();
+}
+
 }  // namespace
 
 void set_injected_bug(InjectedBug bug) { g_injected_bug = bug; }
@@ -1024,6 +1064,10 @@ const std::vector<Contract>& contract_registry() {
        "attaching an event journal leaves every response bit-identical "
        "and the journal passes the conservation audit",
        check_serving_trace_identity},
+      {"sparse_dense_identity",
+       "event-driven execution is bit-identical to the dense reference "
+       "on every logit, at any thread count",
+       check_sparse_dense_identity},
   };
   return registry;
 }

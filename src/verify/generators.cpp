@@ -26,6 +26,7 @@ std::string CaseSpec::summary() const {
      << " sigma=" << config.device.variation_sigma
      << " rel=" << (config.reliability.enabled ? 1 : 0)
      << " insp=" << (config.introspect.enabled ? 1 : 0)
+     << " evt=" << (config.events.enabled ? 1 : 0)
      << " srv=[q" << config.serve.queue_capacity << " b"
      << config.serve.batch_max << " r" << config.serve.retry_max << "]"
      << " net=["
@@ -175,6 +176,12 @@ CaseSpec generate_case(const CaseDescriptor& descriptor) {
       static_cast<std::size_t>(rng.uniform_int(1, 3));
   srv.health.readmit_after = static_cast<std::size_t>(rng.uniform_int(1, 4));
   srv.seed = rng.next_u64();
+
+  // --- event-driven execution (schema v3).  Appended after every v2
+  // draw so the earlier stream is bit-identical across versions.  The
+  // flag is drawn 50/50 so half the corpus exercises the sparse path
+  // in every contract, not just sparse_dense_identity.
+  cfg.events.enabled = rng.bernoulli(0.5);
 
   // The generator's output contract: everything it emits is valid.
   cfg.validate();

@@ -278,7 +278,8 @@ std::string repro_to_json(const ReproRecord& record) {
         std::to_string(cfg.serve.health.quarantine_after));
   field("serve_readmit_after",
         std::to_string(cfg.serve.health.readmit_after));
-  field("serve_seed", quoted(std::to_string(cfg.serve.seed)),
+  field("serve_seed", quoted(std::to_string(cfg.serve.seed)));
+  field("events_enabled", cfg.events.enabled ? "true" : "false",
         /*last=*/true);
   os << "}\n";
   return os.str();
@@ -499,6 +500,8 @@ ReproRecord repro_from_json(const std::string& json) {
       cfg.serve.health.readmit_after = static_cast<std::size_t>(to_u64(v));
     } else if (key == "serve_seed") {
       cfg.serve.seed = to_u64(v);
+    } else if (key == "events_enabled") {
+      cfg.events.enabled = to_bool(v);
     } else {
       RESIPE_REQUIRE(false, "unknown key '" << key << "' in repro record");
     }

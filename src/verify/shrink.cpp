@@ -112,6 +112,11 @@ std::vector<Move> move_catalogue() {
                      s.config.introspect.enabled = false;
                      return true;
                    }});
+  moves.push_back({"events-off", [](CaseSpec& s) {
+                     if (!s.config.events.enabled) return false;
+                     s.config.events.enabled = false;
+                     return true;
+                   }});
   moves.push_back({"quantize-off", [](CaseSpec& s) {
                      if (!s.config.quantize_spikes) return false;
                      s.config.quantize_spikes = false;

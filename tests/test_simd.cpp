@@ -220,6 +220,47 @@ TEST(SimdTranscendentals, EdgeCasesMatchIeee) {
   EXPECT_EQ(to_array(simd::log(vdouble::load(raw.data())))[0], 0.0);
 }
 
+// simd::round is BIT-equal to std::round — not a ULP bound.  The codec
+// quantization snap runs through it, and snapped spike times feed the
+// event/dense bit-identity contracts, so every lane must reproduce
+// libm's half-away-from-zero ties, sign of zero, and NaN/inf handling.
+TEST(SimdTranscendentals, RoundBitEqualsStdRound) {
+  Rng rng(505);
+  alignas(simd::kAlignment) std::array<double, kW> raw;
+  for (int trial = 0; trial < 4000; ++trial) {
+    // Magnitudes from sub-ULP fractions up past 2^53 (all integers).
+    const double scale = std::pow(10.0, rng.uniform(-3.0, 17.0));
+    for (double& v : raw) v = rng.uniform(-1.0, 1.0) * scale;
+    const auto got = to_array(simd::round(vdouble::load(raw.data())));
+    for (std::size_t i = 0; i < kW; ++i) {
+      EXPECT_EQ(ulp_distance(got[i], std::round(raw[i])), 0u)
+          << "x = " << raw[i];
+    }
+  }
+}
+
+TEST(SimdTranscendentals, RoundEdgeCasesMatchIeee) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // Ties away from zero, truncation toward it, exact integers,
+  // signed zero, the 2^52 integer boundary, infinities and NaN.
+  const double cases[] = {0.5,   -0.5, 2.5,  -2.5,  0.49999999999999994,
+                          -0.3,  0.0,  -0.0, 1.0,   -7.0,
+                          4.5e15, 9007199254740993.0, kInf, -kInf, qnan};
+  alignas(simd::kAlignment) std::array<double, kW> raw;
+  for (const double x : cases) {
+    raw.fill(x);
+    const auto got = to_array(simd::round(vdouble::load(raw.data())));
+    for (std::size_t i = 0; i < kW; ++i) {
+      EXPECT_EQ(ulp_distance(got[i], std::round(x)), 0u) << "x = " << x;
+      if (!std::isnan(x)) {
+        // Bit-for-bit including the sign of zero.
+        EXPECT_EQ(std::signbit(got[i]), std::signbit(std::round(x)))
+            << "x = " << x;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Runtime ISA control.
 // ---------------------------------------------------------------------

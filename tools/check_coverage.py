@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Enforce a line-coverage floor on part of the tree from an lcov info file.
+
+    python3 tools/check_coverage.py coverage.info \
+        --path src/resipe/events/ --min-line 90
+
+Parses the lcov tracefile format (``SF:`` source records with
+``DA:<line>,<hits>`` entries, terminated by ``end_of_record``), keeps
+the files whose path contains ``--path``, and exits non-zero when the
+aggregate line coverage of the selection falls below ``--min-line``
+percent — or when the selection is empty, so a renamed directory can't
+silently disable the gate.  ``--path`` may repeat; each selection gets
+its own report line and every floor must hold.
+"""
+
+import argparse
+import sys
+
+
+def parse_lcov(lines):
+    """Yields (source_path, {line: hits}) per SF record.
+
+    Later DA entries for the same line are summed, matching lcov's own
+    aggregation across test binaries.
+    """
+    path = None
+    hits = {}
+    for raw in lines:
+        line = raw.strip()
+        if line.startswith("SF:"):
+            path = line[3:]
+            hits = {}
+        elif line.startswith("DA:") and path is not None:
+            fields = line[3:].split(",")
+            try:
+                lineno = int(fields[0])
+                count = int(fields[1])
+            except (IndexError, ValueError):
+                raise ValueError(f"malformed DA entry: {line!r}")
+            hits[lineno] = hits.get(lineno, 0) + count
+        elif line == "end_of_record" and path is not None:
+            yield path, hits
+            path = None
+            hits = {}
+
+
+def coverage_of(records, needle):
+    """(covered, instrumented, per_file) for files whose path contains
+    `needle`."""
+    covered = 0
+    instrumented = 0
+    per_file = []
+    for path, hits in records:
+        if needle not in path:
+            continue
+        file_cov = sum(1 for c in hits.values() if c > 0)
+        covered += file_cov
+        instrumented += len(hits)
+        per_file.append((path, file_cov, len(hits)))
+    return covered, instrumented, per_file
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="line-coverage floor gate over an lcov tracefile")
+    parser.add_argument("tracefile", help="lcov .info file")
+    parser.add_argument("--path", action="append", required=True,
+                        help="path substring selecting the gated files "
+                             "(repeatable; every selection must pass)")
+    parser.add_argument("--min-line", type=float, default=80.0,
+                        help="minimum aggregate line coverage in percent "
+                             "(default: 80)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.tracefile, encoding="utf-8") as fh:
+            records = list(parse_lcov(fh))
+    except OSError as err:
+        print(f"check_coverage: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"check_coverage: {err}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for needle in args.path:
+        covered, instrumented, per_file = coverage_of(records, needle)
+        if instrumented == 0:
+            print(f"check_coverage: no instrumented lines match "
+                  f"{needle!r} — wrong path or coverage not captured",
+                  file=sys.stderr)
+            failed = True
+            continue
+        pct = 100.0 * covered / instrumented
+        verdict = "OK" if pct >= args.min_line else "BELOW FLOOR"
+        print(f"{needle}: {covered}/{instrumented} lines "
+              f"({pct:.1f}%, floor {args.min_line:.1f}%) {verdict}")
+        for path, file_cov, file_lines in sorted(per_file):
+            file_pct = 100.0 * file_cov / file_lines if file_lines else 0.0
+            print(f"  {path}: {file_cov}/{file_lines} ({file_pct:.1f}%)")
+        if pct < args.min_line:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ import unittest
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import bench_diff
+import check_coverage
 import collect_bench
 import trace_check
 
@@ -377,6 +378,71 @@ class TraceCheckTest(unittest.TestCase):
             self.assertEqual(trace_check.main(["--events", path]), 1)
         finally:
             os.unlink(path)
+
+
+class CheckCoverageTest(unittest.TestCase):
+    INFO = "\n".join([
+        "TN:",
+        "SF:/repo/src/resipe/events/event_queue.cpp",
+        "DA:10,5",
+        "DA:11,0",
+        "DA:12,3",
+        "DA:13,1",
+        "end_of_record",
+        "SF:/repo/src/resipe/events/executor.cpp",
+        "DA:20,2",
+        "DA:21,2",
+        "end_of_record",
+        "SF:/repo/src/resipe/network.cpp",
+        "DA:5,0",
+        "DA:6,0",
+        "end_of_record",
+        "",
+    ])
+
+    def info_file(self, text=None):
+        fh = tempfile.NamedTemporaryFile("w", suffix=".info", delete=False)
+        fh.write(self.INFO if text is None else text)
+        fh.close()
+        self.addCleanup(os.unlink, fh.name)
+        return fh.name
+
+    def test_parse_lcov_records(self):
+        records = list(check_coverage.parse_lcov(self.INFO.splitlines()))
+        self.assertEqual(len(records), 3)
+        path, hits = records[0]
+        self.assertEqual(path, "/repo/src/resipe/events/event_queue.cpp")
+        self.assertEqual(hits, {10: 5, 11: 0, 12: 3, 13: 1})
+
+    def test_duplicate_da_lines_summed(self):
+        text = ("SF:a.cpp\nDA:1,0\nDA:1,2\nend_of_record\n")
+        records = list(check_coverage.parse_lcov(text.splitlines()))
+        self.assertEqual(records, [("a.cpp", {1: 2})])
+
+    def test_selection_aggregates_only_matching_files(self):
+        records = list(check_coverage.parse_lcov(self.INFO.splitlines()))
+        covered, instrumented, per_file = check_coverage.coverage_of(
+            records, "src/resipe/events/")
+        self.assertEqual((covered, instrumented), (5, 6))
+        self.assertEqual(len(per_file), 2)
+
+    def test_floor_pass_and_fail_exit_codes(self):
+        path = self.info_file()
+        # events/ selection sits at 5/6 = 83.3%.
+        self.assertEqual(check_coverage.main(
+            [path, "--path", "src/resipe/events/", "--min-line", "80"]), 0)
+        self.assertEqual(check_coverage.main(
+            [path, "--path", "src/resipe/events/", "--min-line", "90"]), 1)
+
+    def test_empty_selection_fails(self):
+        path = self.info_file()
+        self.assertEqual(check_coverage.main(
+            [path, "--path", "src/renamed/", "--min-line", "1"]), 1)
+
+    def test_malformed_da_entry_is_an_error(self):
+        path = self.info_file("SF:a.cpp\nDA:not_a_line\nend_of_record\n")
+        self.assertEqual(check_coverage.main(
+            [path, "--path", "a.cpp", "--min-line", "1"]), 2)
 
 
 if __name__ == "__main__":
